@@ -1,0 +1,65 @@
+// Fig. 2: ranked node anomaly-score curves. For UMGAD and the four
+// best-performing baselines per dataset group, prints the descending score
+// curve (sparkline), the inflection-selected threshold index, and the true
+// anomaly count — the paper's claim is that UMGAD's detected count lands
+// closest to the truth.
+
+#include "bench_util.h"
+
+namespace umgad {
+namespace {
+
+int Main() {
+  SetLogLevel(LogLevel::kWarning);
+  bench::PrintHeader("Fig. 2 — ranked anomaly score curves",
+                     "Fig. 2 (inflection threshold vs true anomaly count)");
+
+  const uint64_t seed = BenchSeeds(1)[0];
+  struct Group {
+    std::vector<std::string> datasets;
+    double scale;
+    std::vector<std::string> methods;
+  };
+  const std::vector<Group> groups = {
+      {SmallDatasetNames(), BenchScale(0.7),
+       {"UMGAD", "ADA-GAD", "TAM", "GADAM", "AnomMAN"}},
+      {LargeDatasetNames(), BenchScale(0.08),
+       {"UMGAD", "ADA-GAD", "GRADATE", "GADAM", "DualGAD"}},
+  };
+
+  for (const Group& group : groups) {
+    for (const std::string& dataset : group.datasets) {
+      auto graph = MakeDataset(dataset, seed, group.scale);
+      UMGAD_CHECK(graph.ok());
+      std::cout << "\n-- " << dataset
+                << " (true anomalies: " << graph->num_anomalies() << ") --\n";
+      TablePrinter table;
+      table.SetHeader({"Method", "Curve (sorted scores)", "Detected",
+                       "True", "AUC"});
+      for (const std::string& method : group.methods) {
+        auto detector = MakeDetector(method, seed);
+        UMGAD_CHECK(detector.ok());
+        Status status = (*detector)->Fit(*graph);
+        if (!status.ok()) continue;
+        const auto& scores = (*detector)->scores();
+        ThresholdResult threshold = SelectThresholdInflection(scores);
+        std::vector<double> sorted = scores;
+        std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+        table.AddRow({method, bench::Sparkline(sorted, 48),
+                      StrFormat("%d", threshold.num_predicted),
+                      StrFormat("%d", graph->num_anomalies()),
+                      FormatFloat(RocAuc(scores, graph->labels()), 3)});
+        std::cerr << "  done: " << dataset << " / " << method << "\n";
+      }
+      table.Print(std::cout);
+    }
+  }
+  std::cout << "\nExpected shape (paper): UMGAD's detected count is the "
+               "closest to the true count on every dataset.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace umgad
+
+int main() { return umgad::Main(); }

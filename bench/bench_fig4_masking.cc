@@ -1,0 +1,57 @@
+// Fig. 4: effect of the masking ratio r_m (x-axis in the paper) and the
+// RWR subgraph size |V_m| (legend). The paper finds Retail/Alibaba peak at
+// 20% masking and Amazon/YelpChi at 40-60% (richer anomaly signal supports
+// more aggressive masking).
+
+#include "bench_util.h"
+
+namespace umgad {
+namespace {
+
+int Main() {
+  SetLogLevel(LogLevel::kWarning);
+  bench::PrintHeader("Fig. 4 — masking ratio x subgraph size",
+                     "Fig. 4 (AUC; rows = |V_m|, cols = r_m)");
+
+  const uint64_t seed = BenchSeeds(1)[0];
+  const double scale = BenchScale(0.3);
+  const int epochs = bench::BenchEpochs(25);
+  const std::vector<double> ratios = {0.2, 0.4, 0.6, 0.8};
+  const std::vector<int> sizes = {4, 12};
+
+  for (const std::string& dataset : {std::string("Retail"), std::string("Amazon")}) {
+    auto graph = MakeDataset(dataset, seed, scale);
+    UMGAD_CHECK(graph.ok());
+    TablePrinter table(dataset);
+    std::vector<std::string> header = {"|V_m| \\ r_m"};
+    for (double rm : ratios) {
+      header.push_back(StrFormat("%d%%", static_cast<int>(rm * 100)));
+    }
+    table.SetHeader(header);
+    for (int vm : sizes) {
+      std::vector<std::string> row = {StrFormat("%d", vm)};
+      for (double rm : ratios) {
+        UmgadConfig config = bench::BenchUmgadConfig(seed, epochs);
+        config.mask_ratio = rm;
+        config.subgraph_size = vm;
+        UmgadModel model(config);
+        Status status = model.Fit(*graph);
+        UMGAD_CHECK_MSG(status.ok(), status.ToString().c_str());
+        row.push_back(
+            FormatFloat(RocAuc(model.scores(), graph->labels()), 3));
+      }
+      table.AddRow(row);
+      std::cerr << "  done: " << dataset << " |V_m|=" << vm << "\n";
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\nExpected shape (paper): moderate masking beats extreme "
+               "masking; the best ratio is dataset-dependent (20% for the "
+               "injected datasets, 40-60% for the organic ones).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace umgad
+
+int main() { return umgad::Main(); }

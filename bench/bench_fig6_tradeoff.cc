@@ -1,0 +1,107 @@
+// Fig. 6: accuracy-vs-efficiency trade-off of pruned UMGAD variants on the
+// injected-anomaly datasets. "Att" keeps only attribute reconstruction (run
+// against attribute-only injections), "Str" keeps only structure
+// reconstruction (structure-only injections), "Sub" keeps only the subgraph
+// view; the paper's point is that pruning for a known anomaly type buys
+// runtime at little accuracy cost.
+
+#include "bench_util.h"
+
+#include "graph/anomaly_injection.h"
+#include "graph/generators.h"
+
+namespace umgad {
+namespace {
+
+/// Retail/Alibaba-like base graph with only one type of injected anomaly.
+MultiplexGraph InjectedVariant(const std::string& dataset, uint64_t seed,
+                               double scale, bool attribute_only) {
+  auto graph = MakeDataset(dataset, seed, scale);
+  UMGAD_CHECK(graph.ok());
+  // Strip injected labels and re-inject a single anomaly type.
+  MultiplexGraph g = *std::move(graph);
+  // Regenerate clean: MakeDataset injects both kinds, so rebuild from the
+  // generator directly (same SBM profile, no injection).
+  Rng rng(seed ^ 0xf16aULL);
+  SbmMultiplexConfig config;
+  config.name = dataset;
+  config.num_nodes = g.num_nodes();
+  config.feature_dim = g.feature_dim();
+  config.num_communities = 10;
+  config.relations = {
+      {.name = "View",
+       .target_edges = static_cast<int64_t>(g.num_edges(0))},
+      {.name = "Cart", .target_edges = 0, .subset_of = 0,
+       .subset_frac = 0.17},
+      {.name = "Buy", .target_edges = 0, .subset_of = 1,
+       .subset_frac = 0.75},
+  };
+  MultiplexGraph clean = GenerateSbmMultiplex(config, &rng);
+  InjectionConfig inj;
+  if (attribute_only) {
+    inj.num_attribute_anomalies = 30;
+    InjectAttributeAnomalies(&clean, inj, &rng);
+  } else {
+    inj.clique_size = 5;
+    inj.num_cliques = 6;
+    InjectStructuralAnomalies(&clean, inj, &rng);
+  }
+  return clean;
+}
+
+int Main() {
+  SetLogLevel(LogLevel::kWarning);
+  bench::PrintHeader("Fig. 6 — accuracy vs efficiency of pruned variants",
+                     "Fig. 6 (runtime + AUC of Att / Str / Sub / full)");
+
+  const uint64_t seed = BenchSeeds(1)[0];
+  const double scale = BenchScale(0.35);
+  const int epochs = bench::BenchEpochs(30);
+
+  for (const std::string& dataset : {std::string("Retail"),
+                                     std::string("Alibaba")}) {
+    TablePrinter table(dataset);
+    table.SetHeader({"Variant", "Injected anomalies", "AUC", "Fit (s)"});
+    struct Case {
+      const char* name;
+      bool attribute_only;   // which anomalies are injected
+      void (*prune)(UmgadConfig*);
+    };
+    const Case cases[] = {
+        {"Att (attr-only model)", true,
+         [](UmgadConfig* c) { c->use_structure_recon = false; }},
+        {"Str (struct-only model)", false,
+         [](UmgadConfig* c) { c->use_attribute_recon = false; }},
+        {"Sub (subgraph view only)", false,
+         [](UmgadConfig* c) {
+           c->use_original_view = false;
+           c->use_attr_augmented_view = false;
+         }},
+        {"Full UMGAD (attr inj.)", true, [](UmgadConfig*) {}},
+        {"Full UMGAD (struct inj.)", false, [](UmgadConfig*) {}},
+    };
+    for (const Case& c : cases) {
+      MultiplexGraph graph =
+          InjectedVariant(dataset, seed, scale, c.attribute_only);
+      UmgadConfig config = bench::BenchUmgadConfig(seed, epochs);
+      c.prune(&config);
+      UmgadModel model(config);
+      Status status = model.Fit(graph);
+      UMGAD_CHECK_MSG(status.ok(), status.ToString().c_str());
+      table.AddRow({c.name, c.attribute_only ? "attribute" : "structural",
+                    FormatFloat(RocAuc(model.scores(), graph.labels()), 3),
+                    FormatFloat(model.fit_seconds(), 2)});
+      std::cerr << "  done: " << dataset << " / " << c.name << "\n";
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\nExpected shape (paper): pruned variants run faster than "
+               "full UMGAD with only a small AUC drop on their matching "
+               "anomaly type.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace umgad
+
+int main() { return umgad::Main(); }

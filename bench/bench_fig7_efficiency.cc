@@ -1,0 +1,68 @@
+// Fig. 7: efficiency. (a) per-epoch runtime, (b) total runtime of UMGAD vs
+// the four strongest baselines on Retail / YelpChi / T-Social(scaled), and
+// (c) UMGAD's training-loss convergence on YelpChi.
+
+#include "bench_util.h"
+
+namespace umgad {
+namespace {
+
+int Main() {
+  SetLogLevel(LogLevel::kWarning);
+  bench::PrintHeader("Fig. 7 — runtime and convergence",
+                     "Fig. 7a/7b (runtimes) and 7c (loss curve)");
+
+  const uint64_t seed = BenchSeeds(1)[0];
+  const std::vector<std::string> methods = {"UMGAD", "GRADATE", "GADAM",
+                                            "ADA-GAD", "DualGAD"};
+  struct DatasetSpec {
+    std::string name;
+    double scale;
+  };
+  const std::vector<DatasetSpec> datasets = {
+      {"Retail", BenchScale(0.4)},
+      {"YelpChi", BenchScale(0.3)},
+      {"T-Social", BenchScale(0.05)},
+  };
+
+  TablePrinter table("Fig. 7a/7b — runtimes");
+  table.SetHeader({"Method", "Dataset", "Epoch (s)", "Total (s)", "AUC"});
+  std::vector<double> umgad_loss_curve;
+  for (const DatasetSpec& spec : datasets) {
+    auto graph = MakeDataset(spec.name, seed, spec.scale);
+    UMGAD_CHECK(graph.ok());
+    for (const std::string& method : methods) {
+      auto detector = MakeDetector(method, seed);
+      UMGAD_CHECK(detector.ok());
+      Status status = (*detector)->Fit(*graph);
+      if (!status.ok()) continue;
+      table.AddRow({method, spec.name,
+                    FormatFloat((*detector)->epoch_seconds(), 4),
+                    FormatFloat((*detector)->fit_seconds(), 2),
+                    FormatFloat(
+                        RocAuc((*detector)->scores(), graph->labels()), 3)});
+      if (method == "UMGAD" && spec.name == "YelpChi") {
+        auto* model = dynamic_cast<UmgadModel*>(detector->get());
+        UMGAD_CHECK(model != nullptr);
+        umgad_loss_curve = model->loss_history();
+      }
+      std::cerr << "  done: " << spec.name << " / " << method << "\n";
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nFig. 7c — UMGAD training loss on YelpChi:\n  "
+            << bench::Sparkline(umgad_loss_curve, 60) << "\n  first="
+            << FormatFloat(umgad_loss_curve.front(), 3) << " last="
+            << FormatFloat(umgad_loss_curve.back(), 3) << " epochs="
+            << umgad_loss_curve.size() << "\n";
+  std::cout << "\nExpected shape (paper): UMGAD converges within the first "
+               "third of training and is competitive on per-epoch time.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace umgad
+
+int main() { return umgad::Main(); }

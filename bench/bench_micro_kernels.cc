@@ -1,0 +1,112 @@
+// Kernel microbenchmarks backing the complexity analysis of Sec. IV-F:
+// SpMM (the GMAE propagation kernel), dense MatMul (the projection
+// kernel), GAT attention, RWR sampling, AUC, and the threshold selector.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/threshold.h"
+#include "eval/metrics.h"
+#include "graph/random_walk.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace umgad {
+namespace {
+
+SparseMatrix RandomAdj(int n, int mean_degree, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  const int64_t count = static_cast<int64_t>(n) * mean_degree / 2;
+  for (int64_t k = 0; k < count; ++k) {
+    int u = static_cast<int>(rng.UniformInt(n));
+    int v = static_cast<int>(rng.UniformInt(n));
+    if (u != v) edges.push_back(Edge{u, v});
+  }
+  return SparseMatrix::FromEdges(n, edges, true);
+}
+
+void BM_Spmm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SparseMatrix adj = RandomAdj(n, 8, 1).NormalizedWithSelfLoops();
+  Rng rng(2);
+  Tensor x = RandomNormal(n, 48, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adj.Multiply(x));
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz());
+}
+BENCHMARK(BM_Spmm)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  Tensor a = RandomNormal(n, 32, 0, 1, &rng);
+  Tensor b = RandomNormal(32, 48, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * 32 * 48);
+}
+BENCHMARK(BM_MatMul)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_GatAttention(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto adj = std::make_shared<const SparseMatrix>(
+      RandomAdj(n, 8, 4).NormalizedWithSelfLoops());
+  Rng rng(5);
+  ag::VarPtr h = ag::Constant(RandomNormal(n, 48, 0, 1, &rng));
+  ag::VarPtr a_src = ag::Constant(RandomNormal(1, 48, 0, 1, &rng));
+  ag::VarPtr a_dst = ag::Constant(RandomNormal(1, 48, 0, 1, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ag::GatAttention(h, a_src, a_dst, adj, 0.2f));
+  }
+}
+BENCHMARK(BM_GatAttention)->Arg(1000)->Arg(4000);
+
+void BM_RwrSampling(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SparseMatrix adj = RandomAdj(n, 8, 6);
+  Rng rng(7);
+  RwrConfig config;
+  config.target_size = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleRwrSubgraph(
+        adj, static_cast<int>(rng.UniformInt(n)), config, &rng));
+  }
+}
+BENCHMARK(BM_RwrSampling)->Arg(1000)->Arg(16000);
+
+void BM_RocAuc(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(8);
+  std::vector<double> scores(n);
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    scores[i] = rng.Uniform();
+    labels[i] = rng.Bernoulli(0.05) ? 1 : 0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RocAuc(scores, labels));
+  }
+}
+BENCHMARK(BM_RocAuc)->Arg(10000)->Arg(100000);
+
+void BM_ThresholdSelection(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(9);
+  std::vector<double> scores(n);
+  for (int i = 0; i < n; ++i) {
+    scores[i] = (i < n / 20 ? 2.0 : 0.1) + rng.Normal(0, 0.05);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectThresholdInflection(scores));
+  }
+}
+BENCHMARK(BM_ThresholdSelection)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace umgad
+
+BENCHMARK_MAIN();

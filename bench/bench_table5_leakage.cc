@@ -1,0 +1,61 @@
+// Table V: all methods with the *ground-truth leakage* threshold (the
+// threshold passes exactly the true number of anomalies). AUC is identical
+// to Table II; Macro-F1 improves for every method, with UMGAD still first
+// — the paper's point that its advantage is not an artifact of the
+// thresholding strategy.
+
+#include "bench_util.h"
+
+namespace umgad {
+namespace {
+
+int Main() {
+  SetLogLevel(LogLevel::kWarning);
+  bench::PrintHeader(
+      "Table V — ground-truth leakage thresholding",
+      "Table V (23 methods, threshold = true anomaly count)");
+
+  const std::vector<uint64_t> seeds = BenchSeeds(1);
+  const double scale = BenchScale(0.7);
+  const std::vector<std::string> datasets = SmallDatasetNames();
+
+  TablePrinter table;
+  std::vector<std::string> header = {"Cat.", "Method"};
+  for (const auto& d : datasets) {
+    header.push_back(d + " AUC");
+    header.push_back(d + " F1");
+  }
+  table.SetHeader(header);
+
+  DetectorCategory last_category = DetectorCategory::kTraditional;
+  for (const std::string& method : AllDetectorNames()) {
+    const DetectorCategory category = CategoryOf(method);
+    if (category != last_category && table.num_rows() > 0) {
+      table.AddSeparator();
+    }
+    last_category = category;
+    std::vector<std::string> row = {CategoryName(category), method};
+    for (const std::string& dataset : datasets) {
+      auto result = RunExperiment(method, dataset, seeds,
+                                  ThresholdMode::kTopKLeakage, scale);
+      if (!result.ok()) {
+        row.push_back("err");
+        row.push_back("err");
+        continue;
+      }
+      row.push_back(bench::Cell(result->auc));
+      row.push_back(bench::Cell(result->macro_f1));
+    }
+    table.AddRow(row);
+    std::cerr << "  done: " << method << "\n";
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper): F1 higher than Table II across the "
+               "board;\nUMGAD's margin shrinks (~4%) but stays positive.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace umgad
+
+int main() { return umgad::Main(); }

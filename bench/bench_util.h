@@ -1,0 +1,80 @@
+#ifndef UMGAD_BENCH_BENCH_UTIL_H_
+#define UMGAD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/umgad.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "graph/datasets.h"
+
+namespace umgad {
+namespace bench {
+
+/// The harness runs at a reduced default scale so the whole suite finishes
+/// in minutes on one laptop core. Environment knobs restore paper-scale
+/// runs:
+///   UMGAD_SCALE   dataset scale multiplier   (default varies per bench)
+///   UMGAD_SEEDS   number of seeds            (default varies per bench)
+///   UMGAD_EPOCHS  training epochs override   (default: model default)
+inline int BenchEpochs(int default_epochs) {
+  if (const char* env = std::getenv("UMGAD_EPOCHS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return default_epochs;
+}
+
+/// UMGAD configuration used across the harness (epochs env-overridable).
+inline UmgadConfig BenchUmgadConfig(uint64_t seed, int default_epochs = 60) {
+  UmgadConfig config;
+  config.seed = seed;
+  config.epochs = BenchEpochs(default_epochs);
+  return config;
+}
+
+inline void PrintHeader(const std::string& title,
+                        const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "Reproduces: " << paper_ref << "\n";
+  std::cout << "(shape comparison, not absolute numbers; see EXPERIMENTS.md)"
+            << "\n\n";
+}
+
+/// mean±std cell at 3 decimals.
+inline std::string Cell(const MeanStd& ms) {
+  return FormatMeanStd(ms.mean, ms.std, 3);
+}
+
+/// A crude terminal sparkline for score-curve figures.
+inline std::string Sparkline(const std::vector<double>& values, int width) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  if (values.empty()) return "";
+  double mn = values[0];
+  double mx = values[0];
+  for (double v : values) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  const double range = mx - mn > 1e-12 ? mx - mn : 1.0;
+  std::string out;
+  for (int c = 0; c < width; ++c) {
+    const size_t idx = static_cast<size_t>(
+        static_cast<double>(c) / width * (values.size() - 1));
+    const int level = static_cast<int>((values[idx] - mn) / range * 7.0);
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace umgad
+
+#endif  // UMGAD_BENCH_BENCH_UTIL_H_

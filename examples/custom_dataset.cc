@@ -1,0 +1,74 @@
+// Bringing your own data: builds a MultiplexGraph from raw edge lists and
+// attributes, saves it in the library's text format, loads it back, and
+// runs a detector. This is the integration path for real datasets.
+
+#include <iostream>
+
+#include "core/umgad.h"
+#include "graph/datasets.h"
+#include "graph/multiplex_graph.h"
+#include "tensor/init.h"
+
+int main() {
+  using namespace umgad;
+
+  // --- 1. Construct a graph from raw parts. -------------------------------
+  // 8 users, 4 attributes each, two relation types. In a real pipeline the
+  // edges/attributes come from your feature store.
+  const int num_users = 8;
+  Rng rng(99);
+  Tensor attributes = RandomNormal(num_users, 4, 0.0, 1.0, &rng);
+
+  std::vector<Edge> follows = {{0, 1}, {1, 2}, {2, 3}, {0, 2}, {4, 5}};
+  std::vector<Edge> transacts = {{0, 3}, {4, 6}, {5, 6}, {6, 7}};
+  std::vector<SparseMatrix> layers = {
+      SparseMatrix::FromEdges(num_users, follows, /*symmetrize=*/true),
+      SparseMatrix::FromEdges(num_users, transacts, /*symmetrize=*/true),
+  };
+
+  auto graph_or = MultiplexGraph::Create(
+      "my-dataset", std::move(attributes), std::move(layers),
+      {"follows", "transacts"});
+  if (!graph_or.ok()) {
+    // Create() validates shapes, symmetry, and labels and reports what is
+    // wrong instead of crashing.
+    std::cerr << "Graph construction failed: "
+              << graph_or.status().ToString() << "\n";
+    return 1;
+  }
+  MultiplexGraph graph = *std::move(graph_or);
+  std::cout << "Built: " << graph.Summary() << "\n";
+
+  // --- 2. Persist and reload. ---------------------------------------------
+  const std::string path = "/tmp/umgad_custom_dataset.txt";
+  Status save_status = SaveGraph(graph, path);
+  if (!save_status.ok()) {
+    std::cerr << save_status.ToString() << "\n";
+    return 1;
+  }
+  auto loaded = LoadGraph(path);
+  if (!loaded.ok()) {
+    std::cerr << loaded.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Round-tripped through " << path << ": "
+            << loaded->Summary() << "\n";
+
+  // --- 3. Score it. --------------------------------------------------------
+  // Real deployments have no labels; scores + the unsupervised threshold
+  // are the deliverable.
+  UmgadConfig config;
+  config.epochs = 20;
+  config.hidden_dim = 16;
+  config.mask_repeats = 1;
+  UmgadModel model(config);
+  Status fit_status = model.Fit(*loaded);
+  if (!fit_status.ok()) {
+    std::cerr << fit_status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Scores:";
+  for (double s : model.scores()) std::cout << " " << s;
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E-commerce fraud detection — the scenario the paper's introduction
+// motivates: users interact with items through View/Cart/Buy relations,
+// and review-scrubbing rings inject coordinated behaviour. This example
+// builds a Retail-like multiplex graph, injects both structural cliques and
+// attribute anomalies, and compares UMGAD against a single-view baseline to
+// show the value of modelling relations separately.
+
+#include <algorithm>
+#include <iostream>
+
+#include "baselines/detector.h"
+#include "core/umgad.h"
+#include "eval/metrics.h"
+#include "graph/datasets.h"
+
+int main() {
+  using namespace umgad;
+
+  MultiplexGraph graph = MakeRetail(/*seed=*/2024, /*scale=*/0.5);
+  std::cout << "E-commerce graph: " << graph.Summary() << "\n\n";
+
+  // Multiplex-aware detection with UMGAD.
+  UmgadConfig config;
+  config.seed = 1;
+  UmgadModel umgad_model(config);
+  Status status = umgad_model.Fit(graph);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  // Single-view GAE baseline (sees the flattened union of relations).
+  auto dominant = MakeDetector("DOMINANT", 1);
+  if (!dominant.ok() || !(*dominant)->Fit(graph).ok()) {
+    std::cerr << "baseline failed\n";
+    return 1;
+  }
+
+  std::cout << "AUC  UMGAD:    "
+            << RocAuc(umgad_model.scores(), graph.labels()) << "\n";
+  std::cout << "AUC  DOMINANT: "
+            << RocAuc((*dominant)->scores(), graph.labels()) << "\n\n";
+
+  // Investigate the top suspects: print the 10 highest-scoring users with
+  // their per-relation degrees (fraud cliques stand out in Cart/Buy).
+  const std::vector<double>& scores = umgad_model.scores();
+  std::vector<int> order(graph.num_nodes());
+  for (int i = 0; i < graph.num_nodes(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return scores[a] > scores[b]; });
+  std::cout << "Top-10 suspects (node, score, View/Cart/Buy degree, label):\n";
+  for (int k = 0; k < 10; ++k) {
+    const int v = order[k];
+    std::cout << "  node " << v << "  score=" << scores[v] << "  deg=["
+              << graph.layer(0).RowNnz(v) << "/" << graph.layer(1).RowNnz(v)
+              << "/" << graph.layer(2).RowNnz(v) << "]  "
+              << (graph.labels()[v] ? "FRAUD" : "normal") << "\n";
+  }
+
+  // The learned relation-fusion weights show which interaction type the
+  // model found most informative.
+  std::cout << "\nLearned relation weights a_r:";
+  std::vector<double> weights = umgad_model.OriginalFusionWeights();
+  for (int r = 0; r < graph.num_relations(); ++r) {
+    std::cout << " " << graph.relation_name(r) << "="
+              << static_cast<int>(weights[r] * 100) << "%";
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Quickstart: build a multiplex graph, fit UMGAD, and read out anomaly
+// scores and unsupervised predictions — the minimal end-to-end use of the
+// public API.
+
+#include <iostream>
+
+#include "core/umgad.h"
+#include "eval/metrics.h"
+#include "graph/datasets.h"
+
+int main() {
+  using namespace umgad;
+
+  // 1. A multiplex heterogeneous graph. Here: the bundled 200-node demo
+  //    dataset with two relation layers and 10 injected anomalies. See
+  //    examples/custom_dataset.cc for building graphs from your own data.
+  MultiplexGraph graph = MakeTiny(/*seed=*/42);
+  std::cout << "Dataset: " << graph.Summary() << "\n";
+
+  // 2. Configure and fit the model. Every hyperparameter of the paper is a
+  //    field on UmgadConfig; the defaults follow the paper's settings.
+  UmgadConfig config;
+  config.epochs = 40;
+  config.seed = 7;
+  UmgadModel model(config);
+  Status status = model.Fit(graph);
+  if (!status.ok()) {
+    std::cerr << "Fit failed: " << status.ToString() << "\n";
+    return 1;
+  }
+
+  // 3. Per-node anomaly scores (higher = more anomalous).
+  const std::vector<double>& scores = model.scores();
+  std::cout << "AUC against ground truth: "
+            << RocAuc(scores, graph.labels()) << "\n";
+
+  // 4. Label-free binary predictions via the inflection-point threshold
+  //    (Sec. IV-E of the paper) — no ground truth consulted.
+  std::vector<int> predictions = model.PredictUnsupervised();
+  int detected = 0;
+  for (int p : predictions) detected += p;
+  std::cout << "Detected " << detected << " anomalies (true: "
+            << graph.num_anomalies() << ")\n";
+  std::cout << "Macro-F1: " << MacroF1(predictions, graph.labels()) << "\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Review-spam detection on an Amazon-like multiplex graph with *organic*
+// (camouflaged) anomalies: spam accounts blend their attributes toward
+// normal users and hide in a noisy dense relation (same-star-rating). The
+// example shows why the dense U-S-U layer drowns single-view methods and
+// how UMGAD's per-relation treatment recovers the signal.
+
+#include <iostream>
+
+#include "baselines/detector.h"
+#include "core/umgad.h"
+#include "eval/metrics.h"
+#include "graph/datasets.h"
+#include "graph/graph_ops.h"
+
+int main() {
+  using namespace umgad;
+
+  MultiplexGraph graph = MakeAmazon(/*seed=*/7, /*scale=*/0.6);
+  std::cout << "Review graph: " << graph.Summary() << "\n";
+  SparseMatrix flat = FlattenToSingleView(graph);
+  std::cout << "Flattened single view has " << flat.nnz() / 2
+            << " edges — the U-S-U layer dominates.\n\n";
+
+  struct Entry {
+    const char* name;
+  };
+  for (const char* name : {"UMGAD", "AnomMAN", "DOMINANT", "CoLA"}) {
+    auto detector = MakeDetector(name, 3);
+    if (!detector.ok()) continue;
+    Status status = (*detector)->Fit(graph);
+    if (!status.ok()) {
+      std::cerr << name << ": " << status.ToString() << "\n";
+      continue;
+    }
+    const double auc = RocAuc((*detector)->scores(), graph.labels());
+    const double ap = AveragePrecision((*detector)->scores(),
+                                       graph.labels());
+    std::cout << name << ": AUC=" << auc << "  AP=" << ap << "  ("
+              << (*detector)->fit_seconds() << "s)\n";
+  }
+
+  std::cout << "\nMultiplex-aware methods (UMGAD, AnomMAN) separate the\n"
+               "informative review layer from the noisy rating layer;\n"
+               "single-view methods see only their union.\n";
+  return 0;
+}

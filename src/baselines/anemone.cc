@@ -1,0 +1,88 @@
+#include "baselines/common.h"
+#include "nn/gcn.h"
+
+namespace umgad {
+namespace baselines {
+namespace {
+
+/// ANEMONE (Jin et al., CIKM'21): multi-scale contrastive learning. Two
+/// discrimination scales share one encoder: patch level (node vs 1-hop
+/// neighbourhood mean) and context level (node vs RWR subgraph). The
+/// anomaly score is the statistical combination of the two scales'
+/// discrimination gaps.
+class Anemone : public BaselineBase {
+ public:
+  explicit Anemone(uint64_t seed) : BaselineBase("ANEMONE", seed) {}
+
+ protected:
+  Status FitImpl(const MultiplexGraph& graph) override {
+    SingleView view(graph);
+    const Tensor& x = graph.attributes();
+
+    nn::GcnConv enc(view.f, kBaselineHidden, nn::Activation::kNone, &rng_);
+    nn::Adam opt(enc.Parameters(), kBaselineLr);
+    constexpr int kBatch = 384;
+    constexpr int kContextSize = 4;
+
+    for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      opt.ZeroGrad();
+      std::vector<int> batch = SampleBatch(view.n, kBatch, &rng_);
+      ag::VarPtr h = enc.Forward(view.norm, ag::Constant(x));
+      ag::VarPtr hb = ag::GatherRows(h, batch);
+      // Patch scale: 1-hop mean embedding.
+      ag::VarPtr patch_all = ag::Spmm(view.row_norm, h);
+      ag::VarPtr patch = ag::GatherRows(patch_all, batch);
+      // Context scale: RWR subgraph mean embedding.
+      auto ctx_op = BuildContextOperator(
+          view.n, RwrContexts(view.adj, batch, kContextSize, &rng_));
+      ag::VarPtr ctx = ag::Spmm(ctx_op, h);
+      std::vector<int> perm = rng_.Permutation(static_cast<int>(batch.size()));
+      const std::vector<float> ones(batch.size(), 1.0f);
+      const std::vector<float> zeros(batch.size(), 0.0f);
+      ag::VarPtr loss = ag::AddN(
+          {ag::PairDotBceLoss(hb, patch, ones),
+           ag::PairDotBceLoss(hb, ag::GatherRows(patch, perm), zeros),
+           ag::PairDotBceLoss(hb, ctx, ones),
+           ag::PairDotBceLoss(hb, ag::GatherRows(ctx, perm), zeros)});
+      ag::Backward(loss);
+      opt.Step();
+      ++epochs_run_;
+    }
+
+    Tensor h = enc.Forward(view.norm, ag::Constant(x))->value();
+    Tensor patch = view.row_norm->Multiply(h);
+    std::vector<double> patch_gap(view.n, 0.0);
+    {
+      std::vector<double> pos = RowDotSigmoid(h, patch);
+      std::vector<int> perm = rng_.Permutation(view.n);
+      std::vector<double> neg = RowDotSigmoid(h, GatherRows(patch, perm));
+      for (int i = 0; i < view.n; ++i) patch_gap[i] = neg[i] - pos[i];
+    }
+    std::vector<double> ctx_gap(view.n, 0.0);
+    std::vector<int> all(view.n);
+    for (int i = 0; i < view.n; ++i) all[i] = i;
+    constexpr int kRounds = 3;
+    for (int round = 0; round < kRounds; ++round) {
+      auto ctx_op = BuildContextOperator(
+          view.n, RwrContexts(view.adj, all, kContextSize, &rng_));
+      Tensor ctx = ctx_op->Multiply(h);
+      std::vector<double> pos = RowDotSigmoid(h, ctx);
+      std::vector<int> perm = rng_.Permutation(view.n);
+      std::vector<double> neg = RowDotSigmoid(h, GatherRows(ctx, perm));
+      for (int i = 0; i < view.n; ++i) {
+        ctx_gap[i] += (neg[i] - pos[i]) / kRounds;
+      }
+    }
+    scores_ = CombineStandardized({patch_gap, ctx_gap}, {0.4, 0.6});
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Detector> MakeAnemone(uint64_t seed) {
+  return std::make_unique<Anemone>(seed);
+}
+
+}  // namespace baselines
+}  // namespace umgad

@@ -1,0 +1,83 @@
+#include "baselines/common.h"
+#include "nn/gcn.h"
+
+namespace umgad {
+namespace baselines {
+namespace {
+
+/// CoLA (Liu et al., TNNLS'21): contrastive self-supervised anomaly
+/// detection via node-vs-local-subgraph instance pairs. A GCN encoder is
+/// trained with a dot-product discriminator that scores (node, own RWR
+/// subgraph) pairs high and (node, other node's subgraph) pairs low; the
+/// anomaly score is the discrimination gap sigma(negative) -
+/// sigma(positive) averaged over sampling rounds.
+class CoLa : public BaselineBase {
+ public:
+  explicit CoLa(uint64_t seed) : BaselineBase("CoLA", seed) {}
+
+ protected:
+  Status FitImpl(const MultiplexGraph& graph) override {
+    SingleView view(graph);
+    const Tensor& x = graph.attributes();
+
+    nn::GcnConv enc(view.f, kBaselineHidden, nn::Activation::kNone, &rng_);
+    nn::Adam opt(enc.Parameters(), kBaselineLr);
+    constexpr int kBatch = 384;
+    constexpr int kContextSize = 4;
+
+    for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      opt.ZeroGrad();
+      std::vector<int> batch = SampleBatch(view.n, kBatch, &rng_);
+      auto ctx_op = BuildContextOperator(
+          view.n, RwrContexts(view.adj, batch, kContextSize, &rng_));
+      ag::VarPtr h = enc.Forward(view.norm, ag::Constant(x));
+      ag::VarPtr hb = ag::GatherRows(h, batch);
+      ag::VarPtr ctx = ag::Spmm(ctx_op, h);
+      std::vector<int> perm = rng_.Permutation(static_cast<int>(batch.size()));
+      ag::VarPtr neg_ctx = ag::GatherRows(ctx, perm);
+      ag::VarPtr loss = ag::Add(
+          ag::PairDotBceLoss(hb, ctx,
+                             std::vector<float>(batch.size(), 1.0f)),
+          ag::PairDotBceLoss(hb, neg_ctx,
+                             std::vector<float>(batch.size(), 0.0f)));
+      ag::Backward(loss);
+      opt.Step();
+      ++epochs_run_;
+    }
+
+    // Scoring: multi-round discrimination gap over all nodes.
+    Tensor h = enc.Forward(view.norm, ag::Constant(x))->value();
+    std::vector<int> all = AllNodesVec(view.n);
+    scores_.assign(view.n, 0.0);
+    constexpr int kRounds = 4;
+    for (int round = 0; round < kRounds; ++round) {
+      auto ctx_op = BuildContextOperator(
+          view.n, RwrContexts(view.adj, all, kContextSize, &rng_));
+      Tensor ctx = ctx_op->Multiply(h);
+      std::vector<int> perm = rng_.Permutation(view.n);
+      Tensor neg = GatherRows(ctx, perm);
+      std::vector<double> pos_p = RowDotSigmoid(h, ctx);
+      std::vector<double> neg_p = RowDotSigmoid(h, neg);
+      for (int i = 0; i < view.n; ++i) {
+        scores_[i] += (neg_p[i] - pos_p[i]) / kRounds;
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  static std::vector<int> AllNodesVec(int n) {
+    std::vector<int> v(n);
+    for (int i = 0; i < n; ++i) v[i] = i;
+    return v;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Detector> MakeCoLa(uint64_t seed) {
+  return std::make_unique<CoLa>(seed);
+}
+
+}  // namespace baselines
+}  // namespace umgad

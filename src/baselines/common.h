@@ -1,0 +1,118 @@
+#ifndef UMGAD_BASELINES_COMMON_H_
+#define UMGAD_BASELINES_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/detector.h"
+#include "graph/graph_ops.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace umgad {
+namespace baselines {
+
+/// Shared plumbing for baseline detectors: score storage, timing, seeding.
+/// Subclasses implement FitImpl and fill scores_.
+class BaselineBase : public Detector {
+ public:
+  explicit BaselineBase(std::string name, uint64_t seed)
+      : name_(std::move(name)), seed_(seed) {}
+
+  Status Fit(const MultiplexGraph& graph) final {
+    if (graph.num_nodes() < 4) {
+      return Status::InvalidArgument("graph too small for " + name_);
+    }
+    WallTimer timer;
+    rng_ = Rng(seed_);
+    epochs_run_ = 0;
+    Status status = FitImpl(graph);
+    fit_seconds_ = timer.ElapsedSeconds();
+    epoch_seconds_ =
+        epochs_run_ > 0 ? fit_seconds_ / static_cast<double>(epochs_run_)
+                        : 0.0;
+    return status;
+  }
+
+  const std::vector<double>& scores() const final { return scores_; }
+  std::string name() const final { return name_; }
+  double fit_seconds() const final { return fit_seconds_; }
+  double epoch_seconds() const final { return epoch_seconds_; }
+
+ protected:
+  virtual Status FitImpl(const MultiplexGraph& graph) = 0;
+
+  std::string name_;
+  uint64_t seed_;
+  Rng rng_{0};
+  std::vector<double> scores_;
+  int epochs_run_ = 0;
+
+ private:
+  double fit_seconds_ = 0.0;
+  double epoch_seconds_ = 0.0;
+};
+
+/// Flattened single-view working set: the union adjacency, its normalised
+/// operator, and handles the single-view baselines share. This is how
+/// non-multiplex methods consumed the datasets in the paper's evaluation.
+struct SingleView {
+  int n = 0;
+  int f = 0;
+  SparseMatrix adj;
+  std::shared_ptr<const SparseMatrix> norm;       // sym-normalised + loops
+  std::shared_ptr<const SparseMatrix> row_norm;   // D^-1 A
+  explicit SingleView(const MultiplexGraph& graph);
+};
+
+/// Mean of neighbour attribute rows (D^-1 A X); isolated nodes get zeros.
+Tensor NeighborMean(const SingleView& view, const Tensor& x);
+
+/// Per-node cosine *distance* between x rows and y rows in [0, 2].
+std::vector<double> RowCosineDistance(const Tensor& x, const Tensor& y);
+
+/// Per-node L2 distance between rows.
+std::vector<double> RowL2(const Tensor& x, const Tensor& y);
+
+/// Weighted sum of standardised components (weights need not sum to 1).
+std::vector<double> CombineStandardized(
+    const std::vector<std::vector<double>>& parts,
+    const std::vector<double>& weights);
+
+/// Number of training epochs all GNN baselines use (comparable to UMGAD's
+/// default; Fig. 7 reports per-epoch and total runtime).
+inline constexpr int kBaselineEpochs = 60;
+inline constexpr float kBaselineLr = 5e-3f;
+inline constexpr int kBaselineHidden = 48;
+
+/// Hard community assignment by synchronous label propagation (defined in
+/// comga.cc; shared with DualGAD's cluster guidance).
+std::vector<int> LabelPropagationCommunities(const SparseMatrix& adj,
+                                             int rounds, Rng* rng);
+
+/// Row-stochastic (|sets| x n) operator whose row i averages the rows in
+/// sets[i]; Spmm with an embedding matrix yields per-set context vectors.
+/// The workhorse of the subgraph-contrastive baselines (CoLA, ANEMONE,
+/// GRADATE, ...).
+std::shared_ptr<const SparseMatrix> BuildContextOperator(
+    int n, const std::vector<std::vector<int>>& sets);
+
+/// sigmoid(a_i . b_i) per row (no gradients; scoring passes).
+std::vector<double> RowDotSigmoid(const Tensor& a, const Tensor& b);
+
+/// `count` node ids sampled without replacement (count clamped to n).
+std::vector<int> SampleBatch(int n, int count, Rng* rng);
+
+/// RWR contexts of `size` nodes for every node id in `seeds`, excluding the
+/// seed itself from its own context when possible.
+std::vector<std::vector<int>> RwrContexts(const SparseMatrix& adj,
+                                          const std::vector<int>& seeds,
+                                          int size, Rng* rng);
+
+}  // namespace baselines
+}  // namespace umgad
+
+#endif  // UMGAD_BASELINES_COMMON_H_

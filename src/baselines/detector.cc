@@ -1,0 +1,222 @@
+#include "baselines/detector.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "baselines/common.h"
+#include "graph/random_walk.h"
+#include "common/string_util.h"
+#include "core/scorer.h"
+#include "core/umgad.h"
+
+namespace umgad {
+
+namespace baselines {
+
+SingleView::SingleView(const MultiplexGraph& graph)
+    : n(graph.num_nodes()), f(graph.feature_dim()) {
+  adj = FlattenToSingleView(graph);
+  norm = std::make_shared<const SparseMatrix>(adj.NormalizedWithSelfLoops());
+  row_norm = std::make_shared<const SparseMatrix>(adj.RowNormalized());
+}
+
+Tensor NeighborMean(const SingleView& view, const Tensor& x) {
+  return view.row_norm->Multiply(x);
+}
+
+std::vector<double> RowCosineDistance(const Tensor& x, const Tensor& y) {
+  Tensor cos = RowCosine(x, y);
+  std::vector<double> out(x.rows());
+  for (int i = 0; i < x.rows(); ++i) out[i] = 1.0 - cos.at(i, 0);
+  return out;
+}
+
+std::vector<double> RowL2(const Tensor& x, const Tensor& y) {
+  Tensor dist = RowL2Distance(x, y);
+  std::vector<double> out(x.rows());
+  for (int i = 0; i < x.rows(); ++i) out[i] = dist.at(i, 0);
+  return out;
+}
+
+std::vector<double> CombineStandardized(
+    const std::vector<std::vector<double>>& parts,
+    const std::vector<double>& weights) {
+  UMGAD_CHECK_EQ(parts.size(), weights.size());
+  UMGAD_CHECK(!parts.empty());
+  std::vector<double> out(parts[0].size(), 0.0);
+  for (size_t p = 0; p < parts.size(); ++p) {
+    std::vector<double> z = Standardize(parts[p]);
+    UMGAD_CHECK_EQ(z.size(), out.size());
+    for (size_t i = 0; i < out.size(); ++i) out[i] += weights[p] * z[i];
+  }
+  return out;
+}
+
+std::shared_ptr<const SparseMatrix> BuildContextOperator(
+    int n, const std::vector<std::vector<int>>& sets) {
+  std::vector<int> rows;
+  std::vector<int> cols;
+  std::vector<float> vals;
+  for (size_t i = 0; i < sets.size(); ++i) {
+    UMGAD_CHECK(!sets[i].empty());
+    const float w = 1.0f / static_cast<float>(sets[i].size());
+    for (int v : sets[i]) {
+      rows.push_back(static_cast<int>(i));
+      cols.push_back(v);
+      vals.push_back(w);
+    }
+  }
+  return std::make_shared<const SparseMatrix>(SparseMatrix::FromCoo(
+      static_cast<int>(sets.size()), n, rows, cols, vals));
+}
+
+std::vector<double> RowDotSigmoid(const Tensor& a, const Tensor& b) {
+  UMGAD_CHECK_EQ(a.rows(), b.rows());
+  std::vector<double> out(a.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    out[i] = 1.0 / (1.0 + std::exp(-a.RowDot(i, b, i)));
+  }
+  return out;
+}
+
+std::vector<int> SampleBatch(int n, int count, Rng* rng) {
+  return rng->SampleWithoutReplacement(n, std::min(n, count));
+}
+
+std::vector<std::vector<int>> RwrContexts(const SparseMatrix& adj,
+                                          const std::vector<int>& seeds,
+                                          int size, Rng* rng) {
+  RwrConfig config;
+  config.target_size = size + 1;  // room for dropping the seed
+  std::vector<std::vector<int>> contexts;
+  contexts.reserve(seeds.size());
+  for (int s : seeds) {
+    std::vector<int> sub = SampleRwrSubgraph(adj, s, config, rng);
+    if (sub.size() > 1) {
+      sub.erase(sub.begin());  // the walk starts at the seed
+    }
+    contexts.push_back(std::move(sub));
+  }
+  return contexts;
+}
+
+// Factory functions implemented by the per-method translation units.
+std::unique_ptr<Detector> MakeRadar(uint64_t seed);
+std::unique_ptr<Detector> MakeComGa(uint64_t seed);
+std::unique_ptr<Detector> MakeRand(uint64_t seed);
+std::unique_ptr<Detector> MakeTam(uint64_t seed);
+std::unique_ptr<Detector> MakeCoLa(uint64_t seed);
+std::unique_ptr<Detector> MakeAnemone(uint64_t seed);
+std::unique_ptr<Detector> MakeSubCr(uint64_t seed);
+std::unique_ptr<Detector> MakeArise(uint64_t seed);
+std::unique_ptr<Detector> MakeSlGad(uint64_t seed);
+std::unique_ptr<Detector> MakePrem(uint64_t seed);
+std::unique_ptr<Detector> MakeGccad(uint64_t seed);
+std::unique_ptr<Detector> MakeGradate(uint64_t seed);
+std::unique_ptr<Detector> MakeVgod(uint64_t seed);
+std::unique_ptr<Detector> MakeDominant(uint64_t seed);
+std::unique_ptr<Detector> MakeGcnae(uint64_t seed);
+std::unique_ptr<Detector> MakeAnomalyDae(uint64_t seed);
+std::unique_ptr<Detector> MakeAdone(uint64_t seed);
+std::unique_ptr<Detector> MakeGadNr(uint64_t seed);
+std::unique_ptr<Detector> MakeAdaGad(uint64_t seed);
+std::unique_ptr<Detector> MakeGadam(uint64_t seed);
+std::unique_ptr<Detector> MakeAnomMan(uint64_t seed);
+std::unique_ptr<Detector> MakeDualGad(uint64_t seed);
+
+}  // namespace baselines
+
+namespace {
+
+/// UMGAD behind the common Detector factory.
+std::unique_ptr<Detector> MakeUmgadDetector(uint64_t seed) {
+  UmgadConfig config;
+  config.seed = seed;
+  return std::make_unique<UmgadModel>(config);
+}
+
+struct Entry {
+  DetectorCategory category;
+  std::unique_ptr<Detector> (*make)(uint64_t);
+};
+
+const std::vector<std::pair<std::string, Entry>>& Registry() {
+  using namespace baselines;
+  static const auto* kRegistry =
+      new std::vector<std::pair<std::string, Entry>>{
+          {"Radar", {DetectorCategory::kTraditional, &MakeRadar}},
+          {"ComGA", {DetectorCategory::kMpi, &MakeComGa}},
+          {"RAND", {DetectorCategory::kMpi, &MakeRand}},
+          {"TAM", {DetectorCategory::kMpi, &MakeTam}},
+          {"CoLA", {DetectorCategory::kCl, &MakeCoLa}},
+          {"ANEMONE", {DetectorCategory::kCl, &MakeAnemone}},
+          {"Sub-CR", {DetectorCategory::kCl, &MakeSubCr}},
+          {"ARISE", {DetectorCategory::kCl, &MakeArise}},
+          {"SL-GAD", {DetectorCategory::kCl, &MakeSlGad}},
+          {"PREM", {DetectorCategory::kCl, &MakePrem}},
+          {"GCCAD", {DetectorCategory::kCl, &MakeGccad}},
+          {"GRADATE", {DetectorCategory::kCl, &MakeGradate}},
+          {"VGOD", {DetectorCategory::kCl, &MakeVgod}},
+          {"DOMINANT", {DetectorCategory::kGae, &MakeDominant}},
+          {"GCNAE", {DetectorCategory::kGae, &MakeGcnae}},
+          {"AnomalyDAE", {DetectorCategory::kGae, &MakeAnomalyDae}},
+          {"AdONE", {DetectorCategory::kGae, &MakeAdone}},
+          {"GAD-NR", {DetectorCategory::kGae, &MakeGadNr}},
+          {"ADA-GAD", {DetectorCategory::kGae, &MakeAdaGad}},
+          {"GADAM", {DetectorCategory::kGae, &MakeGadam}},
+          {"AnomMAN", {DetectorCategory::kMv, &MakeAnomMan}},
+          {"DualGAD", {DetectorCategory::kMv, &MakeDualGad}},
+          {"UMGAD", {DetectorCategory::kOurs, &MakeUmgadDetector}},
+      };
+  return *kRegistry;
+}
+
+}  // namespace
+
+const char* CategoryName(DetectorCategory category) {
+  switch (category) {
+    case DetectorCategory::kTraditional:
+      return "Trad.";
+    case DetectorCategory::kMpi:
+      return "MPI";
+    case DetectorCategory::kCl:
+      return "CL";
+    case DetectorCategory::kGae:
+      return "GAE";
+    case DetectorCategory::kMv:
+      return "MV";
+    case DetectorCategory::kOurs:
+      return "Ours";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<Detector>> MakeDetector(const std::string& name,
+                                               uint64_t seed) {
+  for (const auto& [known, entry] : Registry()) {
+    if (known == name) return entry.make(seed);
+  }
+  return Status::NotFound(StrFormat("unknown detector '%s'", name.c_str()));
+}
+
+std::vector<std::string> AllDetectorNames() {
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const auto& [name, entry] : Registry()) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> ScalableDetectorNames() {
+  return {"ComGA", "RAND",    "PREM",  "GRADATE", "VGOD",
+          "ADA-GAD", "GADAM", "DualGAD", "UMGAD"};
+}
+
+DetectorCategory CategoryOf(const std::string& name) {
+  for (const auto& [known, entry] : Registry()) {
+    if (known == name) return entry.category;
+  }
+  UMGAD_CHECK_MSG(false, ("unknown detector: " + name).c_str());
+  return DetectorCategory::kTraditional;
+}
+
+}  // namespace umgad

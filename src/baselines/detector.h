@@ -1,0 +1,36 @@
+#ifndef UMGAD_BASELINES_DETECTOR_H_
+#define UMGAD_BASELINES_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/detector.h"
+
+namespace umgad {
+
+/// Method category, mirroring the row blocks of Tables II/V.
+enum class DetectorCategory { kTraditional, kMpi, kCl, kGae, kMv, kOurs };
+
+const char* CategoryName(DetectorCategory category);
+
+/// Factory: build a detector by its paper name (e.g. "Radar", "DOMINANT",
+/// "UMGAD"). `seed` controls all of the detector's randomness.
+Result<std::unique_ptr<Detector>> MakeDetector(const std::string& name,
+                                               uint64_t seed);
+
+/// All detector names in the row order of Table II (Radar ... DualGAD,
+/// UMGAD last).
+std::vector<std::string> AllDetectorNames();
+
+/// The subset that survives large-scale graphs in the paper (Table III):
+/// ComGA, RAND, PREM, GRADATE, VGOD, ADA-GAD, GADAM, DualGAD, UMGAD.
+std::vector<std::string> ScalableDetectorNames();
+
+/// Category of a known detector name (UMGAD_CHECKs on unknown names).
+DetectorCategory CategoryOf(const std::string& name);
+
+}  // namespace umgad
+
+#endif  // UMGAD_BASELINES_DETECTOR_H_

@@ -1,0 +1,77 @@
+#include <cmath>
+
+#include "baselines/common.h"
+#include "nn/gcn.h"
+#include "nn/linear.h"
+
+namespace umgad {
+namespace baselines {
+namespace {
+
+/// GAD-NR (Roy et al., WSDM'24): graph anomaly detection via neighborhood
+/// reconstruction. From a node's embedding the model reconstructs its
+/// entire neighbourhood: its own attributes, its (log) degree, and the
+/// mean of its neighbours' attributes. Anomalies fail one or more of the
+/// three reconstructions.
+class GadNr : public BaselineBase {
+ public:
+  explicit GadNr(uint64_t seed) : BaselineBase("GAD-NR", seed) {}
+
+ protected:
+  Status FitImpl(const MultiplexGraph& graph) override {
+    SingleView view(graph);
+    const Tensor& x = graph.attributes();
+
+    // Targets.
+    Tensor log_degree(view.n, 1);
+    for (int i = 0; i < view.n; ++i) {
+      log_degree.at(i, 0) =
+          static_cast<float>(std::log1p(view.adj.RowNnz(i)));
+    }
+    Tensor nbr_mean = NeighborMean(view, x);
+
+    nn::GcnConv enc(view.f, kBaselineHidden, nn::Activation::kRelu, &rng_);
+    nn::Linear self_dec(kBaselineHidden, view.f, &rng_);
+    nn::Linear degree_dec(kBaselineHidden, 1, &rng_);
+    nn::Linear nbr_dec(kBaselineHidden, view.f, &rng_);
+    std::vector<ag::VarPtr> params = enc.Parameters();
+    for (auto* m : std::initializer_list<nn::Module*>{&self_dec, &degree_dec,
+                                                      &nbr_dec}) {
+      for (auto& p : m->Parameters()) params.push_back(p);
+    }
+    nn::Adam opt(params, kBaselineLr);
+
+    ag::VarPtr self_recon;
+    ag::VarPtr degree_recon;
+    ag::VarPtr nbr_recon;
+    for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      opt.ZeroGrad();
+      ag::VarPtr h = enc.Forward(view.norm, ag::Constant(x));
+      self_recon = self_dec.Forward(h);
+      degree_recon = degree_dec.Forward(h);
+      nbr_recon = nbr_dec.Forward(h);
+      ag::VarPtr loss = ag::AddN({ag::MseLoss(self_recon, x),
+                                  ag::MseLoss(degree_recon, log_degree),
+                                  ag::MseLoss(nbr_recon, nbr_mean)});
+      ag::Backward(loss);
+      opt.Step();
+      ++epochs_run_;
+    }
+
+    std::vector<double> self_err = RowL2(self_recon->value(), x);
+    std::vector<double> degree_err = RowL2(degree_recon->value(), log_degree);
+    std::vector<double> nbr_err = RowL2(nbr_recon->value(), nbr_mean);
+    scores_ = CombineStandardized({self_err, degree_err, nbr_err},
+                                  {0.4, 0.2, 0.4});
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Detector> MakeGadNr(uint64_t seed) {
+  return std::make_unique<GadNr>(seed);
+}
+
+}  // namespace baselines
+}  // namespace umgad

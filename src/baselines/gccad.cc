@@ -1,0 +1,77 @@
+#include "baselines/common.h"
+#include "nn/gcn.h"
+
+namespace umgad {
+namespace baselines {
+namespace {
+
+/// GCCAD (Chen et al., TKDE'22): graph contrastive coding. Normal nodes
+/// (the majority) should embed close to a global context vector; nodes of
+/// a corrupted graph (shuffled attributes) should embed far from it. The
+/// anomaly score is the node's distance-to-global-context after training.
+class Gccad : public BaselineBase {
+ public:
+  explicit Gccad(uint64_t seed) : BaselineBase("GCCAD", seed) {}
+
+ protected:
+  Status FitImpl(const MultiplexGraph& graph) override {
+    SingleView view(graph);
+    const Tensor& x = graph.attributes();
+
+    // Corruption: row-shuffled attributes (fixed per fit).
+    std::vector<int> perm = rng_.Permutation(view.n);
+    Tensor x_corrupt = GatherRows(x, perm);
+
+    nn::GcnConv enc(view.f, kBaselineHidden, nn::Activation::kNone, &rng_);
+    nn::Adam opt(enc.Parameters(), kBaselineLr);
+    // 1 x n averaging operator: global readout c = mean_i h_i.
+    Tensor avg(1, view.n);
+    avg.Fill(1.0f / static_cast<float>(view.n));
+    ag::VarPtr avg_const = ag::Constant(avg);
+    Tensor zeros_n(view.n, kBaselineHidden);
+
+    for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      opt.ZeroGrad();
+      ag::VarPtr h = enc.Forward(view.norm, ag::Constant(x));
+      ag::VarPtr h_bad = enc.Forward(view.norm, ag::Constant(x_corrupt));
+      ag::VarPtr context = ag::MatMul(avg_const, h);  // 1 x d
+      // Broadcast the context to every row so PairDotBceLoss applies.
+      ag::VarPtr context_rows =
+          ag::AddRowBroadcast(ag::Constant(zeros_n), context);
+      ag::VarPtr loss = ag::Add(
+          ag::PairDotBceLoss(h, context_rows,
+                             std::vector<float>(view.n, 1.0f)),
+          ag::PairDotBceLoss(h_bad, context_rows,
+                             std::vector<float>(view.n, 0.0f)));
+      ag::Backward(loss);
+      opt.Step();
+      ++epochs_run_;
+    }
+
+    Tensor h = enc.Forward(view.norm, ag::Constant(x))->value();
+    Tensor context(1, kBaselineHidden);
+    for (int i = 0; i < view.n; ++i) {
+      for (int j = 0; j < kBaselineHidden; ++j) {
+        context.at(0, j) += h.at(i, j) / static_cast<float>(view.n);
+      }
+    }
+    Tensor context_rows(view.n, kBaselineHidden);
+    for (int i = 0; i < view.n; ++i) {
+      std::copy(context.row(0), context.row(0) + kBaselineHidden,
+                context_rows.row(i));
+    }
+    std::vector<double> agreement = RowDotSigmoid(h, context_rows);
+    scores_.assign(view.n, 0.0);
+    for (int i = 0; i < view.n; ++i) scores_[i] = 1.0 - agreement[i];
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Detector> MakeGccad(uint64_t seed) {
+  return std::make_unique<Gccad>(seed);
+}
+
+}  // namespace baselines
+}  // namespace umgad

@@ -1,0 +1,48 @@
+#include "baselines/common.h"
+#include "nn/gcn.h"
+
+namespace umgad {
+namespace baselines {
+namespace {
+
+/// GCNAE (Kipf & Welling's GAE applied to anomaly detection, SDM'19
+/// usage): a GCN encoder with a GCN decoder trained to reconstruct node
+/// attributes; the anomaly score is the attribute reconstruction residual.
+/// The weakest GAE baseline by construction — no structure branch.
+class Gcnae : public BaselineBase {
+ public:
+  explicit Gcnae(uint64_t seed) : BaselineBase("GCNAE", seed) {}
+
+ protected:
+  Status FitImpl(const MultiplexGraph& graph) override {
+    SingleView view(graph);
+    const Tensor& x = graph.attributes();
+
+    nn::GcnConv enc(view.f, kBaselineHidden, nn::Activation::kRelu, &rng_);
+    nn::SgcConv dec(kBaselineHidden, view.f, 1, nn::Activation::kNone,
+                    &rng_);
+    std::vector<ag::VarPtr> params = enc.Parameters();
+    for (auto& p : dec.Parameters()) params.push_back(p);
+    nn::Adam opt(params, kBaselineLr);
+    ag::VarPtr recon;
+    for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      opt.ZeroGrad();
+      recon = dec.Forward(view.norm,
+                          enc.Forward(view.norm, ag::Constant(x)));
+      ag::Backward(ag::MseLoss(recon, x));
+      opt.Step();
+      ++epochs_run_;
+    }
+    scores_ = RowL2(recon->value(), x);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Detector> MakeGcnae(uint64_t seed) {
+  return std::make_unique<Gcnae>(seed);
+}
+
+}  // namespace baselines
+}  // namespace umgad

@@ -1,0 +1,41 @@
+#include "baselines/common.h"
+
+namespace umgad {
+namespace baselines {
+namespace {
+
+/// PREM (Pan et al., ICDM'23): a simple yet effective preprocessing-and-
+/// ego-matching detector. Message passing happens once, as preprocessing
+/// (no training-phase propagation): a node is scored by how badly its
+/// attributes match its 1-hop and 2-hop ego contexts. Training-free and
+/// the cheapest method in the suite, mirroring its role in the paper's
+/// efficiency comparison.
+class Prem : public BaselineBase {
+ public:
+  explicit Prem(uint64_t seed) : BaselineBase("PREM", seed) {}
+
+ protected:
+  Status FitImpl(const MultiplexGraph& graph) override {
+    SingleView view(graph);
+    const Tensor& x = graph.attributes();
+
+    // Preprocessing: 1-hop and 2-hop ego means.
+    Tensor hop1 = NeighborMean(view, x);
+    Tensor hop2 = view.row_norm->Multiply(hop1);
+
+    std::vector<double> mismatch1 = RowCosineDistance(x, hop1);
+    std::vector<double> mismatch2 = RowCosineDistance(x, hop2);
+
+    scores_ = CombineStandardized({mismatch1, mismatch2}, {0.6, 0.4});
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Detector> MakePrem(uint64_t seed) {
+  return std::make_unique<Prem>(seed);
+}
+
+}  // namespace baselines
+}  // namespace umgad

@@ -1,0 +1,45 @@
+#include "baselines/common.h"
+#include "core/scorer.h"
+
+namespace umgad {
+namespace baselines {
+namespace {
+
+/// Radar (Li et al., IJCAI'17): residual analysis for anomaly detection on
+/// attributed networks. Anomalies are nodes whose attributes cannot be
+/// expressed by their network context — here realised as the residual of
+/// iterated neighbourhood smoothing, the closed-form core of Radar's
+/// attribute-residual + network-consistency objective. Training-free.
+class Radar : public BaselineBase {
+ public:
+  explicit Radar(uint64_t seed) : BaselineBase("Radar", seed) {}
+
+ protected:
+  Status FitImpl(const MultiplexGraph& graph) override {
+    SingleView view(graph);
+    const Tensor& x = graph.attributes();
+
+    // Two rounds of Laplacian smoothing approximate the low-rank network
+    // representation; the residual R = X - smoothed(X) carries the
+    // anomaly signal (||r_i||_2 row norms in the paper).
+    Tensor smooth = view.norm->Multiply(x);
+    smooth = view.norm->Multiply(smooth);
+    std::vector<double> residual = RowL2(x, smooth);
+
+    // Network-consistency term: cosine disagreement with the 1-hop mean.
+    std::vector<double> inconsistency =
+        RowCosineDistance(x, NeighborMean(view, x));
+
+    scores_ = CombineStandardized({residual, inconsistency}, {0.7, 0.3});
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Detector> MakeRadar(uint64_t seed) {
+  return std::make_unique<Radar>(seed);
+}
+
+}  // namespace baselines
+}  // namespace umgad

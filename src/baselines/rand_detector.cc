@@ -1,0 +1,91 @@
+#include "baselines/common.h"
+#include "nn/gcn.h"
+
+namespace umgad {
+namespace baselines {
+namespace {
+
+/// RAND (Bei et al., ICDM'23): reinforced neighbourhood selection for
+/// unsupervised graph anomaly detection. The agent's learned policy boils
+/// down to keeping reliable neighbours and down-weighting unreliable ones;
+/// here reliability is the attribute affinity of an edge's endpoints, the
+/// bottom fraction of edges is pruned, and a GCN autoencoder reconstructs
+/// attributes over the amplified (reliable) graph.
+class RandDetector : public BaselineBase {
+ public:
+  explicit RandDetector(uint64_t seed) : BaselineBase("RAND", seed) {}
+
+ protected:
+  Status FitImpl(const MultiplexGraph& graph) override {
+    SingleView view(graph);
+    const Tensor& x = graph.attributes();
+
+    // Neighbourhood selection: score each undirected edge by endpoint
+    // cosine affinity, prune the bottom 30%.
+    std::vector<Edge> edges;
+    std::vector<double> affinity;
+    const auto& rp = view.adj.row_ptr();
+    const auto& ci = view.adj.col_idx();
+    for (int i = 0; i < view.n; ++i) {
+      for (int64_t k = rp[i]; k < rp[i + 1]; ++k) {
+        if (i < ci[k]) {
+          edges.push_back(Edge{i, ci[k]});
+          const double denom = x.RowNorm(i) * x.RowNorm(ci[k]);
+          affinity.push_back(
+              denom > 1e-12 ? x.RowDot(i, x, ci[k]) / denom : 0.0);
+        }
+      }
+    }
+    std::vector<int> order(edges.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return affinity[a] < affinity[b]; });
+    const int prune = static_cast<int>(edges.size() * 0.3);
+    std::vector<Edge> pruned(prune);
+    for (int k = 0; k < prune; ++k) pruned[k] = edges[order[k]];
+    // Per-node fraction of pruned (unreliable) incident edges: RAND's
+    // reliability signal.
+    std::vector<double> unreliable(view.n, 0.0);
+    for (const Edge& e : pruned) {
+      unreliable[e.src] += 1.0;
+      unreliable[e.dst] += 1.0;
+    }
+    for (int i = 0; i < view.n; ++i) {
+      const int degree = view.adj.RowNnz(i);
+      if (degree > 0) unreliable[i] /= degree;
+    }
+
+    SparseMatrix reliable = RemoveEdges(view.adj, pruned);
+    auto reliable_norm = std::make_shared<const SparseMatrix>(
+        reliable.NormalizedWithSelfLoops());
+
+    nn::GcnConv enc(view.f, kBaselineHidden, nn::Activation::kRelu, &rng_);
+    nn::SgcConv dec(kBaselineHidden, view.f, 1, nn::Activation::kNone,
+                    &rng_);
+    std::vector<ag::VarPtr> params = enc.Parameters();
+    for (auto& p : dec.Parameters()) params.push_back(p);
+    nn::Adam opt(params, kBaselineLr);
+    ag::VarPtr recon;
+    for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      opt.ZeroGrad();
+      recon = dec.Forward(reliable_norm,
+                          enc.Forward(reliable_norm, ag::Constant(x)));
+      ag::Backward(ag::MseLoss(recon, x));
+      opt.Step();
+      ++epochs_run_;
+    }
+    std::vector<double> attr_err = RowL2(recon->value(), x);
+
+    scores_ = CombineStandardized({attr_err, unreliable}, {0.7, 0.3});
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Detector> MakeRand(uint64_t seed) {
+  return std::make_unique<RandDetector>(seed);
+}
+
+}  // namespace baselines
+}  // namespace umgad

@@ -1,0 +1,88 @@
+#include "baselines/common.h"
+#include "nn/gcn.h"
+#include "nn/linear.h"
+
+namespace umgad {
+namespace baselines {
+namespace {
+
+/// SL-GAD (Zheng et al., TKDE'21): generative and contrastive
+/// self-supervised learning. The generative branch regresses a node's
+/// attributes from its subgraph context embedding; the contrastive branch
+/// is node-vs-context discrimination. The score combines the generative
+/// residual with the contrastive gap (the paper's alpha/beta mixture).
+class SlGad : public BaselineBase {
+ public:
+  explicit SlGad(uint64_t seed) : BaselineBase("SL-GAD", seed) {}
+
+ protected:
+  Status FitImpl(const MultiplexGraph& graph) override {
+    SingleView view(graph);
+    const Tensor& x = graph.attributes();
+
+    nn::GcnConv enc(view.f, kBaselineHidden, nn::Activation::kNone, &rng_);
+    nn::Linear gen(kBaselineHidden, view.f, &rng_);  // context -> attrs
+    std::vector<ag::VarPtr> params = enc.Parameters();
+    for (auto& p : gen.Parameters()) params.push_back(p);
+    nn::Adam opt(params, kBaselineLr);
+    constexpr int kBatch = 384;
+    constexpr int kContextSize = 4;
+
+    for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      opt.ZeroGrad();
+      std::vector<int> batch = SampleBatch(view.n, kBatch, &rng_);
+      ag::VarPtr h = enc.Forward(view.norm, ag::Constant(x));
+      ag::VarPtr hb = ag::GatherRows(h, batch);
+      auto ctx_op = BuildContextOperator(
+          view.n, RwrContexts(view.adj, batch, kContextSize, &rng_));
+      ag::VarPtr ctx = ag::Spmm(ctx_op, h);
+      // Generative: predict the (target) node attributes from context.
+      ag::VarPtr predicted = gen.Forward(ctx);
+      Tensor target = GatherRows(x, batch);
+      ag::VarPtr gen_loss = ag::MseLoss(predicted, target);
+      // Contrastive: standard discrimination.
+      std::vector<int> perm = rng_.Permutation(static_cast<int>(batch.size()));
+      ag::VarPtr cl_loss = ag::Add(
+          ag::PairDotBceLoss(hb, ctx,
+                             std::vector<float>(batch.size(), 1.0f)),
+          ag::PairDotBceLoss(hb, ag::GatherRows(ctx, perm),
+                             std::vector<float>(batch.size(), 0.0f)));
+      ag::Backward(ag::Add(ag::ScalarMul(gen_loss, 2.0f), cl_loss));
+      opt.Step();
+      ++epochs_run_;
+    }
+
+    // Score = alpha * generative residual + beta * contrastive gap.
+    Tensor h = enc.Forward(view.norm, ag::Constant(x))->value();
+    std::vector<int> all(view.n);
+    for (int i = 0; i < view.n; ++i) all[i] = i;
+    std::vector<double> gen_err(view.n, 0.0);
+    std::vector<double> gap(view.n, 0.0);
+    constexpr int kRounds = 3;
+    for (int round = 0; round < kRounds; ++round) {
+      auto ctx_op = BuildContextOperator(
+          view.n, RwrContexts(view.adj, all, kContextSize, &rng_));
+      Tensor ctx = ctx_op->Multiply(h);
+      Tensor predicted = gen.Forward(ag::Constant(ctx))->value();
+      std::vector<double> err = RowL2(predicted, x);
+      std::vector<double> pos = RowDotSigmoid(h, ctx);
+      std::vector<int> perm = rng_.Permutation(view.n);
+      std::vector<double> neg = RowDotSigmoid(h, GatherRows(ctx, perm));
+      for (int i = 0; i < view.n; ++i) {
+        gen_err[i] += err[i] / kRounds;
+        gap[i] += (neg[i] - pos[i]) / kRounds;
+      }
+    }
+    scores_ = CombineStandardized({gen_err, gap}, {0.5, 0.5});
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Detector> MakeSlGad(uint64_t seed) {
+  return std::make_unique<SlGad>(seed);
+}
+
+}  // namespace baselines
+}  // namespace umgad

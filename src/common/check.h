@@ -1,0 +1,38 @@
+#ifndef UMGAD_COMMON_CHECK_H_
+#define UMGAD_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal-invariant checks. These are for programmer errors (index out of
+/// range, shape mismatch in library-internal code paths); user-facing
+/// fallible operations return Status/Result instead.
+///
+/// Active in all build types: the cost is negligible next to the numeric
+/// kernels, and silent memory corruption in a Release-mode experiment is far
+/// more expensive than the branch.
+#define UMGAD_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "UMGAD_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define UMGAD_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "UMGAD_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define UMGAD_CHECK_EQ(a, b) UMGAD_CHECK((a) == (b))
+#define UMGAD_CHECK_LT(a, b) UMGAD_CHECK((a) < (b))
+#define UMGAD_CHECK_LE(a, b) UMGAD_CHECK((a) <= (b))
+#define UMGAD_CHECK_GT(a, b) UMGAD_CHECK((a) > (b))
+#define UMGAD_CHECK_GE(a, b) UMGAD_CHECK((a) >= (b))
+
+#endif  // UMGAD_COMMON_CHECK_H_

@@ -1,0 +1,57 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace umgad {
+
+namespace {
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::string line = stream_.str();
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+  (void)level_;
+}
+
+}  // namespace internal
+}  // namespace umgad

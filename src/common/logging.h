@@ -1,0 +1,56 @@
+#ifndef UMGAD_COMMON_LOGGING_H_
+#define UMGAD_COMMON_LOGGING_H_
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace umgad {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Defaults to
+/// kInfo. Benchmarks raise it to kWarning to keep table output clean.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; flushes one formatted line to stderr on
+/// destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// glog-style voidifier: makes the filtered branch of UMGAD_LOG have type
+/// void regardless of what is streamed into the message.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace umgad
+
+/// Usage: UMGAD_LOG(Info) << "trained " << epochs << " epochs";
+#define UMGAD_LOG(level)                                                    \
+  (static_cast<int>(::umgad::LogLevel::k##level) <                          \
+   static_cast<int>(::umgad::GetLogLevel()))                                \
+      ? (void)0                                                             \
+      : ::umgad::internal::Voidify() &                                      \
+            ::umgad::internal::LogMessage(::umgad::LogLevel::k##level,      \
+                                          __FILE__, __LINE__)               \
+                .stream()
+
+#endif  // UMGAD_COMMON_LOGGING_H_

@@ -1,0 +1,63 @@
+#ifndef UMGAD_COMMON_RESULT_H_
+#define UMGAD_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace umgad {
+
+/// Status-or-value, modelled on arrow::Result. A Result either holds a value
+/// (status is OK) or a non-OK Status. Accessing the value of an errored
+/// Result is a checked programmer error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status so `return MakeFoo();` and
+  /// `return Status::InvalidArgument(...)` both work (Arrow idiom).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    UMGAD_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    UMGAD_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    UMGAD_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    UMGAD_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assign the value of a Result expression or propagate its error.
+#define UMGAD_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto UMGAD_CONCAT_(_res_, __LINE__) = (expr);  \
+  if (!UMGAD_CONCAT_(_res_, __LINE__).ok())      \
+    return UMGAD_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(UMGAD_CONCAT_(_res_, __LINE__)).value()
+
+#define UMGAD_CONCAT_INNER_(a, b) a##b
+#define UMGAD_CONCAT_(a, b) UMGAD_CONCAT_INNER_(a, b)
+
+}  // namespace umgad
+
+#endif  // UMGAD_COMMON_RESULT_H_

@@ -1,0 +1,72 @@
+#ifndef UMGAD_COMMON_STATUS_H_
+#define UMGAD_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace umgad {
+
+/// RocksDB-style status code for fallible public APIs. Library-internal
+/// invariant violations use UMGAD_CHECK instead; Status is reserved for
+/// conditions a caller can plausibly hit with bad input (malformed files,
+/// inconsistent graph specifications, invalid configuration).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+};
+
+/// Value-semantic error carrier. Cheap to copy in the OK case (empty
+/// message); never throws.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" form for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagate a non-OK status to the caller (Arrow/RocksDB idiom).
+#define UMGAD_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::umgad::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace umgad
+
+#endif  // UMGAD_COMMON_STATUS_H_

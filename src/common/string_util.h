@@ -1,0 +1,32 @@
+#ifndef UMGAD_COMMON_STRING_UTIL_H_
+#define UMGAD_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace umgad {
+
+/// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Join pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// Strip ASCII whitespace from both ends.
+std::string Trim(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Fixed-precision float rendering used by the table printer ("0.770").
+std::string FormatFloat(double value, int precision);
+
+/// "mean±std" cell used across all paper-style tables.
+std::string FormatMeanStd(double mean, double std, int precision = 3);
+
+}  // namespace umgad
+
+#endif  // UMGAD_COMMON_STRING_UTIL_H_

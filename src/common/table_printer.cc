@@ -1,0 +1,118 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace umgad {
+
+namespace {
+
+/// Display width in terminal columns: the "±" glyph is two bytes of UTF-8
+/// but renders one column wide, so byte length over-pads.
+size_t DisplayWidth(const std::string& s) {
+  size_t width = 0;
+  for (size_t i = 0; i < s.size();) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c < 0x80) {
+      i += 1;
+    } else if ((c >> 5) == 0x6) {
+      i += 2;
+    } else if ((c >> 4) == 0xE) {
+      i += 3;
+    } else {
+      i += 4;
+    }
+    ++width;
+  }
+  return width;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  UMGAD_CHECK(rows_.empty());
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  UMGAD_CHECK(!header_.empty());
+  UMGAD_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() {
+  separators_after_.push_back(static_cast<int>(rows_.size()) - 1);
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = DisplayWidth(header_[c]);
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], DisplayWidth(row[c]));
+    }
+  }
+
+  auto print_rule = [&]() {
+    os << '+';
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (size_t c = 0; c < row.size(); ++c) {
+      size_t pad = widths[c] - DisplayWidth(row[c]);
+      os << ' ' << row[c] << std::string(pad, ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    print_row(rows_[r]);
+    if (std::find(separators_after_.begin(), separators_after_.end(),
+                  static_cast<int>(r)) != separators_after_.end()) {
+      print_rule();
+    }
+  }
+  print_rule();
+}
+
+std::string TablePrinter::ToCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+      if (ch == '"') out += "\"\"";
+      else out.push_back(ch);
+    }
+    out.push_back('"');
+    return out;
+  };
+  std::string out;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) out.push_back(',');
+    out += escape(header_[c]);
+  }
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out.push_back(',');
+      out += escape(row[c]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace umgad

@@ -1,0 +1,39 @@
+#ifndef UMGAD_COMMON_TABLE_PRINTER_H_
+#define UMGAD_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace umgad {
+
+/// Assembles and prints an aligned ASCII table. The benchmark harness uses
+/// this to emit the same rows the paper's tables report; rows are also
+/// exportable as CSV for downstream plotting.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title = "");
+
+  /// Header must be set before rows; column count is fixed by it.
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+
+  /// Insert a horizontal separator after the last added row (used between
+  /// method-category blocks, mirroring the paper's table layout).
+  void AddSeparator();
+
+  void Print(std::ostream& os) const;
+  std::string ToCsv() const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<int> separators_after_;  // row indices
+};
+
+}  // namespace umgad
+
+#endif  // UMGAD_COMMON_TABLE_PRINTER_H_

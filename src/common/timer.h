@@ -1,0 +1,29 @@
+#ifndef UMGAD_COMMON_TIMER_H_
+#define UMGAD_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace umgad {
+
+/// Monotonic wall-clock timer for the efficiency experiments (Fig. 6/7).
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace umgad
+
+#endif  // UMGAD_COMMON_TIMER_H_

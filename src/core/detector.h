@@ -1,0 +1,38 @@
+#ifndef UMGAD_CORE_DETECTOR_H_
+#define UMGAD_CORE_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/multiplex_graph.h"
+
+namespace umgad {
+
+/// Common interface for every anomaly detector in the repository — UMGAD
+/// itself and all baselines. A detector is fitted once on an (unlabelled)
+/// multiplex graph and then exposes one anomaly score per node; thresholding
+/// is a separate concern (core/threshold.h).
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Train/fit on the graph. Labels on the graph are ignored by Fit — they
+  /// exist only for evaluation.
+  virtual Status Fit(const MultiplexGraph& graph) = 0;
+
+  /// Per-node anomaly scores (higher = more anomalous). Valid after Fit.
+  virtual const std::vector<double>& scores() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Wall-clock seconds spent in Fit (Fig. 7).
+  virtual double fit_seconds() const = 0;
+  /// Mean wall-clock seconds per training epoch (0 for closed-form
+  /// methods).
+  virtual double epoch_seconds() const = 0;
+};
+
+}  // namespace umgad
+
+#endif  // UMGAD_CORE_DETECTOR_H_

@@ -1,0 +1,53 @@
+#include "core/masking.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/graph_ops.h"
+
+namespace umgad {
+
+std::vector<int> SampleMaskedNodes(int n, double ratio, Rng* rng) {
+  UMGAD_CHECK(ratio >= 0.0 && ratio <= 1.0);
+  int k = static_cast<int>(ratio * n);
+  k = std::clamp(k, 1, n);  // at least one masked node keeps losses defined
+  return rng->SampleWithoutReplacement(n, k);
+}
+
+AttributeSwap MakeAttributeSwap(const Tensor& x, double ratio, Rng* rng) {
+  const int n = x.rows();
+  AttributeSwap out;
+  out.augmented = x;
+  out.swapped_nodes = SampleMaskedNodes(n, ratio, rng);
+  for (int i : out.swapped_nodes) {
+    int j = static_cast<int>(rng->UniformInt(n - 1));
+    if (j >= i) ++j;  // any node but i
+    std::copy(x.row(j), x.row(j) + x.cols(), out.augmented.row(i));
+  }
+  return out;
+}
+
+SubgraphMask MakeSubgraphMask(const SparseMatrix& adj, int num_subgraphs,
+                              int subgraph_size, double restart_prob,
+                              Rng* rng) {
+  RwrConfig rwr;
+  rwr.restart_prob = restart_prob;
+  rwr.target_size = subgraph_size;
+  std::vector<std::vector<int>> subgraphs =
+      SampleRwrSubgraphs(adj, num_subgraphs, rwr, rng);
+
+  std::unordered_set<int> unionset;
+  for (const auto& sg : subgraphs) {
+    unionset.insert(sg.begin(), sg.end());
+  }
+  SubgraphMask mask;
+  mask.masked_nodes.assign(unionset.begin(), unionset.end());
+  std::sort(mask.masked_nodes.begin(), mask.masked_nodes.end());
+
+  EdgeMask removed = RemoveIncidentEdges(adj, mask.masked_nodes);
+  mask.remaining = std::move(removed.remaining);
+  mask.removed_edges = std::move(removed.masked);
+  return mask;
+}
+
+}  // namespace umgad

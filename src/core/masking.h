@@ -1,0 +1,39 @@
+#ifndef UMGAD_CORE_MASKING_H_
+#define UMGAD_CORE_MASKING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/random_walk.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace umgad {
+
+/// Uniformly sample floor(ratio * n) node indices without replacement — the
+/// attribute-mask subset V_ma of Eq. 1.
+std::vector<int> SampleMaskedNodes(int n, double ratio, Rng* rng);
+
+/// Attribute-level augmentation (Eq. 10): a copy of `x` where a random
+/// subset of rows is overwritten with the attributes of other random nodes.
+struct AttributeSwap {
+  Tensor augmented;
+  std::vector<int> swapped_nodes;
+};
+AttributeSwap MakeAttributeSwap(const Tensor& x, double ratio, Rng* rng);
+
+/// Subgraph-level masking (Sec. IV-B.2): sample `num_subgraphs` RWR
+/// subgraphs of size `subgraph_size` on `adj`, take the union of their
+/// nodes, and remove all incident edges.
+struct SubgraphMask {
+  std::vector<int> masked_nodes;   // union of sampled subgraph nodes
+  SparseMatrix remaining;          // adj minus incident edges
+  std::vector<Edge> removed_edges; // undirected, for reconstruction targets
+};
+SubgraphMask MakeSubgraphMask(const SparseMatrix& adj, int num_subgraphs,
+                              int subgraph_size, double restart_prob,
+                              Rng* rng);
+
+}  // namespace umgad
+
+#endif  // UMGAD_CORE_MASKING_H_

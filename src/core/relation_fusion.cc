@@ -1,0 +1,46 @@
+#include "core/relation_fusion.h"
+
+#include <cmath>
+
+#include "tensor/init.h"
+
+namespace umgad {
+
+RelationFusion::RelationFusion(int num_relations, bool learnable, Rng* rng)
+    : num_relations_(num_relations), learnable_(learnable) {
+  UMGAD_CHECK_GT(num_relations, 0);
+  if (learnable_) {
+    logits_ = RegisterParameter(
+        RandomNormal(1, num_relations, 0.0, 0.1, rng));
+  } else {
+    logits_ = ag::Constant(Tensor(1, num_relations));  // uniform softmax
+  }
+}
+
+ag::VarPtr RelationFusion::FuseTensors(const std::vector<ag::VarPtr>& xs) const {
+  UMGAD_CHECK_EQ(static_cast<int>(xs.size()), num_relations_);
+  return ag::SimplexWeightedSum(xs, logits_);
+}
+
+ag::VarPtr RelationFusion::FuseLosses(
+    const std::vector<ag::VarPtr>& losses) const {
+  return FuseTensors(losses);
+}
+
+std::vector<double> RelationFusion::Weights() const {
+  const Tensor& l = logits_->value();
+  std::vector<double> w(num_relations_);
+  double mx = l.at(0, 0);
+  for (int r = 1; r < num_relations_; ++r) {
+    mx = std::max(mx, static_cast<double>(l.at(0, r)));
+  }
+  double denom = 0.0;
+  for (int r = 0; r < num_relations_; ++r) {
+    w[r] = std::exp(l.at(0, r) - mx);
+    denom += w[r];
+  }
+  for (double& v : w) v /= denom;
+  return w;
+}
+
+}  // namespace umgad

@@ -1,0 +1,64 @@
+#ifndef UMGAD_CORE_SCORER_H_
+#define UMGAD_CORE_SCORER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/views.h"
+#include "graph/multiplex_graph.h"
+
+namespace umgad {
+
+/// Per-node structure residual of one relation (the ||zeta~ - zeta|| term of
+/// Eq. 19): how badly the inner-product decoder sigmoid(z_i . z_j)
+/// reconstructs row i of the adjacency.
+///
+/// Both forms are degree-normalised:
+///   residual(i) = mean_{j in N(i)} (1 - sig(z_i.z_j))
+///                 + mean_{u not in N(i)} sig(z_i.z_u),
+/// i.e. "how badly are my edges predicted" plus "how much probability do I
+/// leak onto non-edges". The paper's raw row norm ||A~(i) - A(i)|| grows
+/// linearly with degree, which on dense weakly-informative layers (Amazon
+/// U-S-U) ranks hubs above true anomalies; normalisation keeps the ranking
+/// on predictability. The exact version averages over all non-neighbours
+/// (Theta(N) per node, tests/tiny graphs); the sampled version estimates
+/// the leak term from `num_negatives` samples.
+/// With `degree_normalized == false` the raw row-norm estimate
+///   sum_{j in N(i)} (1 - sig) + (N-1-deg_i)/S * sum_samples sig
+/// is returned instead — the form the GAE-family papers (DOMINANT,
+/// AnomalyDAE, AnomMAN, ...) actually compute, which is hub-biased on
+/// dense weakly-informative layers. The baselines use it; UMGAD uses the
+/// normalised refinement.
+std::vector<double> StructureResidual(const SparseMatrix& adj,
+                                      const Tensor& z, int num_negatives,
+                                      Rng* rng,
+                                      bool degree_normalized = true);
+
+/// Exact O(N^2 d) version, for tests and tiny graphs.
+std::vector<double> StructureResidualExact(const SparseMatrix& adj,
+                                           const Tensor& z);
+
+/// Anomaly scores (Eq. 19): for each view with outputs available,
+///   S_v(i) = eps * ||x~_v(i) - x(i)||_2
+///            + (1-eps) * mean_r residual_r(i)   (standardised parts),
+/// and S(i) is the arithmetic mean over views. Views missing a branch
+/// contribute only the branch they have.
+///
+/// Both components are z-score standardised over nodes before combination
+/// so eps weighs comparable magnitudes — attribute distances and edge
+/// predictability residuals live on different scales, and min-max scaling
+/// would let a single extreme outlier crush one component's effective
+/// weight.
+std::vector<double> ComputeAnomalyScores(
+    const MultiplexGraph& graph, const std::vector<ViewScoring>& views,
+    float epsilon, int num_negatives, Rng* rng);
+
+/// Min-max normalise to [0, 1]; constant vectors map to all-zeros.
+std::vector<double> MinMaxNormalize(const std::vector<double>& v);
+
+/// Z-score standardise; constant vectors map to all-zeros.
+std::vector<double> Standardize(const std::vector<double>& v);
+
+}  // namespace umgad
+
+#endif  // UMGAD_CORE_SCORER_H_

@@ -1,0 +1,204 @@
+#include "core/threshold.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace umgad {
+
+int TwoSegmentChangePoint(const std::vector<double>& y) {
+  const int n = static_cast<int>(y.size());
+  if (n < 5) return n / 2;
+  // Prefix sums let each split's two least-squares line fits be O(1).
+  std::vector<double> sx(n + 1, 0.0);
+  std::vector<double> sy(n + 1, 0.0);
+  std::vector<double> sxx(n + 1, 0.0);
+  std::vector<double> sxy(n + 1, 0.0);
+  std::vector<double> syy(n + 1, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double xi = static_cast<double>(i);
+    sx[i + 1] = sx[i] + xi;
+    sy[i + 1] = sy[i] + y[i];
+    sxx[i + 1] = sxx[i] + xi * xi;
+    sxy[i + 1] = sxy[i] + xi * y[i];
+    syy[i + 1] = syy[i] + y[i] * y[i];
+  }
+  auto segment_sse = [&](int a, int b) {  // [a, b)
+    const double m = b - a;
+    if (m < 2.0) return 0.0;
+    const double dx = sx[b] - sx[a];
+    const double dy = sy[b] - sy[a];
+    const double dxx = (sxx[b] - sxx[a]) - dx * dx / m;
+    const double dxy = (sxy[b] - sxy[a]) - dx * dy / m;
+    const double dyy = (syy[b] - syy[a]) - dy * dy / m;
+    if (dxx <= 0.0) return std::max(0.0, dyy);
+    return std::max(0.0, dyy - dxy * dxy / dxx);
+  };
+  int best_t = 2;
+  double best_sse = 1e300;
+  for (int t = 2; t <= n - 2; ++t) {
+    const double sse = segment_sse(0, t) + segment_sse(t, n);
+    if (sse < best_sse) {
+      best_sse = sse;
+      best_t = t;
+    }
+  }
+  return best_t;
+}
+
+ThresholdResult SelectThresholdInflection(const std::vector<double>& scores,
+                                          int window) {
+  ThresholdResult out;
+  const int n = static_cast<int>(scores.size());
+  UMGAD_CHECK_GT(n, 0);
+
+  std::vector<double> sorted = scores;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+
+  // Eq. 20: w = max(floor(1e-4 * |V|), 5), clamped to the sequence length.
+  int w = window > 0 ? window
+                     : std::max(static_cast<int>(1e-4 * n), 5);
+  w = std::min(w, n);
+  out.window = w;
+
+  const int smoothed_len = n - w + 1;
+  out.smoothed.resize(smoothed_len);
+  double acc = 0.0;
+  for (int i = 0; i < w; ++i) acc += sorted[i];
+  out.smoothed[0] = acc / w;
+  for (int i = 1; i < smoothed_len; ++i) {
+    acc += sorted[i + w - 1] - sorted[i - 1];
+    out.smoothed[i] = acc / w;
+  }
+
+  if (smoothed_len < 3) {
+    // Degenerate sequence: fall back to the first smoothed value; every
+    // node at or above it is anomalous.
+    out.threshold = out.smoothed[0];
+    out.inflection_index = 0;
+  } else {
+    // Eqs. 21-22: first and second differences of the smoothed sequence.
+    const int d1_len = smoothed_len - 1;
+    std::vector<double> d1(d1_len);
+    for (int i = 0; i < d1_len; ++i) {
+      d1[i] = out.smoothed[i] - out.smoothed[i + 1];
+    }
+    const int d2_len = d1_len - 1;
+    // The inflection the strategy looks for is where "the decline in
+    // anomaly scores transitions from steep (anomalous nodes) to stable
+    // (normal nodes)" — a *shrinking* decline, i.e. Delta_2(i) =
+    // Delta_1(i) - Delta_1(i+1) > 0. The mirrored transition (plateau into
+    // a final plunge at the very tail) has negative Delta_2 and is never
+    // the anomaly boundary, so only positive curvature points qualify.
+    std::vector<double> d2(d2_len);
+    std::vector<double> abs_d2(d2_len);
+    for (int i = 0; i < d2_len; ++i) {
+      d2[i] = d1[i] - d1[i + 1];
+      abs_d2[i] = std::abs(d2[i]);
+    }
+
+    // "Selectable points consistent with Eq. (23)": statistically
+    // significant curvature, i.e. Delta_2 at least kSignificance times the
+    // median |Delta_2| (the plateau noise floor). Extreme top-ranked
+    // scores also produce large curvature at the head of the curve, so
+    // significance alone cannot identify the boundary.
+    std::vector<double> sorted_abs = abs_d2;
+    std::nth_element(sorted_abs.begin(),
+                     sorted_abs.begin() + d2_len / 2, sorted_abs.end());
+    const double noise_floor = sorted_abs[d2_len / 2];
+    constexpr double kSignificance = 8.0;
+    std::vector<int> candidates;
+    double max_pos = 0.0;
+    int argmax_pos = 0;
+    for (int i = 0; i < d2_len; ++i) {
+      if (d2[i] > max_pos) {
+        max_pos = d2[i];
+        argmax_pos = i;
+      }
+      if (d2[i] > 0.0 && d2[i] >= kSignificance * noise_floor) {
+        candidates.push_back(i);
+      }
+    }
+    if (candidates.empty()) {
+      // Monotone-curvature curves: fall back to the literal argmax.
+      candidates.push_back(argmax_pos);
+    }
+
+    // Localise the global steep-to-stable transition — the paper's stated
+    // intuition ("before the inflection point ... anomalous, after ...
+    // stable") — with a two-segment least-squares fit of the smoothed
+    // curve, then choose the selectable curvature point nearest the fitted
+    // change point. On sharply separated score curves the change point and
+    // the boundary curvature coincide exactly (property-tested); on blurred
+    // curves this keeps the pick away from both the extreme head cliffs
+    // and tail-plunge wiggles.
+    const int change_point = TwoSegmentChangePoint(out.smoothed);
+    int chosen = candidates[0];
+    for (int i : candidates) {
+      if (std::abs(i - change_point) < std::abs(chosen - change_point)) {
+        chosen = i;
+      }
+    }
+    out.inflection_index = chosen;
+    out.threshold = out.smoothed[chosen];
+  }
+
+  for (double s : scores) {
+    if (s >= out.threshold) ++out.num_predicted;
+  }
+  return out;
+}
+
+double ThresholdTopK(const std::vector<double>& scores, int num_anomalies) {
+  UMGAD_CHECK_GT(num_anomalies, 0);
+  UMGAD_CHECK_LE(static_cast<size_t>(num_anomalies), scores.size());
+  std::vector<double> sorted = scores;
+  std::nth_element(sorted.begin(), sorted.begin() + num_anomalies - 1,
+                   sorted.end(), std::greater<double>());
+  return sorted[num_anomalies - 1];
+}
+
+double ThresholdBestF1(const std::vector<double>& scores,
+                       const std::vector<int>& labels) {
+  UMGAD_CHECK_EQ(scores.size(), labels.size());
+  const int n = static_cast<int>(scores.size());
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return scores[a] > scores[b]; });
+
+  int total_pos = 0;
+  for (int y : labels) total_pos += y;
+
+  // Sweep descending thresholds; F1 of the positive class drives the pick
+  // (Macro-F1 is monotone in it for fixed class sizes near the optimum).
+  int tp = 0;
+  double best_f1 = -1.0;
+  double best_threshold = scores[order[0]] + 1.0;
+  for (int k = 0; k < n; ++k) {
+    tp += labels[order[k]];
+    const int predicted = k + 1;
+    const double precision = static_cast<double>(tp) / predicted;
+    const double recall =
+        total_pos > 0 ? static_cast<double>(tp) / total_pos : 0.0;
+    if (precision + recall <= 0.0) continue;
+    const double f1 = 2.0 * precision * recall / (precision + recall);
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best_threshold = scores[order[k]];
+    }
+  }
+  return best_threshold;
+}
+
+std::vector<int> PredictWithThreshold(const std::vector<double>& scores,
+                                      double threshold) {
+  std::vector<int> out(scores.size(), 0);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    out[i] = scores[i] >= threshold ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace umgad

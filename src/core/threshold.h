@@ -1,0 +1,58 @@
+#ifndef UMGAD_CORE_THRESHOLD_H_
+#define UMGAD_CORE_THRESHOLD_H_
+
+#include <vector>
+
+namespace umgad {
+
+/// Output of the unsupervised inflection-point threshold strategy
+/// (Sec. IV-E, Eqs. 20-23).
+struct ThresholdResult {
+  /// Smoothed score at the inflection point; nodes with raw score >= this
+  /// are predicted anomalous.
+  double threshold = 0.0;
+  /// Index T into the smoothed descending sequence.
+  int inflection_index = 0;
+  /// Number of nodes predicted anomalous at the threshold.
+  int num_predicted = 0;
+  /// Window w actually used after clamping.
+  int window = 0;
+  /// The smoothed descending sequence (for Fig. 2 curves).
+  std::vector<double> smoothed;
+};
+
+/// The paper's label-free threshold: sort scores descending, moving-average
+/// smooth with window w = max(floor(1e-4 * N), 5) (Eq. 20), take first and
+/// second differences (Eqs. 21-22), and put the threshold at the inflection
+/// point of maximal |Delta_2| (Eq. 23). Points whose |Delta_2| is within a
+/// tolerance of the maximum are all "selectable" (the paper's
+/// multi-candidate rule) and the one whose smoothed score is closest to the
+/// tail plateau s(|V|) wins — this is what anchors the threshold at the
+/// anomaly/normal boundary rather than at curvature among the extreme top
+/// scores.
+///
+/// `window` <= 0 selects the paper's default.
+ThresholdResult SelectThresholdInflection(const std::vector<double>& scores,
+                                          int window = -1);
+
+/// Ground-truth-leakage protocol of Table V: threshold passes exactly the
+/// top `num_anomalies` scores.
+double ThresholdTopK(const std::vector<double>& scores, int num_anomalies);
+
+/// Oracle threshold maximising Macro-F1 against labels (upper bound used in
+/// the thresholding discussion; never fed back into training).
+double ThresholdBestF1(const std::vector<double>& scores,
+                       const std::vector<int>& labels);
+
+/// Binary predictions from a threshold: score >= threshold -> 1.
+std::vector<int> PredictWithThreshold(const std::vector<double>& scores,
+                                      double threshold);
+
+/// Index t minimising the total squared error of fitting y[0..t) and
+/// y[t..n) with two independent least-squares lines. Used by the inflection
+/// strategy to localise the steep-to-stable transition; exposed for tests.
+int TwoSegmentChangePoint(const std::vector<double>& y);
+
+}  // namespace umgad
+
+#endif  // UMGAD_CORE_THRESHOLD_H_

@@ -1,0 +1,177 @@
+#include "core/umgad.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/scorer.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace umgad {
+
+UmgadModel::UmgadModel(UmgadConfig config) : config_(std::move(config)) {}
+
+UmgadModel::~UmgadModel() = default;
+
+Status UmgadModel::Fit(const MultiplexGraph& graph) {
+  if (graph.num_nodes() < 4) {
+    return Status::InvalidArgument("graph too small to fit UMGAD");
+  }
+  if (!config_.use_original_view && !config_.use_attr_augmented_view &&
+      !config_.use_subgraph_augmented_view) {
+    return Status::InvalidArgument("all reconstruction views are disabled");
+  }
+  if (!config_.use_attribute_recon && !config_.use_structure_recon) {
+    return Status::InvalidArgument(
+        "both attribute and structure reconstruction are disabled");
+  }
+  if (config_.eta < 1.0f) {
+    return Status::InvalidArgument("eta must be >= 1 (Eq. 4)");
+  }
+
+  WallTimer total_timer;
+  Rng rng(config_.seed);
+  const int n = graph.num_nodes();
+  const int r_count = graph.num_relations();
+  const int f = graph.feature_dim();
+
+  // Build views.
+  original_.reset();
+  attr_augmented_.reset();
+  subgraph_augmented_.reset();
+  if (config_.use_original_view) {
+    original_ = std::make_unique<ReconstructionView>(
+        ReconstructionView::Kind::kOriginal, f, r_count, config_, &rng);
+  }
+  if (config_.use_attr_augmented_view && config_.use_attribute_recon) {
+    // The attribute-level augmented view is attribute-only by construction;
+    // it is meaningless in the structure-only (Fig. 6 "Str") pipeline.
+    attr_augmented_ = std::make_unique<ReconstructionView>(
+        ReconstructionView::Kind::kAttrAugmented, f, r_count, config_, &rng);
+  }
+  if (config_.use_subgraph_augmented_view) {
+    subgraph_augmented_ = std::make_unique<ReconstructionView>(
+        ReconstructionView::Kind::kSubgraphAugmented, f, r_count, config_,
+        &rng);
+  }
+
+  // Full normalised operators, shared across epochs and views.
+  std::vector<std::shared_ptr<const SparseMatrix>> norm_adjs;
+  norm_adjs.reserve(r_count);
+  for (int r = 0; r < r_count; ++r) {
+    norm_adjs.push_back(std::make_shared<const SparseMatrix>(
+        graph.layer(r).NormalizedWithSelfLoops()));
+  }
+
+  std::vector<ag::VarPtr> params;
+  for (ReconstructionView* view :
+       {original_.get(), attr_augmented_.get(), subgraph_augmented_.get()}) {
+    if (view == nullptr) continue;
+    std::vector<ag::VarPtr> p = view->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  nn::Adam optimizer(params, config_.learning_rate, 0.9f, 0.999f, 1e-8f,
+                     config_.weight_decay);
+
+  loss_history_.clear();
+  WallTimer epoch_timer;
+  double epoch_time_acc = 0.0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    epoch_timer.Restart();
+    optimizer.ZeroGrad();
+
+    ViewForward orig;
+    ViewForward attr_aug;
+    ViewForward sub_aug;
+    std::vector<ag::VarPtr> terms;
+    if (original_) {
+      orig = original_->Forward(graph, norm_adjs, &rng);
+      if (orig.loss) terms.push_back(orig.loss);  // L_O, weight 1
+    }
+    if (attr_augmented_) {
+      attr_aug = attr_augmented_->Forward(graph, norm_adjs, &rng);
+      if (attr_aug.loss) {
+        terms.push_back(ag::ScalarMul(attr_aug.loss, config_.lambda));
+      }
+    }
+    if (subgraph_augmented_) {
+      sub_aug = subgraph_augmented_->Forward(graph, norm_adjs, &rng);
+      if (sub_aug.loss) {
+        terms.push_back(ag::ScalarMul(sub_aug.loss, config_.mu));
+      }
+    }
+
+    // Dual-view contrastive learning (Eq. 17): original vs each augmented
+    // view; with the original view ablated (w/o O) the two augmented views
+    // contrast against each other so the term stays defined.
+    if (config_.use_contrastive) {
+      ag::VarPtr anchor = orig.fused_recon;
+      std::vector<ag::VarPtr> others;
+      if (anchor) {
+        if (attr_aug.fused_recon) others.push_back(attr_aug.fused_recon);
+        if (sub_aug.fused_recon) others.push_back(sub_aug.fused_recon);
+      } else if (attr_aug.fused_recon && sub_aug.fused_recon) {
+        anchor = attr_aug.fused_recon;
+        others.push_back(sub_aug.fused_recon);
+      }
+      if (anchor && !others.empty()) {
+        std::vector<int> neg = nn::SampleContrastiveNegatives(n, &rng);
+        ag::VarPtr zo = ag::RowL2Normalize(anchor);
+        std::vector<ag::VarPtr> cl_terms;
+        for (const ag::VarPtr& other : others) {
+          cl_terms.push_back(ag::DualContrastiveLoss(
+              zo, ag::RowL2Normalize(other), neg));
+        }
+        terms.push_back(ag::ScalarMul(
+            cl_terms.size() == 1 ? cl_terms[0] : ag::AddN(cl_terms),
+            config_.theta));
+      }
+    }
+
+    if (terms.empty()) {
+      return Status::Internal("no loss terms were produced");
+    }
+    ag::VarPtr loss = terms.size() == 1 ? terms[0] : ag::AddN(terms);
+    const double loss_value = loss->value().scalar();
+    if (!std::isfinite(loss_value)) {
+      UMGAD_LOG(Warning) << "non-finite loss at epoch " << epoch
+                         << "; stopping early";
+      break;
+    }
+    loss_history_.push_back(loss_value);
+
+    ag::Backward(loss);
+    optimizer.Step();
+    epoch_time_acc += epoch_timer.ElapsedSeconds();
+  }
+  epoch_seconds_ = loss_history_.empty()
+                       ? 0.0
+                       : epoch_time_acc / static_cast<double>(
+                             loss_history_.size());
+
+  // Scoring (Eq. 19) over the unperturbed graph.
+  std::vector<ViewScoring> scorings;
+  for (ReconstructionView* view :
+       {original_.get(), attr_augmented_.get(), subgraph_augmented_.get()}) {
+    if (view == nullptr) continue;
+    scorings.push_back(view->Score(graph, norm_adjs));
+  }
+  scores_ = ComputeAnomalyScores(graph, scorings, config_.epsilon,
+                                 config_.num_score_negatives, &rng);
+  threshold_ = SelectThresholdInflection(scores_);
+  fit_seconds_ = total_timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+std::vector<int> UmgadModel::PredictUnsupervised() const {
+  UMGAD_CHECK(!scores_.empty());
+  return PredictWithThreshold(scores_, threshold_.threshold);
+}
+
+std::vector<double> UmgadModel::OriginalFusionWeights() const {
+  UMGAD_CHECK(original_ != nullptr);
+  return original_->FusionWeights();
+}
+
+}  // namespace umgad

@@ -1,0 +1,65 @@
+#ifndef UMGAD_CORE_UMGAD_H_
+#define UMGAD_CORE_UMGAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/detector.h"
+#include "core/threshold.h"
+#include "core/views.h"
+
+namespace umgad {
+
+/// The UMGAD model (Fig. 1): original-view graph reconstruction,
+/// attribute-level and subgraph-level augmented-view reconstruction, and
+/// dual-view contrastive learning, trained jointly (Eq. 18); anomaly scores
+/// from multi-view reconstruction residuals (Eq. 19) and the label-free
+/// inflection-point threshold (Sec. IV-E).
+///
+/// Typical use:
+///   UmgadConfig config;
+///   UmgadModel model(config);
+///   UMGAD_RETURN_IF_ERROR(model.Fit(graph));
+///   const std::vector<double>& s = model.scores();
+///   std::vector<int> predictions = model.PredictUnsupervised();
+class UmgadModel : public Detector {
+ public:
+  explicit UmgadModel(UmgadConfig config = UmgadConfig());
+  ~UmgadModel() override;
+
+  Status Fit(const MultiplexGraph& graph) override;
+  const std::vector<double>& scores() const override { return scores_; }
+  std::string name() const override { return "UMGAD"; }
+  double fit_seconds() const override { return fit_seconds_; }
+  double epoch_seconds() const override { return epoch_seconds_; }
+
+  /// Binary predictions via the unsupervised inflection threshold. Valid
+  /// after Fit.
+  std::vector<int> PredictUnsupervised() const;
+  /// The full threshold diagnostics (Fig. 2). Valid after Fit.
+  const ThresholdResult& threshold_result() const { return threshold_; }
+
+  /// Per-epoch total loss (Fig. 7c).
+  const std::vector<double>& loss_history() const { return loss_history_; }
+
+  /// Learned original-view attribute fusion weights a_r (diagnostics).
+  std::vector<double> OriginalFusionWeights() const;
+
+  const UmgadConfig& config() const { return config_; }
+
+ private:
+  UmgadConfig config_;
+  std::unique_ptr<ReconstructionView> original_;
+  std::unique_ptr<ReconstructionView> attr_augmented_;
+  std::unique_ptr<ReconstructionView> subgraph_augmented_;
+  std::vector<double> scores_;
+  std::vector<double> loss_history_;
+  ThresholdResult threshold_;
+  double fit_seconds_ = 0.0;
+  double epoch_seconds_ = 0.0;
+};
+
+}  // namespace umgad
+
+#endif  // UMGAD_CORE_UMGAD_H_

@@ -1,0 +1,314 @@
+#include "core/views.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/masking.h"
+#include "graph/graph_ops.h"
+#include "nn/loss.h"
+
+namespace umgad {
+
+std::vector<int> AllNodes(int n) {
+  std::vector<int> idx(n);
+  for (int i = 0; i < n; ++i) idx[i] = i;
+  return idx;
+}
+
+namespace {
+
+/// Normalised operator for a perturbed adjacency, shared into the tape.
+std::shared_ptr<const SparseMatrix> NormShared(const SparseMatrix& adj) {
+  return std::make_shared<const SparseMatrix>(adj.NormalizedWithSelfLoops());
+}
+
+/// Uniform subsample of `edges` down to `cap` (order not preserved).
+std::vector<Edge> CapEdges(std::vector<Edge> edges, int cap, Rng* rng) {
+  if (static_cast<int>(edges.size()) <= cap) return edges;
+  std::vector<int> keep =
+      rng->SampleWithoutReplacement(static_cast<int>(edges.size()), cap);
+  std::vector<Edge> out;
+  out.reserve(cap);
+  for (int k : keep) out.push_back(edges[k]);
+  return out;
+}
+
+/// Sum of scalar loss nodes (already weighted); nullptr when empty.
+ag::VarPtr SumLosses(const std::vector<ag::VarPtr>& losses) {
+  if (losses.empty()) return nullptr;
+  if (losses.size() == 1) return losses[0];
+  return ag::AddN(losses);
+}
+
+/// Existing (unmasked) edges used as positive targets in the plain-GAE
+/// ablation (w/o M): the model still reconstructs structure, but over the
+/// observed graph rather than masked-out edges.
+std::vector<Edge> SampleObservedEdges(const SparseMatrix& adj, double ratio,
+                                      Rng* rng) {
+  std::vector<Edge> all;
+  const auto& rp = adj.row_ptr();
+  const auto& ci = adj.col_idx();
+  for (int i = 0; i < adj.rows(); ++i) {
+    for (int64_t k = rp[i]; k < rp[i + 1]; ++k) {
+      if (i < ci[k]) all.push_back(Edge{i, ci[k]});
+    }
+  }
+  const int target = std::max<int>(1, static_cast<int>(ratio * all.size()));
+  return CapEdges(std::move(all), target, rng);
+}
+
+}  // namespace
+
+ReconstructionView::ReconstructionView(Kind kind, int in_dim,
+                                       int num_relations,
+                                       const UmgadConfig& config, Rng* rng)
+    : kind_(kind), config_(config) {
+  for (int r = 0; r < num_relations; ++r) {
+    attr_gmae_.push_back(std::make_unique<Gmae>(in_dim, config, rng));
+    RegisterChild(attr_gmae_.back().get());
+  }
+  if (kind_ == Kind::kOriginal && config.use_structure_recon) {
+    // Separate structure-branch weights (the paper's W_enc2/W_dec2).
+    for (int r = 0; r < num_relations; ++r) {
+      struct_gmae_.push_back(std::make_unique<Gmae>(in_dim, config, rng));
+      RegisterChild(struct_gmae_.back().get());
+    }
+  }
+  fusion_a_ = std::make_unique<RelationFusion>(
+      num_relations, config.use_relation_fusion, rng);
+  RegisterChild(fusion_a_.get());
+  fusion_b_ = std::make_unique<RelationFusion>(
+      num_relations, config.use_relation_fusion, rng);
+  RegisterChild(fusion_b_.get());
+}
+
+ViewForward ReconstructionView::Forward(
+    const MultiplexGraph& graph,
+    const std::vector<std::shared_ptr<const SparseMatrix>>& norm_adjs,
+    Rng* rng) const {
+  switch (kind_) {
+    case Kind::kOriginal:
+      return ForwardOriginal(graph, norm_adjs, rng);
+    case Kind::kAttrAugmented:
+      return ForwardAttrAugmented(graph, norm_adjs, rng);
+    case Kind::kSubgraphAugmented:
+      return ForwardSubgraphAugmented(graph, norm_adjs, rng);
+  }
+  return {};
+}
+
+ViewForward ReconstructionView::ForwardOriginal(
+    const MultiplexGraph& graph,
+    const std::vector<std::shared_ptr<const SparseMatrix>>& norm_adjs,
+    Rng* rng) const {
+  const Tensor& x = graph.attributes();
+  const int n = graph.num_nodes();
+  const int r_count = graph.num_relations();
+
+  std::vector<ag::VarPtr> attr_losses;
+  std::vector<ag::VarPtr> struct_losses;
+  ag::VarPtr last_fused;
+
+  for (int k = 0; k < config_.mask_repeats; ++k) {
+    if (config_.use_attribute_recon) {
+      // Eq. 1-4: token-mask nodes, reconstruct over the full edge set.
+      std::vector<int> masked =
+          config_.use_masking
+              ? SampleMaskedNodes(n, config_.mask_ratio, rng)
+              : std::vector<int>{};
+      std::vector<ag::VarPtr> recons;
+      recons.reserve(r_count);
+      for (int r = 0; r < r_count; ++r) {
+        recons.push_back(attr_gmae_[r]->ReconstructAttributes(
+            norm_adjs[r], x, masked));
+      }
+      ag::VarPtr fused = fusion_a_->FuseTensors(recons);
+      const std::vector<int>& loss_idx =
+          config_.use_masking ? masked : AllNodes(n);
+      attr_losses.push_back(
+          ag::ScaledCosineLoss(fused, x, loss_idx, config_.eta));
+      last_fused = fused;
+    }
+
+    if (config_.use_structure_recon) {
+      // Eq. 5-8: mask edges, re-normalise, predict the masked edges.
+      std::vector<ag::VarPtr> per_relation;
+      per_relation.reserve(r_count);
+      for (int r = 0; r < r_count; ++r) {
+        std::shared_ptr<const SparseMatrix> op;
+        std::vector<Edge> targets;
+        if (config_.use_masking) {
+          EdgeMask mask =
+              SampleEdgeMask(graph.layer(r), config_.mask_ratio, rng);
+          targets = CapEdges(std::move(mask.masked), kMaxEdgeTargets, rng);
+          op = NormShared(mask.remaining);
+        } else {
+          targets = SampleObservedEdges(graph.layer(r), config_.mask_ratio,
+                                        rng);
+          op = norm_adjs[r];
+        }
+        if (targets.empty()) {
+          per_relation.push_back(ag::Constant(Tensor(1, 1)));
+          continue;
+        }
+        ag::VarPtr z = struct_gmae_[r]->Embed(op, x);
+        std::vector<ag::EdgeCandidateSet> cands = nn::BuildEdgeCandidates(
+            targets, graph.layer(r), config_.num_negatives, rng);
+        per_relation.push_back(ag::MaskedEdgeSoftmaxCE(z, std::move(cands)));
+      }
+      struct_losses.push_back(fusion_b_->FuseLosses(per_relation));
+    }
+  }
+
+  ViewForward out;
+  out.fused_recon = last_fused;
+  ag::VarPtr la = SumLosses(attr_losses);
+  ag::VarPtr ls = SumLosses(struct_losses);
+  if (la && ls) {
+    out.loss = nn::ConvexCombine(la, ls, config_.alpha);  // Eq. 9
+  } else {
+    out.loss = la ? la : ls;
+  }
+  return out;
+}
+
+ViewForward ReconstructionView::ForwardAttrAugmented(
+    const MultiplexGraph& graph,
+    const std::vector<std::shared_ptr<const SparseMatrix>>& norm_adjs,
+    Rng* rng) const {
+  const Tensor& x = graph.attributes();
+  const int r_count = graph.num_relations();
+
+  std::vector<ag::VarPtr> losses;
+  ag::VarPtr last_fused;
+  for (int k = 0; k < config_.mask_repeats; ++k) {
+    // Eq. 10: swap attributes; Eq. 11: mask exactly the swapped set.
+    AttributeSwap swap =
+        MakeAttributeSwap(x, config_.attr_swap_ratio, rng);
+    const std::vector<int> masked =
+        config_.use_masking ? swap.swapped_nodes : std::vector<int>{};
+    std::vector<ag::VarPtr> recons;
+    recons.reserve(r_count);
+    for (int r = 0; r < r_count; ++r) {
+      recons.push_back(attr_gmae_[r]->ReconstructAttributes(
+          norm_adjs[r], swap.augmented, masked));
+    }
+    ag::VarPtr fused = fusion_a_->FuseTensors(recons);
+    // Eq. 13: the target is the *original* attribute matrix.
+    losses.push_back(
+        ag::ScaledCosineLoss(fused, x, swap.swapped_nodes, config_.eta));
+    last_fused = fused;
+  }
+
+  ViewForward out;
+  out.loss = SumLosses(losses);
+  out.fused_recon = last_fused;
+  return out;
+}
+
+ViewForward ReconstructionView::ForwardSubgraphAugmented(
+    const MultiplexGraph& graph,
+    const std::vector<std::shared_ptr<const SparseMatrix>>& norm_adjs,
+    Rng* rng) const {
+  (void)norm_adjs;
+  const Tensor& x = graph.attributes();
+  const int r_count = graph.num_relations();
+
+  std::vector<ag::VarPtr> attr_losses;
+  std::vector<ag::VarPtr> struct_losses;
+  ag::VarPtr last_fused;
+
+  for (int k = 0; k < config_.mask_repeats; ++k) {
+    std::vector<ag::VarPtr> recons;
+    std::vector<ag::VarPtr> per_relation_struct;
+    std::unordered_set<int> union_masked;
+    for (int r = 0; r < r_count; ++r) {
+      SubgraphMask mask = MakeSubgraphMask(
+          graph.layer(r), config_.num_subgraphs, config_.subgraph_size,
+          config_.rwr_restart, rng);
+      union_masked.insert(mask.masked_nodes.begin(),
+                          mask.masked_nodes.end());
+      std::shared_ptr<const SparseMatrix> op = NormShared(mask.remaining);
+
+      if (config_.use_attribute_recon) {
+        recons.push_back(attr_gmae_[r]->ReconstructAttributes(
+            op, x,
+            config_.use_masking ? mask.masked_nodes : std::vector<int>{}));
+      }
+      if (config_.use_structure_recon) {
+        std::vector<Edge> targets =
+            CapEdges(std::move(mask.removed_edges), kMaxEdgeTargets, rng);
+        // Self loops can appear among incident edges; drop them (a node
+        // cannot be its own softmax candidate in Eq. 7).
+        targets.erase(std::remove_if(targets.begin(), targets.end(),
+                                     [](const Edge& e) {
+                                       return e.src == e.dst;
+                                     }),
+                      targets.end());
+        if (targets.empty()) {
+          per_relation_struct.push_back(ag::Constant(Tensor(1, 1)));
+        } else {
+          ag::VarPtr z = attr_gmae_[r]->Embed(op, x);
+          std::vector<ag::EdgeCandidateSet> cands = nn::BuildEdgeCandidates(
+              targets, graph.layer(r), config_.num_negatives, rng);
+          per_relation_struct.push_back(
+              ag::MaskedEdgeSoftmaxCE(z, std::move(cands)));
+        }
+      }
+    }
+
+    if (config_.use_attribute_recon && !recons.empty()) {
+      ag::VarPtr fused = fusion_a_->FuseTensors(recons);
+      std::vector<int> loss_idx(union_masked.begin(), union_masked.end());
+      std::sort(loss_idx.begin(), loss_idx.end());
+      if (!loss_idx.empty()) {
+        attr_losses.push_back(
+            ag::ScaledCosineLoss(fused, x, loss_idx, config_.eta));
+      }
+      last_fused = fused;
+    }
+    if (config_.use_structure_recon && !per_relation_struct.empty()) {
+      struct_losses.push_back(fusion_b_->FuseLosses(per_relation_struct));
+    }
+  }
+
+  ViewForward out;
+  out.fused_recon = last_fused;
+  ag::VarPtr lsa = SumLosses(attr_losses);
+  ag::VarPtr lss = SumLosses(struct_losses);
+  if (lsa && lss) {
+    out.loss = nn::ConvexCombine(lsa, lss, config_.beta);  // Eq. 16
+  } else {
+    out.loss = lsa ? lsa : lss;
+  }
+  return out;
+}
+
+ViewScoring ReconstructionView::Score(
+    const MultiplexGraph& graph,
+    const std::vector<std::shared_ptr<const SparseMatrix>>& norm_adjs) const {
+  ViewScoring out;
+  const Tensor& x = graph.attributes();
+  const int r_count = graph.num_relations();
+
+  if (config_.use_attribute_recon) {
+    std::vector<ag::VarPtr> recons;
+    recons.reserve(r_count);
+    for (int r = 0; r < r_count; ++r) {
+      recons.push_back(
+          attr_gmae_[r]->ReconstructAttributes(norm_adjs[r], x, {}));
+    }
+    out.attr_recon = fusion_a_->FuseTensors(recons)->value();
+  }
+  if (config_.use_structure_recon) {
+    out.embeddings.reserve(r_count);
+    for (int r = 0; r < r_count; ++r) {
+      const Gmae& encoder =
+          struct_gmae_.empty() ? *attr_gmae_[r] : *struct_gmae_[r];
+      out.embeddings.push_back(encoder.Embed(norm_adjs[r], x)->value());
+    }
+  }
+  return out;
+}
+
+}  // namespace umgad

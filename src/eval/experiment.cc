@@ -1,0 +1,93 @@
+#include "eval/experiment.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "core/threshold.h"
+#include "graph/datasets.h"
+
+namespace umgad {
+
+RunResult EvaluateFitted(const Detector& detector,
+                         const MultiplexGraph& graph, ThresholdMode mode) {
+  UMGAD_CHECK(graph.has_labels());
+  const std::vector<double>& scores = detector.scores();
+  UMGAD_CHECK_EQ(scores.size(), static_cast<size_t>(graph.num_nodes()));
+
+  RunResult out;
+  out.auc = RocAuc(scores, graph.labels());
+  out.average_precision = AveragePrecision(scores, graph.labels());
+
+  double threshold = 0.0;
+  switch (mode) {
+    case ThresholdMode::kInflection:
+      threshold = SelectThresholdInflection(scores).threshold;
+      break;
+    case ThresholdMode::kTopKLeakage:
+      threshold = ThresholdTopK(scores, graph.num_anomalies());
+      break;
+  }
+  std::vector<int> predictions = PredictWithThreshold(scores, threshold);
+  out.macro_f1 = MacroF1(predictions, graph.labels());
+  for (int p : predictions) out.predicted_anomalies += p;
+  out.fit_seconds = detector.fit_seconds();
+  out.epoch_seconds = detector.epoch_seconds();
+  return out;
+}
+
+Result<AggregateResult> RunExperiment(const std::string& detector_name,
+                                      const std::string& dataset,
+                                      const std::vector<uint64_t>& seeds,
+                                      ThresholdMode mode,
+                                      double dataset_scale) {
+  AggregateResult agg;
+  agg.detector = detector_name;
+  agg.dataset = dataset;
+  std::vector<double> aucs;
+  std::vector<double> f1s;
+  std::vector<double> predicted;
+  double fit_acc = 0.0;
+  double epoch_acc = 0.0;
+  for (uint64_t seed : seeds) {
+    UMGAD_ASSIGN_OR_RETURN(MultiplexGraph graph,
+                           MakeDataset(dataset, seed, dataset_scale));
+    UMGAD_ASSIGN_OR_RETURN(std::unique_ptr<Detector> detector,
+                           MakeDetector(detector_name, seed));
+    UMGAD_RETURN_IF_ERROR(detector->Fit(graph));
+    RunResult run = EvaluateFitted(*detector, graph, mode);
+    aucs.push_back(run.auc);
+    f1s.push_back(run.macro_f1);
+    predicted.push_back(run.predicted_anomalies);
+    fit_acc += run.fit_seconds;
+    epoch_acc += run.epoch_seconds;
+    UMGAD_LOG(Debug) << detector_name << " on " << dataset << " seed "
+                     << seed << ": AUC=" << run.auc
+                     << " F1=" << run.macro_f1;
+  }
+  agg.auc = Aggregate(aucs);
+  agg.macro_f1 = Aggregate(f1s);
+  agg.predicted = Aggregate(predicted);
+  agg.mean_fit_seconds = fit_acc / static_cast<double>(seeds.size());
+  agg.mean_epoch_seconds = epoch_acc / static_cast<double>(seeds.size());
+  return agg;
+}
+
+std::vector<uint64_t> BenchSeeds(int default_count) {
+  int count = default_count;
+  if (const char* env = std::getenv("UMGAD_SEEDS")) {
+    count = std::max(1, std::atoi(env));
+  }
+  std::vector<uint64_t> seeds;
+  for (int i = 0; i < count; ++i) seeds.push_back(1000 + 7 * i);
+  return seeds;
+}
+
+double BenchScale(double default_scale) {
+  if (const char* env = std::getenv("UMGAD_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return default_scale;
+}
+
+}  // namespace umgad

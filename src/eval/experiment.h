@@ -1,0 +1,66 @@
+#ifndef UMGAD_EVAL_EXPERIMENT_H_
+#define UMGAD_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "common/result.h"
+#include "eval/metrics.h"
+#include "graph/multiplex_graph.h"
+
+namespace umgad {
+
+/// How binary predictions are derived from anomaly scores.
+enum class ThresholdMode {
+  /// Paper Sec. IV-E: label-free inflection-point threshold (Table II/III).
+  kInflection,
+  /// Ground-truth leakage: threshold = top-k with k = true anomaly count
+  /// (Table V protocol).
+  kTopKLeakage,
+};
+
+/// One (detector, dataset, seed) evaluation.
+struct RunResult {
+  double auc = 0.0;
+  double macro_f1 = 0.0;
+  double average_precision = 0.0;
+  int predicted_anomalies = 0;
+  double fit_seconds = 0.0;
+  double epoch_seconds = 0.0;
+};
+
+/// Aggregated over seeds.
+struct AggregateResult {
+  std::string detector;
+  std::string dataset;
+  MeanStd auc;
+  MeanStd macro_f1;
+  MeanStd predicted;
+  double mean_fit_seconds = 0.0;
+  double mean_epoch_seconds = 0.0;
+};
+
+/// Fit `detector_name` on a fresh instance of `dataset` per seed and
+/// aggregate metrics. The same seed drives both the dataset generator and
+/// the detector, so methods see identical data per seed.
+Result<AggregateResult> RunExperiment(
+    const std::string& detector_name, const std::string& dataset,
+    const std::vector<uint64_t>& seeds, ThresholdMode mode,
+    double dataset_scale = 1.0);
+
+/// Evaluate an already-fitted detector against a labelled graph.
+RunResult EvaluateFitted(const Detector& detector,
+                         const MultiplexGraph& graph, ThresholdMode mode);
+
+/// Seeds used by the benchmark harness; override count with the
+/// UMGAD_SEEDS environment variable (the paper reports mean±std).
+std::vector<uint64_t> BenchSeeds(int default_count = 2);
+
+/// Scale factor for bench datasets; override with UMGAD_SCALE.
+double BenchScale(double default_scale = 1.0);
+
+}  // namespace umgad
+
+#endif  // UMGAD_EVAL_EXPERIMENT_H_

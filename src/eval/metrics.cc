@@ -1,0 +1,122 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace umgad {
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels) {
+  UMGAD_CHECK_EQ(scores.size(), labels.size());
+  const int n = static_cast<int>(scores.size());
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return scores[a] < scores[b]; });
+
+  // Average ranks (1-based) with tie groups sharing their mean rank.
+  std::vector<double> rank(n, 0.0);
+  int i = 0;
+  while (i < n) {
+    int j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double mean_rank = 0.5 * (i + j) + 1.0;
+    for (int k = i; k <= j; ++k) rank[order[k]] = mean_rank;
+    i = j + 1;
+  }
+
+  int64_t positives = 0;
+  double rank_sum = 0.0;
+  for (int k = 0; k < n; ++k) {
+    if (labels[k] == 1) {
+      ++positives;
+      rank_sum += rank[k];
+    }
+  }
+  const int64_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  const double u = rank_sum - 0.5 * positives * (positives + 1);
+  return u / (static_cast<double>(positives) * negatives);
+}
+
+Confusion ConfusionCounts(const std::vector<int>& predictions,
+                          const std::vector<int>& labels) {
+  UMGAD_CHECK_EQ(predictions.size(), labels.size());
+  Confusion c;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == 1) {
+      (labels[i] == 1 ? c.tp : c.fp) += 1;
+    } else {
+      (labels[i] == 1 ? c.fn : c.tn) += 1;
+    }
+  }
+  return c;
+}
+
+double Precision(const Confusion& c) {
+  const int64_t denom = c.tp + c.fp;
+  return denom > 0 ? static_cast<double>(c.tp) / denom : 0.0;
+}
+
+double Recall(const Confusion& c) {
+  const int64_t denom = c.tp + c.fn;
+  return denom > 0 ? static_cast<double>(c.tp) / denom : 0.0;
+}
+
+double F1Positive(const Confusion& c) {
+  const double p = Precision(c);
+  const double r = Recall(c);
+  return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double F1Negative(const Confusion& c) {
+  const int64_t pred_neg = c.tn + c.fn;
+  const int64_t actual_neg = c.tn + c.fp;
+  const double p = pred_neg > 0 ? static_cast<double>(c.tn) / pred_neg : 0.0;
+  const double r =
+      actual_neg > 0 ? static_cast<double>(c.tn) / actual_neg : 0.0;
+  return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double MacroF1(const std::vector<int>& predictions,
+               const std::vector<int>& labels) {
+  const Confusion c = ConfusionCounts(predictions, labels);
+  return 0.5 * (F1Positive(c) + F1Negative(c));
+}
+
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<int>& labels) {
+  UMGAD_CHECK_EQ(scores.size(), labels.size());
+  const int n = static_cast<int>(scores.size());
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return scores[a] > scores[b]; });
+  int64_t positives = 0;
+  for (int y : labels) positives += y;
+  if (positives == 0) return 0.0;
+  double ap = 0.0;
+  int64_t tp = 0;
+  for (int k = 0; k < n; ++k) {
+    if (labels[order[k]] == 1) {
+      ++tp;
+      ap += static_cast<double>(tp) / (k + 1);
+    }
+  }
+  return ap / positives;
+}
+
+MeanStd Aggregate(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  for (double v : values) out.mean += v;
+  out.mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - out.mean) * (v - out.mean);
+  out.std = std::sqrt(var / static_cast<double>(values.size()));
+  return out;
+}
+
+}  // namespace umgad

@@ -1,0 +1,50 @@
+#ifndef UMGAD_EVAL_METRICS_H_
+#define UMGAD_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace umgad {
+
+/// Area under the ROC curve of `scores` against binary `labels`, computed
+/// exactly via the rank statistic (ties get half credit). Returns 0.5 when
+/// one class is empty.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels);
+
+/// Confusion counts of binary predictions against labels.
+struct Confusion {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t tn = 0;
+  int64_t fn = 0;
+};
+Confusion ConfusionCounts(const std::vector<int>& predictions,
+                          const std::vector<int>& labels);
+
+/// F1 of the positive class (0 when undefined).
+double F1Positive(const Confusion& c);
+/// F1 of the negative class.
+double F1Negative(const Confusion& c);
+/// Macro-F1: unweighted mean of the two per-class F1 scores — the paper's
+/// second metric.
+double MacroF1(const std::vector<int>& predictions,
+               const std::vector<int>& labels);
+
+double Precision(const Confusion& c);
+double Recall(const Confusion& c);
+
+/// Average precision (area under the PR curve, step-wise interpolation).
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<int>& labels);
+
+/// Mean and (population) standard deviation of a sample.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+MeanStd Aggregate(const std::vector<double>& values);
+
+}  // namespace umgad
+
+#endif  // UMGAD_EVAL_METRICS_H_

@@ -1,0 +1,130 @@
+#include "graph/anomaly_injection.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace umgad {
+
+namespace {
+
+/// Nodes not yet labelled anomalous, in random order.
+std::vector<int> SampleCleanNodes(const MultiplexGraph& graph, int count,
+                                  Rng* rng) {
+  const auto& labels = graph.labels();
+  std::vector<int> clean;
+  clean.reserve(graph.num_nodes());
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    if (labels.empty() || labels[i] == 0) clean.push_back(i);
+  }
+  UMGAD_CHECK_LE(count, static_cast<int>(clean.size()));
+  rng->Shuffle(&clean);
+  clean.resize(count);
+  return clean;
+}
+
+void EnsureLabels(MultiplexGraph* graph) {
+  if (!graph->has_labels()) {
+    graph->mutable_labels().assign(graph->num_nodes(), 0);
+  }
+}
+
+/// Add a fully connected clique over `members` to layer r.
+void AddClique(MultiplexGraph* graph, int r, const std::vector<int>& members) {
+  std::vector<Edge> edges = graph->layer(r).ToEdges();
+  for (size_t a = 0; a < members.size(); ++a) {
+    for (size_t b = a + 1; b < members.size(); ++b) {
+      edges.push_back(Edge{members[a], members[b]});
+      edges.push_back(Edge{members[b], members[a]});
+    }
+  }
+  graph->set_layer(r, SparseMatrix::FromEdges(graph->num_nodes(), edges,
+                                              /*symmetrize=*/false));
+}
+
+}  // namespace
+
+std::vector<int> InjectStructuralAnomalies(MultiplexGraph* graph,
+                                           const InjectionConfig& config,
+                                           Rng* rng) {
+  EnsureLabels(graph);
+  const int m = config.clique_size;
+  const int n = config.num_cliques;
+  std::vector<int> affected = SampleCleanNodes(*graph, m * n, rng);
+
+  // One clique per chunk of m nodes; each wired into >= 1 random layer.
+  // Edge rebuilds are batched per layer to avoid quadratic CSR rebuilds.
+  std::vector<std::vector<int>> layer_members(graph->num_relations());
+  for (int c = 0; c < n; ++c) {
+    std::vector<int> members(affected.begin() + c * m,
+                             affected.begin() + (c + 1) * m);
+    bool assigned = false;
+    for (int r = 0; r < graph->num_relations(); ++r) {
+      if (rng->Bernoulli(config.per_relation_prob)) {
+        layer_members[r].insert(layer_members[r].end(), members.begin(),
+                                members.end());
+        assigned = true;
+      }
+    }
+    if (!assigned) {
+      const int r = static_cast<int>(rng->UniformInt(graph->num_relations()));
+      layer_members[r].insert(layer_members[r].end(), members.begin(),
+                              members.end());
+    }
+  }
+  for (int r = 0; r < graph->num_relations(); ++r) {
+    // layer_members[r] holds whole cliques back to back (multiples of m).
+    for (size_t offset = 0; offset + m <= layer_members[r].size();
+         offset += m) {
+      std::vector<int> members(layer_members[r].begin() + offset,
+                               layer_members[r].begin() + offset + m);
+      AddClique(graph, r, members);
+    }
+  }
+
+  for (int v : affected) graph->mutable_labels()[v] = 1;
+  return affected;
+}
+
+std::vector<int> InjectAttributeAnomalies(MultiplexGraph* graph,
+                                          const InjectionConfig& config,
+                                          Rng* rng) {
+  EnsureLabels(graph);
+  std::vector<int> affected =
+      SampleCleanNodes(*graph, config.num_attribute_anomalies, rng);
+  Tensor& x = graph->mutable_attributes();
+  const int n = graph->num_nodes();
+  const int d = x.cols();
+  for (int i : affected) {
+    double best_dist = -1.0;
+    int best_j = -1;
+    for (int c = 0; c < config.candidate_pool; ++c) {
+      const int j = static_cast<int>(rng->UniformInt(n));
+      if (j == i) continue;
+      double dist = 0.0;
+      const float* xi = x.row(i);
+      const float* xj = x.row(j);
+      for (int k = 0; k < d; ++k) {
+        const double diff = static_cast<double>(xi[k]) - xj[k];
+        dist += diff * diff;
+      }
+      if (dist > best_dist) {
+        best_dist = dist;
+        best_j = j;
+      }
+    }
+    UMGAD_CHECK_GE(best_j, 0);
+    std::copy(x.row(best_j), x.row(best_j) + d, x.row(i));
+    graph->mutable_labels()[i] = 1;
+  }
+  return affected;
+}
+
+std::vector<int> InjectAnomalies(MultiplexGraph* graph,
+                                 const InjectionConfig& config, Rng* rng) {
+  std::vector<int> affected = InjectStructuralAnomalies(graph, config, rng);
+  std::vector<int> attr = InjectAttributeAnomalies(graph, config, rng);
+  affected.insert(affected.end(), attr.begin(), attr.end());
+  return affected;
+}
+
+}  // namespace umgad

@@ -1,0 +1,46 @@
+#ifndef UMGAD_GRAPH_DATASETS_H_
+#define UMGAD_GRAPH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/multiplex_graph.h"
+
+namespace umgad {
+
+/// Laptop-scale synthetic equivalents of the paper's six datasets (Table I).
+/// Each generator matches the original's relation names, per-layer density
+/// profile, anomaly type (injected vs organic), and anomaly rate at a
+/// reduced node count; see DESIGN.md §2 for the substitution rationale.
+///
+/// `scale` multiplies the node count and all edge budgets (1.0 = default
+/// bench scale; tests use smaller, the large-graph bench uses >= 1).
+MultiplexGraph MakeRetail(uint64_t seed, double scale = 1.0);
+MultiplexGraph MakeAlibaba(uint64_t seed, double scale = 1.0);
+MultiplexGraph MakeAmazon(uint64_t seed, double scale = 1.0);
+MultiplexGraph MakeYelpChi(uint64_t seed, double scale = 1.0);
+MultiplexGraph MakeDGFin(uint64_t seed, double scale = 1.0);
+MultiplexGraph MakeTSocial(uint64_t seed, double scale = 1.0);
+
+/// 200-node two-relation graph with 10 injected anomalies; unit-test sized.
+MultiplexGraph MakeTiny(uint64_t seed);
+
+/// Lookup by paper name ("Retail", "Alibaba", "Amazon", "YelpChi",
+/// "DG-Fin", "T-Social").
+Result<MultiplexGraph> MakeDataset(const std::string& name, uint64_t seed,
+                                   double scale = 1.0);
+
+/// The four small-scale datasets of Table II, in paper order.
+std::vector<std::string> SmallDatasetNames();
+/// The two large-scale datasets of Table III.
+std::vector<std::string> LargeDatasetNames();
+
+/// Plain-text single-file serialisation (header, per-relation edge lists,
+/// attribute rows, labels). Used by the custom-dataset example.
+Status SaveGraph(const MultiplexGraph& graph, const std::string& path);
+Result<MultiplexGraph> LoadGraph(const std::string& path);
+
+}  // namespace umgad
+
+#endif  // UMGAD_GRAPH_DATASETS_H_

@@ -1,0 +1,275 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/init.h"
+
+namespace umgad {
+
+namespace {
+
+/// Pareto(1, alpha) degree-correction weights, normalised per community so
+/// hubs appear in every block.
+std::vector<double> DegreeWeights(int n, double exponent, Rng* rng) {
+  std::vector<double> w(n);
+  for (int i = 0; i < n; ++i) {
+    const double u = std::max(rng->Uniform(), 1e-12);
+    w[i] = std::pow(u, -1.0 / exponent);  // Pareto shape = exponent
+    w[i] = std::min(w[i], 50.0);          // clip extreme hubs
+  }
+  return w;
+}
+
+/// Alias-free weighted sampling over a node pool.
+int SampleWeighted(const std::vector<int>& pool,
+                   const std::vector<double>& weights,
+                   const std::vector<double>& prefix, Rng* rng) {
+  (void)weights;
+  const double target = rng->Uniform() * prefix.back();
+  const auto it = std::upper_bound(prefix.begin(), prefix.end(), target);
+  const size_t idx =
+      std::min(static_cast<size_t>(it - prefix.begin()),
+               pool.size() - 1);
+  return pool[idx];
+}
+
+struct CommunityIndex {
+  std::vector<std::vector<int>> members;        // per community
+  std::vector<std::vector<double>> prefix;      // cumulative weights
+  std::vector<int> global_pool;
+  std::vector<double> global_prefix;
+};
+
+CommunityIndex BuildIndex(const std::vector<int>& community,
+                          const std::vector<double>& weights,
+                          int num_communities) {
+  CommunityIndex idx;
+  idx.members.resize(num_communities);
+  for (size_t i = 0; i < community.size(); ++i) {
+    idx.members[community[i]].push_back(static_cast<int>(i));
+  }
+  idx.prefix.resize(num_communities);
+  for (int c = 0; c < num_communities; ++c) {
+    double acc = 0.0;
+    idx.prefix[c].reserve(idx.members[c].size());
+    for (int v : idx.members[c]) {
+      acc += weights[v];
+      idx.prefix[c].push_back(acc);
+    }
+  }
+  idx.global_pool.resize(community.size());
+  idx.global_prefix.resize(community.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < community.size(); ++i) {
+    idx.global_pool[i] = static_cast<int>(i);
+    acc += weights[i];
+    idx.global_prefix[i] = acc;
+  }
+  return idx;
+}
+
+}  // namespace
+
+MultiplexGraph GenerateSbmMultiplex(const SbmMultiplexConfig& config,
+                                    Rng* rng) {
+  UMGAD_CHECK_GT(config.num_nodes, 0);
+  UMGAD_CHECK_GT(config.num_communities, 0);
+  UMGAD_CHECK(!config.relations.empty());
+  const int n = config.num_nodes;
+  const int k = config.num_communities;
+
+  // Community assignment (uniform) and degree-correction weights.
+  std::vector<int> community(n);
+  for (int i = 0; i < n; ++i) {
+    community[i] = static_cast<int>(rng->UniformInt(k));
+  }
+  std::vector<double> weights = DegreeWeights(n, config.degree_exponent, rng);
+  CommunityIndex index = BuildIndex(community, weights, k);
+
+  // Community-structured attributes: mu_c is a random +-1 pattern scaled to
+  // unit-ish energy; x_i = mu_{c(i)} + noise.
+  const int f = config.feature_dim;
+  Tensor means(k, f);
+  for (int c = 0; c < k; ++c) {
+    float* row = means.row(c);
+    for (int j = 0; j < f; ++j) {
+      row[j] = rng->Bernoulli(0.5) ? 1.0f : -1.0f;
+    }
+  }
+  Tensor x(n, f);
+  for (int i = 0; i < n; ++i) {
+    const float* mu = means.row(community[i]);
+    float* row = x.row(i);
+    for (int j = 0; j < f; ++j) {
+      row[j] = mu[j] + static_cast<float>(
+          rng->Normal(0.0, config.attribute_noise));
+    }
+  }
+
+  // Per-community weight totals for picking the community of an intra edge
+  // proportionally to total weight (keeps expected degree profile).
+  std::vector<double> comm_weight(k, 0.0);
+  for (int c = 0; c < k; ++c) {
+    comm_weight[c] = index.prefix[c].empty() ? 0.0 : index.prefix[c].back();
+  }
+
+  std::vector<std::vector<Edge>> layer_edges(config.relations.size());
+  for (size_t r = 0; r < config.relations.size(); ++r) {
+    const RelationSpec& spec = config.relations[r];
+    std::vector<Edge>& edges = layer_edges[r];
+
+    if (spec.subset_of >= 0) {
+      UMGAD_CHECK_LT(spec.subset_of, static_cast<int>(r));
+      const auto& parent = layer_edges[spec.subset_of];
+      for (const Edge& e : parent) {
+        const bool intra = community[e.src] == community[e.dst];
+        const double keep = std::min(
+            1.0, spec.subset_frac *
+                     (intra ? spec.subset_intra_boost : 1.0));
+        if (rng->Bernoulli(keep)) edges.push_back(e);
+      }
+      continue;
+    }
+
+    edges.reserve(spec.target_edges);
+    int64_t produced = 0;
+    int64_t attempts = 0;
+    const int64_t max_attempts = spec.target_edges * 4 + 64;
+    while (produced < spec.target_edges && attempts < max_attempts) {
+      ++attempts;
+      int u = -1;
+      int v = -1;
+      if (rng->Bernoulli(spec.noise_frac)) {
+        u = static_cast<int>(rng->UniformInt(n));
+        v = static_cast<int>(rng->UniformInt(n));
+      } else if (rng->Bernoulli(spec.intra_community_prob)) {
+        const int c = rng->SampleDiscrete(comm_weight);
+        if (index.members[c].size() < 2) continue;
+        u = SampleWeighted(index.members[c], weights, index.prefix[c], rng);
+        v = SampleWeighted(index.members[c], weights, index.prefix[c], rng);
+      } else {
+        u = SampleWeighted(index.global_pool, weights, index.global_prefix,
+                           rng);
+        v = SampleWeighted(index.global_pool, weights, index.global_prefix,
+                           rng);
+      }
+      if (u == v) continue;
+      edges.push_back(Edge{u, v});
+      ++produced;
+    }
+  }
+
+  std::vector<SparseMatrix> layers;
+  std::vector<std::string> names;
+  layers.reserve(config.relations.size());
+  for (size_t r = 0; r < config.relations.size(); ++r) {
+    layers.push_back(SparseMatrix::FromEdges(n, layer_edges[r],
+                                             /*symmetrize=*/true));
+    names.push_back(config.relations[r].name);
+  }
+
+  auto result = MultiplexGraph::Create(config.name, std::move(x),
+                                       std::move(layers), std::move(names),
+                                       std::vector<int>(n, 0));
+  UMGAD_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
+}
+
+std::vector<int> PlantFraudRings(MultiplexGraph* graph,
+                                 const FraudRingConfig& config, Rng* rng) {
+  const int n = graph->num_nodes();
+  const int r_count = graph->num_relations();
+  UMGAD_CHECK_EQ(static_cast<int>(config.relation_affinity.size()), r_count);
+  const int total = config.num_rings * config.ring_size;
+  UMGAD_CHECK_LE(total, n / 2);
+
+  if (!graph->has_labels()) {
+    graph->mutable_labels().assign(n, 0);
+  }
+
+  // Pick distinct, currently-normal members.
+  std::vector<int> candidates;
+  candidates.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    if (graph->labels()[i] == 0) candidates.push_back(i);
+  }
+  UMGAD_CHECK_LE(total, static_cast<int>(candidates.size()));
+  rng->Shuffle(&candidates);
+  std::vector<int> members(candidates.begin(), candidates.begin() + total);
+
+  // Attribute camouflage by per-dimension scrambling: each member keeps a
+  // `camouflage` fraction of its (community-typical) dimensions and
+  // replaces the rest with independent random signs. Three properties
+  // matter, learned the hard way (see DESIGN.md):
+  //  - per-node randomness (a shared signature would make the cohort a
+  //    tight, trivially reconstructable cluster and invert the signal);
+  //  - norm preservation (blending two sign patterns half-cancels and
+  //    shrinks the vector, which a mean-predicting autoencoder loves —
+  //    also inverting the signal);
+  //  - off-community direction (scrambled dims disagree with what the
+  //    node's neighbourhood predicts, which is the detectable residue).
+  Tensor& x = graph->mutable_attributes();
+  const int f = x.cols();
+  for (int v : members) {
+    float* row = x.row(v);
+    for (int j = 0; j < f; ++j) {
+      if (rng->Bernoulli(config.camouflage)) continue;  // dim kept
+      row[j] = (rng->Bernoulli(0.5) ? 1.1f : -1.1f) +
+               static_cast<float>(rng->Normal(0.0, 0.15));
+    }
+  }
+
+  // Structural wiring, batched per layer so each CSR is rebuilt once.
+  std::vector<std::vector<Edge>> extra(r_count);
+  for (int ring = 0; ring < config.num_rings; ++ring) {
+    const int begin = ring * config.ring_size;
+    bool wired_any = false;
+    for (int r = 0; r < r_count; ++r) {
+      if (!rng->Bernoulli(config.relation_affinity[r])) continue;
+      wired_any = true;
+      for (int a = 0; a < config.ring_size; ++a) {
+        for (int b = a + 1; b < config.ring_size; ++b) {
+          if (!rng->Bernoulli(config.ring_density)) continue;
+          extra[r].push_back(Edge{members[begin + a], members[begin + b]});
+        }
+        for (int c = 0; c < config.contact_edges; ++c) {
+          const int normal = candidates[total + static_cast<int>(rng->UniformInt(
+              static_cast<uint64_t>(candidates.size() - total)))];
+          extra[r].push_back(Edge{members[begin + a], normal});
+        }
+      }
+    }
+    if (!wired_any) {
+      // Every ring exists somewhere: fall back to the highest-affinity
+      // layer.
+      int best = 0;
+      for (int r = 1; r < r_count; ++r) {
+        if (config.relation_affinity[r] > config.relation_affinity[best]) {
+          best = r;
+        }
+      }
+      for (int a = 0; a < config.ring_size; ++a) {
+        for (int b = a + 1; b < config.ring_size; ++b) {
+          extra[best].push_back(Edge{members[begin + a], members[begin + b]});
+        }
+      }
+    }
+  }
+  for (int r = 0; r < r_count; ++r) {
+    if (extra[r].empty()) continue;
+    std::vector<Edge> edges = graph->layer(r).ToEdges();
+    for (const Edge& e : extra[r]) {
+      edges.push_back(e);
+      edges.push_back(Edge{e.dst, e.src});
+    }
+    graph->set_layer(r, SparseMatrix::FromEdges(n, edges,
+                                                /*symmetrize=*/false));
+  }
+
+  for (int v : members) graph->mutable_labels()[v] = 1;
+  return members;
+}
+
+}  // namespace umgad

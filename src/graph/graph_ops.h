@@ -1,0 +1,52 @@
+#ifndef UMGAD_GRAPH_GRAPH_OPS_H_
+#define UMGAD_GRAPH_GRAPH_OPS_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/multiplex_graph.h"
+
+namespace umgad {
+
+/// Union of all relation layers as one unweighted symmetric adjacency.
+/// Single-view baselines consume this, mirroring how non-multiplex methods
+/// were applied to the multiplex datasets in the paper's evaluation.
+SparseMatrix FlattenToSingleView(const MultiplexGraph& graph);
+
+/// Result of sampling an undirected edge mask from a layer (Eq. 5):
+/// `remaining` is the layer with the masked edges removed (both directions),
+/// `masked` holds one (src < dst) record per masked undirected edge.
+struct EdgeMask {
+  SparseMatrix remaining;
+  std::vector<Edge> masked;
+};
+
+/// Uniformly mask `ratio` of the undirected edges of `adj` (self loops are
+/// never masked). Matches the paper's uniform random sampling without
+/// replacement.
+EdgeMask SampleEdgeMask(const SparseMatrix& adj, double ratio, Rng* rng);
+
+/// Remove the given undirected edges (and their reverses) from `adj`.
+SparseMatrix RemoveEdges(const SparseMatrix& adj,
+                         const std::vector<Edge>& edges);
+
+/// Remove every edge incident to a node in `nodes` (subgraph masking for
+/// the subgraph-level augmented view). Returns the remaining adjacency and
+/// the list of removed undirected edges.
+EdgeMask RemoveIncidentEdges(const SparseMatrix& adj,
+                             const std::vector<int>& nodes);
+
+/// Nodes within `hops` of `start` (BFS, including start).
+std::vector<int> KHopNeighborhood(const SparseMatrix& adj, int start,
+                                  int hops);
+
+/// Uniform negative sampling: `count` node ids that are NOT neighbours of
+/// `src` in `adj` (and not `src` itself). Used by the edge-reconstruction
+/// softmax denominators (Eq. 7).
+std::vector<int> SampleNonNeighbors(const SparseMatrix& adj, int src,
+                                    int count, Rng* rng);
+
+}  // namespace umgad
+
+#endif  // UMGAD_GRAPH_GRAPH_OPS_H_

@@ -1,0 +1,52 @@
+#include "graph/random_walk.h"
+
+#include <unordered_set>
+
+namespace umgad {
+
+std::vector<int> SampleRwrSubgraph(const SparseMatrix& adj, int seed,
+                                   const RwrConfig& config, Rng* rng) {
+  UMGAD_CHECK(seed >= 0 && seed < adj.rows());
+  UMGAD_CHECK_GT(config.target_size, 0);
+
+  std::vector<int> collected = {seed};
+  std::unordered_set<int> seen = {seed};
+  int current = seed;
+  for (int step = 0;
+       step < config.max_steps &&
+       static_cast<int>(collected.size()) < config.target_size;
+       ++step) {
+    if (rng->Bernoulli(config.restart_prob)) {
+      current = seed;
+      continue;
+    }
+    auto [begin, end] = adj.RowRange(current);
+    const int64_t degree = end - begin;
+    if (degree == 0) {
+      current = seed;  // dangling node: restart
+      continue;
+    }
+    const int64_t pick = begin + static_cast<int64_t>(
+        rng->UniformInt(static_cast<uint64_t>(degree)));
+    current = adj.col_idx()[pick];
+    if (seen.insert(current).second) collected.push_back(current);
+  }
+  return collected;
+}
+
+std::vector<std::vector<int>> SampleRwrSubgraphs(const SparseMatrix& adj,
+                                                 int count,
+                                                 const RwrConfig& config,
+                                                 Rng* rng) {
+  const int n = adj.rows();
+  std::vector<int> seeds =
+      rng->SampleWithoutReplacement(n, std::min(count, n));
+  std::vector<std::vector<int>> out;
+  out.reserve(seeds.size());
+  for (int s : seeds) {
+    out.push_back(SampleRwrSubgraph(adj, s, config, rng));
+  }
+  return out;
+}
+
+}  // namespace umgad

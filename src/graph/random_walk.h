@@ -1,0 +1,37 @@
+#ifndef UMGAD_GRAPH_RANDOM_WALK_H_
+#define UMGAD_GRAPH_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/sparse.h"
+
+namespace umgad {
+
+/// Random-walk-with-restart subgraph sampler (Sec. IV-B.2). Used by the
+/// subgraph-level augmented view and by the subgraph-based contrastive
+/// baselines (CoLA, GRADATE, ...).
+struct RwrConfig {
+  /// Probability of teleporting back to the seed at each step.
+  double restart_prob = 0.3;
+  /// Number of distinct nodes to collect (the paper's |V_m|).
+  int target_size = 8;
+  /// Safety bound on total steps so walks on tiny components terminate.
+  int max_steps = 400;
+};
+
+/// Nodes visited by an RWR from `seed`, including the seed, up to
+/// `config.target_size` distinct nodes. Deterministic given `rng` state.
+std::vector<int> SampleRwrSubgraph(const SparseMatrix& adj, int seed,
+                                   const RwrConfig& config, Rng* rng);
+
+/// Convenience: sample `count` RWR subgraphs with seeds drawn uniformly
+/// without replacement.
+std::vector<std::vector<int>> SampleRwrSubgraphs(const SparseMatrix& adj,
+                                                 int count,
+                                                 const RwrConfig& config,
+                                                 Rng* rng);
+
+}  // namespace umgad
+
+#endif  // UMGAD_GRAPH_RANDOM_WALK_H_

@@ -1,0 +1,40 @@
+#ifndef UMGAD_NN_GAT_H_
+#define UMGAD_NN_GAT_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/gcn.h"
+#include "nn/module.h"
+
+namespace umgad {
+namespace nn {
+
+/// Single-head graph attention convolution (Velickovic et al.), the "GAT"
+/// half of the paper's encoder choices:
+///   h    = x W
+///   e_ij = LeakyReLU(<a_src, h_i> + <a_dst, h_j>)
+///   y_i  = act(sum_j softmax_j(e_ij) h_j)
+/// The adjacency passed to Forward should contain self loops so a node can
+/// attend to itself (use SparseMatrix::NormalizedWithSelfLoops()'s pattern
+/// or add loops to the raw adjacency).
+class GatConv : public Module {
+ public:
+  GatConv(int in_dim, int out_dim, Activation act, Rng* rng,
+          float negative_slope = 0.2f);
+
+  ag::VarPtr Forward(std::shared_ptr<const SparseMatrix> adj,
+                     const ag::VarPtr& x) const;
+
+ private:
+  Activation act_;
+  float slope_;
+  ag::VarPtr weight_;
+  ag::VarPtr attn_src_;
+  ag::VarPtr attn_dst_;
+};
+
+}  // namespace nn
+}  // namespace umgad
+
+#endif  // UMGAD_NN_GAT_H_

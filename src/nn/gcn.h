@@ -1,0 +1,55 @@
+#ifndef UMGAD_NN_GCN_H_
+#define UMGAD_NN_GCN_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace umgad {
+namespace nn {
+
+enum class Activation { kNone, kRelu, kLeakyRelu, kElu, kTanh };
+
+/// Apply an activation from the enum (identity for kNone).
+ag::VarPtr Activate(const ag::VarPtr& x, Activation act);
+
+/// One GCN convolution: y = act(Â (x W) + b), where Â is the symmetric
+/// normalised adjacency with self loops (passed per Forward call so one set
+/// of weights can run over many perturbed/masked adjacencies, as the GMAE
+/// masking repeats require).
+class GcnConv : public Module {
+ public:
+  GcnConv(int in_dim, int out_dim, Activation act, Rng* rng);
+
+  ag::VarPtr Forward(std::shared_ptr<const SparseMatrix> norm_adj,
+                     const ag::VarPtr& x) const;
+
+ private:
+  Activation act_;
+  ag::VarPtr weight_;
+  ag::VarPtr bias_;
+};
+
+/// Simplified GCN (SGC): L propagation steps with a single linear map,
+/// y = act(Â^L x W). The paper's decoder (and the "simplified GCN" half of
+/// its encoder choices).
+class SgcConv : public Module {
+ public:
+  SgcConv(int in_dim, int out_dim, int hops, Activation act, Rng* rng);
+
+  ag::VarPtr Forward(std::shared_ptr<const SparseMatrix> norm_adj,
+                     const ag::VarPtr& x) const;
+
+ private:
+  int hops_;
+  Activation act_;
+  ag::VarPtr weight_;
+  ag::VarPtr bias_;
+};
+
+}  // namespace nn
+}  // namespace umgad
+
+#endif  // UMGAD_NN_GCN_H_

@@ -1,0 +1,23 @@
+#include "nn/linear.h"
+
+#include "tensor/init.h"
+
+namespace umgad {
+namespace nn {
+
+Linear::Linear(int in_dim, int out_dim, Rng* rng, bool bias)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  weight_ = RegisterParameter(XavierUniform(in_dim, out_dim, rng));
+  if (bias) {
+    bias_ = RegisterParameter(Tensor(1, out_dim));
+  }
+}
+
+ag::VarPtr Linear::Forward(const ag::VarPtr& x) const {
+  ag::VarPtr out = ag::MatMul(x, weight_);
+  if (bias_) out = ag::AddRowBroadcast(out, bias_);
+  return out;
+}
+
+}  // namespace nn
+}  // namespace umgad

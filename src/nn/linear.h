@@ -1,0 +1,31 @@
+#ifndef UMGAD_NN_LINEAR_H_
+#define UMGAD_NN_LINEAR_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace umgad {
+namespace nn {
+
+/// Dense affine layer: y = x W + b, Xavier-initialised.
+class Linear : public Module {
+ public:
+  Linear(int in_dim, int out_dim, Rng* rng, bool bias = true);
+
+  ag::VarPtr Forward(const ag::VarPtr& x) const;
+
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+
+ private:
+  int in_dim_;
+  int out_dim_;
+  ag::VarPtr weight_;
+  ag::VarPtr bias_;  // nullptr when disabled
+};
+
+}  // namespace nn
+}  // namespace umgad
+
+#endif  // UMGAD_NN_LINEAR_H_

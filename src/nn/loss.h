@@ -1,0 +1,32 @@
+#ifndef UMGAD_NN_LOSS_H_
+#define UMGAD_NN_LOSS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace umgad {
+namespace nn {
+
+/// Build the softmax candidate sets for the masked-edge reconstruction loss
+/// (Eq. 7): for each masked undirected edge (v, u) the set holds the true
+/// endpoint first, followed by `num_negatives` sampled non-neighbours of v
+/// in `observed` (the unmasked graph, which is what the model sees).
+std::vector<ag::EdgeCandidateSet> BuildEdgeCandidates(
+    const std::vector<Edge>& masked_edges, const SparseMatrix& observed,
+    int num_negatives, Rng* rng);
+
+/// Uniform per-node negative indices j != i for the dual-view contrastive
+/// loss (Eq. 17).
+std::vector<int> SampleContrastiveNegatives(int n, Rng* rng);
+
+/// Convex combination of two scalar losses: alpha*a + (1-alpha)*b
+/// (Eq. 9 / Eq. 16).
+ag::VarPtr ConvexCombine(const ag::VarPtr& a, const ag::VarPtr& b,
+                         float alpha);
+
+}  // namespace nn
+}  // namespace umgad
+
+#endif  // UMGAD_NN_LOSS_H_

@@ -1,0 +1,30 @@
+#include "nn/module.h"
+
+namespace umgad {
+namespace nn {
+
+std::vector<ag::VarPtr> Module::Parameters() const {
+  std::vector<ag::VarPtr> out = params_;
+  for (const Module* child : children_) {
+    std::vector<ag::VarPtr> sub = child->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t total = 0;
+  for (const auto& p : Parameters()) total += p->value().size();
+  return total;
+}
+
+ag::VarPtr Module::RegisterParameter(Tensor value) {
+  ag::VarPtr leaf = ag::Leaf(std::move(value));
+  params_.push_back(leaf);
+  return leaf;
+}
+
+void Module::RegisterChild(Module* child) { children_.push_back(child); }
+
+}  // namespace nn
+}  // namespace umgad

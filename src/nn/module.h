@@ -1,0 +1,40 @@
+#ifndef UMGAD_NN_MODULE_H_
+#define UMGAD_NN_MODULE_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace umgad {
+namespace nn {
+
+/// Base class for parameterised layers/models. A Module owns trainable
+/// leaves (ag::Leaf) and can register child modules; Parameters() flattens
+/// the tree for the optimiser.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters of this module and its registered children.
+  std::vector<ag::VarPtr> Parameters() const;
+
+  /// Number of scalar parameters (for model-size reporting).
+  int64_t ParameterCount() const;
+
+ protected:
+  /// Register a trainable tensor; returns the leaf handle.
+  ag::VarPtr RegisterParameter(Tensor value);
+  /// Register a child whose parameters are included in Parameters().
+  /// The child must outlive this module (members of the subclass).
+  void RegisterChild(Module* child);
+
+ private:
+  std::vector<ag::VarPtr> params_;
+  std::vector<Module*> children_;
+};
+
+}  // namespace nn
+}  // namespace umgad
+
+#endif  // UMGAD_NN_MODULE_H_

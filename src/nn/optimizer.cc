@@ -1,0 +1,62 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace umgad {
+namespace nn {
+
+void Sgd::Step() {
+  for (auto& p : params_) {
+    if (!p->has_grad()) continue;
+    Tensor& w = p->mutable_value();
+    const Tensor& g = p->grad();
+    float* wd = w.data();
+    const float* gd = g.data();
+    for (int64_t i = 0; i < w.size(); ++i) {
+      wd[i] -= lr_ * (gd[i] + weight_decay_ * wd[i]);
+    }
+  }
+}
+
+Adam::Adam(std::vector<ag::VarPtr> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p->value().rows(), p->value().cols());
+    v_.emplace_back(p->value().rows(), p->value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    auto& p = params_[k];
+    if (!p->has_grad()) continue;
+    Tensor& w = p->mutable_value();
+    const Tensor& g = p->grad();
+    float* wd = w.data();
+    const float* gd = g.data();
+    float* md = m_[k].data();
+    float* vd = v_[k].data();
+    for (int64_t i = 0; i < w.size(); ++i) {
+      const float grad = gd[i] + weight_decay_ * wd[i];
+      md[i] = beta1_ * md[i] + (1.0f - beta1_) * grad;
+      vd[i] = beta2_ * vd[i] + (1.0f - beta2_) * grad * grad;
+      const double mhat = md[i] / bc1;
+      const double vhat = vd[i] / bc2;
+      wd[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace umgad

@@ -1,0 +1,64 @@
+#ifndef UMGAD_NN_OPTIMIZER_H_
+#define UMGAD_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace umgad {
+namespace nn {
+
+/// Optimiser interface over a fixed parameter set. The usage pattern per
+/// training step is: ZeroGrad() -> build graph -> ag::Backward -> Step().
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::VarPtr> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  void ZeroGrad() { ag::ZeroGradAll(params_); }
+  virtual void Step() = 0;
+
+  const std::vector<ag::VarPtr>& params() const { return params_; }
+
+ protected:
+  std::vector<ag::VarPtr> params_;
+};
+
+/// Plain SGD with optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ag::VarPtr> params, float lr, float weight_decay = 0.0f)
+      : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+
+  void Step() override;
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba) with bias correction; the optimiser used for every
+/// trained model in the benchmarks.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ag::VarPtr> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace nn
+}  // namespace umgad
+
+#endif  // UMGAD_NN_OPTIMIZER_H_

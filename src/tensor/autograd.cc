@@ -1,0 +1,65 @@
+#include "tensor/autograd.h"
+
+#include <unordered_set>
+
+namespace umgad {
+namespace ag {
+
+VarPtr Leaf(Tensor value) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/true,
+                                "leaf");
+}
+
+VarPtr Constant(Tensor value) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/false,
+                                "const");
+}
+
+namespace {
+
+/// Iterative post-order DFS (graphs from K masking repeats x R relations can
+/// be deep enough that recursion is a liability).
+void TopoSort(Node* root, std::vector<Node*>* order) {
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_input;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0});
+  visited.insert(root);
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_input < top.node->inputs().size()) {
+      Node* child = top.node->inputs()[top.next_input].get();
+      ++top.next_input;
+      if (visited.insert(child).second) {
+        stack.push_back({child, 0});
+      }
+    } else {
+      order->push_back(top.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const VarPtr& root) {
+  UMGAD_CHECK_EQ(root->value().size(), 1);
+  std::vector<Node*> order;
+  TopoSort(root.get(), &order);
+  root->grad().Fill(1.0f);
+  // Post-order list has the root last; walk in reverse so every node's
+  // gradient is complete before its backward closure runs.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    (*it)->RunBackward();
+  }
+}
+
+void ZeroGradAll(const std::vector<VarPtr>& params) {
+  for (const auto& p : params) p->ZeroGrad();
+}
+
+}  // namespace ag
+}  // namespace umgad

@@ -1,0 +1,87 @@
+#ifndef UMGAD_TENSOR_AUTOGRAD_H_
+#define UMGAD_TENSOR_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace umgad {
+namespace ag {
+
+class Node;
+
+/// Shared handle to an autograd node. The computation graph is a DAG of
+/// Nodes built eagerly by the ops in tensor/ops.h; Backward() releases no
+/// memory — the graph is freed when the last VarPtr goes out of scope, which
+/// happens naturally at the end of a training step.
+using VarPtr = std::shared_ptr<Node>;
+
+/// One vertex of the reverse-mode tape: a value, the (lazily allocated)
+/// gradient accumulator, and a closure that pushes this node's gradient into
+/// its inputs' accumulators.
+class Node {
+ public:
+  Node(Tensor value, bool requires_grad, const char* op)
+      : value_(std::move(value)), requires_grad_(requires_grad), op_(op) {}
+
+  const Tensor& value() const { return value_; }
+  Tensor& mutable_value() { return value_; }
+
+  /// Gradient of the loss w.r.t. this node. Zero tensor until Backward()
+  /// reaches the node.
+  Tensor& grad() {
+    if (grad_.empty() && value_.size() > 0) {
+      grad_ = Tensor(value_.rows(), value_.cols());
+    }
+    return grad_;
+  }
+  bool has_grad() const { return !grad_.empty(); }
+  void ZeroGrad() {
+    if (!grad_.empty()) grad_.SetZero();
+  }
+
+  bool requires_grad() const { return requires_grad_; }
+  const char* op() const { return op_; }
+
+  const std::vector<VarPtr>& inputs() const { return inputs_; }
+
+  // --- Graph construction (used by ops.cc) ---
+  void set_inputs(std::vector<VarPtr> inputs) { inputs_ = std::move(inputs); }
+  void set_backward(std::function<void(Node*)> fn) {
+    backward_fn_ = std::move(fn);
+  }
+  void RunBackward() {
+    if (backward_fn_) backward_fn_(this);
+  }
+
+ private:
+  Tensor value_;
+  Tensor grad_;
+  bool requires_grad_;
+  const char* op_;
+  std::vector<VarPtr> inputs_;
+  std::function<void(Node*)> backward_fn_;
+};
+
+/// Trainable leaf (parameter).
+VarPtr Leaf(Tensor value);
+
+/// Non-trainable leaf (input data). Gradients are not propagated into it.
+VarPtr Constant(Tensor value);
+
+/// Reverse-mode sweep from a scalar (1x1) root. Accumulates into the grad()
+/// of every reachable node that requires a gradient. Safe to call on graphs
+/// that share subexpressions (each node's backward runs exactly once, after
+/// all its consumers).
+void Backward(const VarPtr& root);
+
+/// Convenience: zero the gradient accumulators of a parameter set.
+void ZeroGradAll(const std::vector<VarPtr>& params);
+
+}  // namespace ag
+}  // namespace umgad
+
+#endif  // UMGAD_TENSOR_AUTOGRAD_H_

@@ -1,0 +1,809 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace umgad {
+namespace ag {
+
+namespace {
+
+/// All ops funnel through this helper: the node requires a gradient iff any
+/// input does, and the backward closure is only attached in that case.
+VarPtr MakeNode(Tensor value, std::vector<VarPtr> inputs, const char* op,
+                std::function<void(Node*)> backward) {
+  bool needs_grad = false;
+  for (const auto& in : inputs) needs_grad = needs_grad || in->requires_grad();
+  auto node = std::make_shared<Node>(std::move(value), needs_grad, op);
+  node->set_inputs(std::move(inputs));
+  if (needs_grad) node->set_backward(std::move(backward));
+  return node;
+}
+
+bool Wants(const VarPtr& v) { return v->requires_grad(); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Elementwise / linear algebra
+// ---------------------------------------------------------------------------
+
+VarPtr Add(const VarPtr& a, const VarPtr& b) {
+  UMGAD_CHECK(a->value().SameShape(b->value()));
+  return MakeNode(umgad::Add(a->value(), b->value()), {a, b}, "add",
+                  [](Node* self) {
+                    const Tensor& g = self->grad();
+                    const auto& in = self->inputs();
+                    if (Wants(in[0])) in[0]->grad().AddInPlace(g);
+                    if (Wants(in[1])) in[1]->grad().AddInPlace(g);
+                  });
+}
+
+VarPtr Sub(const VarPtr& a, const VarPtr& b) {
+  UMGAD_CHECK(a->value().SameShape(b->value()));
+  return MakeNode(umgad::Sub(a->value(), b->value()), {a, b}, "sub",
+                  [](Node* self) {
+                    const Tensor& g = self->grad();
+                    const auto& in = self->inputs();
+                    if (Wants(in[0])) in[0]->grad().AddInPlace(g);
+                    if (Wants(in[1])) in[1]->grad().AxpyInPlace(-1.0f, g);
+                  });
+}
+
+VarPtr AddN(const std::vector<VarPtr>& xs) {
+  UMGAD_CHECK(!xs.empty());
+  Tensor acc = xs[0]->value();
+  for (size_t i = 1; i < xs.size(); ++i) acc.AddInPlace(xs[i]->value());
+  return MakeNode(std::move(acc), xs, "addn", [](Node* self) {
+    const Tensor& g = self->grad();
+    for (const auto& in : self->inputs()) {
+      if (Wants(in)) in->grad().AddInPlace(g);
+    }
+  });
+}
+
+VarPtr Hadamard(const VarPtr& a, const VarPtr& b) {
+  UMGAD_CHECK(a->value().SameShape(b->value()));
+  return MakeNode(
+      umgad::Hadamard(a->value(), b->value()), {a, b}, "hadamard",
+      [](Node* self) {
+        const Tensor& g = self->grad();
+        const auto& in = self->inputs();
+        if (Wants(in[0])) {
+          in[0]->grad().AddInPlace(umgad::Hadamard(g, in[1]->value()));
+        }
+        if (Wants(in[1])) {
+          in[1]->grad().AddInPlace(umgad::Hadamard(g, in[0]->value()));
+        }
+      });
+}
+
+VarPtr ScalarMul(const VarPtr& a, float alpha) {
+  return MakeNode(Scale(a->value(), alpha), {a}, "scalar_mul",
+                  [alpha](Node* self) {
+                    const auto& in = self->inputs();
+                    if (Wants(in[0])) {
+                      in[0]->grad().AxpyInPlace(alpha, self->grad());
+                    }
+                  });
+}
+
+VarPtr MatMul(const VarPtr& a, const VarPtr& b) {
+  return MakeNode(umgad::MatMul(a->value(), b->value()), {a, b}, "matmul",
+                  [](Node* self) {
+                    const Tensor& g = self->grad();
+                    const auto& in = self->inputs();
+                    if (Wants(in[0])) {
+                      in[0]->grad().AddInPlace(MatMulTransB(g, in[1]->value()));
+                    }
+                    if (Wants(in[1])) {
+                      in[1]->grad().AddInPlace(MatMulTransA(in[0]->value(), g));
+                    }
+                  });
+}
+
+VarPtr Spmm(std::shared_ptr<const SparseMatrix> s, const VarPtr& x) {
+  UMGAD_CHECK(s != nullptr);
+  return MakeNode(s->Multiply(x->value()), {x}, "spmm",
+                  [s](Node* self) {
+                    const auto& in = self->inputs();
+                    if (Wants(in[0])) {
+                      in[0]->grad().AddInPlace(
+                          s->MultiplyTransposed(self->grad()));
+                    }
+                  });
+}
+
+VarPtr AddRowBroadcast(const VarPtr& x, const VarPtr& bias) {
+  UMGAD_CHECK_EQ(bias->value().rows(), 1);
+  UMGAD_CHECK_EQ(bias->value().cols(), x->value().cols());
+  Tensor out = x->value();
+  const float* b = bias->value().data();
+  for (int i = 0; i < out.rows(); ++i) {
+    float* row = out.row(i);
+    for (int j = 0; j < out.cols(); ++j) row[j] += b[j];
+  }
+  return MakeNode(std::move(out), {x, bias}, "add_row_broadcast",
+                  [](Node* self) {
+                    const Tensor& g = self->grad();
+                    const auto& in = self->inputs();
+                    if (Wants(in[0])) in[0]->grad().AddInPlace(g);
+                    if (Wants(in[1])) {
+                      float* db = in[1]->grad().data();
+                      for (int i = 0; i < g.rows(); ++i) {
+                        const float* grow = g.row(i);
+                        for (int j = 0; j < g.cols(); ++j) db[j] += grow[j];
+                      }
+                    }
+                  });
+}
+
+// ---------------------------------------------------------------------------
+// Activations
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename Fwd, typename BwdFromInOut>
+VarPtr UnaryOp(const VarPtr& a, const char* name, Fwd fwd,
+               BwdFromInOut dval) {
+  Tensor out = a->value();
+  float* d = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) d[i] = fwd(d[i]);
+  return MakeNode(std::move(out), {a}, name, [dval](Node* self) {
+    const auto& in = self->inputs();
+    if (!Wants(in[0])) return;
+    const Tensor& g = self->grad();
+    const float* x = in[0]->value().data();
+    const float* y = self->value().data();
+    const float* gd = g.data();
+    float* dx = in[0]->grad().data();
+    for (int64_t i = 0; i < g.size(); ++i) {
+      dx[i] += gd[i] * dval(x[i], y[i]);
+    }
+  });
+}
+
+}  // namespace
+
+VarPtr Relu(const VarPtr& a) {
+  return UnaryOp(
+      a, "relu", [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+VarPtr LeakyRelu(const VarPtr& a, float slope) {
+  return UnaryOp(
+      a, "leaky_relu",
+      [slope](float x) { return x > 0.0f ? x : slope * x; },
+      [slope](float x, float) { return x > 0.0f ? 1.0f : slope; });
+}
+
+VarPtr Sigmoid(const VarPtr& a) {
+  return UnaryOp(
+      a, "sigmoid",
+      [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+VarPtr Tanh(const VarPtr& a) {
+  return UnaryOp(
+      a, "tanh", [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+VarPtr Elu(const VarPtr& a, float alpha) {
+  return UnaryOp(
+      a, "elu",
+      [alpha](float x) { return x > 0.0f ? x : alpha * (std::exp(x) - 1.0f); },
+      [alpha](float x, float y) { return x > 0.0f ? 1.0f : y + alpha; });
+}
+
+// ---------------------------------------------------------------------------
+// Row / shape ops
+// ---------------------------------------------------------------------------
+
+VarPtr RowL2Normalize(const VarPtr& a, float eps) {
+  const Tensor& x = a->value();
+  Tensor out = x;
+  std::vector<float> norms(x.rows());
+  for (int i = 0; i < x.rows(); ++i) {
+    double n = x.RowNorm(i);
+    norms[i] = static_cast<float>(n);
+    if (n < eps) continue;
+    float inv = static_cast<float>(1.0 / n);
+    float* r = out.row(i);
+    for (int j = 0; j < x.cols(); ++j) r[j] *= inv;
+  }
+  return MakeNode(
+      std::move(out), {a}, "row_l2_normalize",
+      [norms, eps](Node* self) {
+        const auto& in = self->inputs();
+        if (!Wants(in[0])) return;
+        const Tensor& g = self->grad();
+        const Tensor& y = self->value();
+        Tensor& dx = in[0]->grad();
+        const int d = g.cols();
+        for (int i = 0; i < g.rows(); ++i) {
+          if (norms[i] < eps) continue;
+          const float* grow = g.row(i);
+          const float* yrow = y.row(i);
+          double gy = 0.0;
+          for (int j = 0; j < d; ++j) gy += static_cast<double>(grow[j]) * yrow[j];
+          const float inv = 1.0f / norms[i];
+          float* dxrow = dx.row(i);
+          for (int j = 0; j < d; ++j) {
+            dxrow[j] += inv * (grow[j] - static_cast<float>(gy) * yrow[j]);
+          }
+        }
+      });
+}
+
+VarPtr GatherRows(const VarPtr& a, std::vector<int> idx) {
+  Tensor out = umgad::GatherRows(a->value(), idx);
+  return MakeNode(std::move(out), {a}, "gather_rows",
+                  [idx = std::move(idx)](Node* self) {
+                    const auto& in = self->inputs();
+                    if (!Wants(in[0])) return;
+                    const Tensor& g = self->grad();
+                    Tensor& dx = in[0]->grad();
+                    const int d = g.cols();
+                    for (size_t i = 0; i < idx.size(); ++i) {
+                      const float* grow = g.row(static_cast<int>(i));
+                      float* dxrow = dx.row(idx[i]);
+                      for (int j = 0; j < d; ++j) dxrow[j] += grow[j];
+                    }
+                  });
+}
+
+VarPtr MaskRows(const VarPtr& a, std::vector<int> masked_idx,
+                const VarPtr& token) {
+  const Tensor& x = a->value();
+  UMGAD_CHECK_EQ(token->value().rows(), 1);
+  UMGAD_CHECK_EQ(token->value().cols(), x.cols());
+  Tensor out = x;
+  const float* tok = token->value().data();
+  for (int i : masked_idx) {
+    UMGAD_CHECK(i >= 0 && i < x.rows());
+    std::copy(tok, tok + x.cols(), out.row(i));
+  }
+  std::vector<char> is_masked(x.rows(), 0);
+  for (int i : masked_idx) is_masked[i] = 1;
+  return MakeNode(
+      std::move(out), {a, token}, "mask_rows",
+      [flags = std::move(is_masked)](Node* self) {
+        const Tensor& g = self->grad();
+        const auto& in = self->inputs();
+        const int d = g.cols();
+        if (Wants(in[0])) {
+          Tensor& dx = in[0]->grad();
+          for (int i = 0; i < g.rows(); ++i) {
+            if (flags[i]) continue;
+            const float* grow = g.row(i);
+            float* dxrow = dx.row(i);
+            for (int j = 0; j < d; ++j) dxrow[j] += grow[j];
+          }
+        }
+        if (Wants(in[1])) {
+          float* dtok = in[1]->grad().data();
+          for (int i = 0; i < g.rows(); ++i) {
+            if (!flags[i]) continue;
+            const float* grow = g.row(i);
+            for (int j = 0; j < d; ++j) dtok[j] += grow[j];
+          }
+        }
+      });
+}
+
+VarPtr SimplexWeightedSum(const std::vector<VarPtr>& xs,
+                          const VarPtr& logits) {
+  const int r_count = static_cast<int>(xs.size());
+  UMGAD_CHECK_GT(r_count, 0);
+  UMGAD_CHECK_EQ(logits->value().rows(), 1);
+  UMGAD_CHECK_EQ(logits->value().cols(), r_count);
+
+  // softmax over logits (stable).
+  std::vector<float> w(r_count);
+  {
+    const float* l = logits->value().data();
+    float mx = l[0];
+    for (int r = 1; r < r_count; ++r) mx = std::max(mx, l[r]);
+    double denom = 0.0;
+    for (int r = 0; r < r_count; ++r) {
+      w[r] = std::exp(l[r] - mx);
+      denom += w[r];
+    }
+    for (int r = 0; r < r_count; ++r) {
+      w[r] = static_cast<float>(w[r] / denom);
+    }
+  }
+
+  Tensor out(xs[0]->value().rows(), xs[0]->value().cols());
+  for (int r = 0; r < r_count; ++r) {
+    UMGAD_CHECK(xs[r]->value().SameShape(out));
+    out.AxpyInPlace(w[r], xs[r]->value());
+  }
+
+  std::vector<VarPtr> inputs = xs;
+  inputs.push_back(logits);
+  return MakeNode(
+      std::move(out), std::move(inputs), "simplex_weighted_sum",
+      [w, r_count](Node* self) {
+        const Tensor& g = self->grad();
+        const auto& in = self->inputs();
+        std::vector<double> s(r_count, 0.0);
+        for (int r = 0; r < r_count; ++r) {
+          const float* xr = in[r]->value().data();
+          const float* gd = g.data();
+          double acc = 0.0;
+          for (int64_t i = 0; i < g.size(); ++i) {
+            acc += static_cast<double>(gd[i]) * xr[i];
+          }
+          s[r] = acc;
+          if (Wants(in[r])) in[r]->grad().AxpyInPlace(w[r], g);
+        }
+        const VarPtr& logits_in = in[r_count];
+        if (Wants(logits_in)) {
+          double mean_s = 0.0;
+          for (int r = 0; r < r_count; ++r) mean_s += w[r] * s[r];
+          float* dl = logits_in->grad().data();
+          for (int r = 0; r < r_count; ++r) {
+            dl[r] += static_cast<float>(w[r] * (s[r] - mean_s));
+          }
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+VarPtr Sum(const VarPtr& a) {
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(a->value().Sum());
+  return MakeNode(std::move(out), {a}, "sum", [](Node* self) {
+    const auto& in = self->inputs();
+    if (!Wants(in[0])) return;
+    const float gv = self->grad().scalar();
+    Tensor& dx = in[0]->grad();
+    float* d = dx.data();
+    for (int64_t i = 0; i < dx.size(); ++i) d[i] += gv;
+  });
+}
+
+VarPtr Mean(const VarPtr& a) {
+  const int64_t n = a->value().size();
+  UMGAD_CHECK_GT(n, 0);
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(a->value().Sum() / static_cast<double>(n));
+  return MakeNode(std::move(out), {a}, "mean", [n](Node* self) {
+    const auto& in = self->inputs();
+    if (!Wants(in[0])) return;
+    const float gv = self->grad().scalar() / static_cast<float>(n);
+    Tensor& dx = in[0]->grad();
+    float* d = dx.data();
+    for (int64_t i = 0; i < dx.size(); ++i) d[i] += gv;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fused losses
+// ---------------------------------------------------------------------------
+
+VarPtr ScaledCosineLoss(const VarPtr& recon, const Tensor& target,
+                        std::vector<int> idx, float eta) {
+  UMGAD_CHECK(recon->value().SameShape(target));
+  UMGAD_CHECK(!idx.empty());
+  UMGAD_CHECK_GE(eta, 1.0f);
+  constexpr double kEps = 1e-12;
+
+  const Tensor& r = recon->value();
+  const int m = static_cast<int>(idx.size());
+  std::vector<double> cos(m, 0.0);
+  std::vector<double> rnorm(m, 0.0);
+  std::vector<double> tnorm(m, 0.0);
+  double loss = 0.0;
+  for (int k = 0; k < m; ++k) {
+    const int i = idx[k];
+    rnorm[k] = r.RowNorm(i);
+    tnorm[k] = target.RowNorm(i);
+    if (rnorm[k] < kEps || tnorm[k] < kEps) {
+      cos[k] = 0.0;
+    } else {
+      cos[k] = r.RowDot(i, target, i) / (rnorm[k] * tnorm[k]);
+      cos[k] = std::clamp(cos[k], -1.0, 1.0);
+    }
+    loss += std::pow(1.0 - cos[k], static_cast<double>(eta));
+  }
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(loss / m);
+
+  return MakeNode(
+      std::move(out), {recon}, "scaled_cosine_loss",
+      [idx = std::move(idx), target, eta, cos = std::move(cos),
+       rnorm = std::move(rnorm), tnorm = std::move(tnorm)](Node* self) {
+        const auto& in = self->inputs();
+        if (!Wants(in[0])) return;
+        const double gv = self->grad().scalar();
+        const Tensor& r = in[0]->value();
+        Tensor& dr = in[0]->grad();
+        const int m = static_cast<int>(idx.size());
+        const int d = r.cols();
+        for (int k = 0; k < m; ++k) {
+          if (rnorm[k] < kEps || tnorm[k] < kEps) continue;
+          const int i = idx[k];
+          // dL/dcos = -(eta/m) * (1 - cos)^(eta-1)
+          const double dldc =
+              -gv * (static_cast<double>(eta) / m) *
+              std::pow(std::max(0.0, 1.0 - cos[k]),
+                       static_cast<double>(eta) - 1.0);
+          const double inv_rt = 1.0 / (rnorm[k] * tnorm[k]);
+          const double c_over_r2 = cos[k] / (rnorm[k] * rnorm[k]);
+          const float* rrow = r.row(i);
+          const float* trow = target.row(i);
+          float* drrow = dr.row(i);
+          for (int j = 0; j < d; ++j) {
+            drrow[j] += static_cast<float>(
+                dldc * (trow[j] * inv_rt - c_over_r2 * rrow[j]));
+          }
+        }
+      });
+}
+
+VarPtr MseLoss(const VarPtr& recon, const Tensor& target,
+               std::vector<int> idx) {
+  UMGAD_CHECK(recon->value().SameShape(target));
+  if (idx.empty()) {
+    idx.resize(recon->value().rows());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
+  }
+  const Tensor& r = recon->value();
+  const int d = r.cols();
+  const double denom = static_cast<double>(idx.size()) * d;
+  double loss = 0.0;
+  for (int i : idx) {
+    const float* rr = r.row(i);
+    const float* tr = target.row(i);
+    for (int j = 0; j < d; ++j) {
+      const double diff = static_cast<double>(rr[j]) - tr[j];
+      loss += diff * diff;
+    }
+  }
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(loss / denom);
+  return MakeNode(std::move(out), {recon}, "mse_loss",
+                  [idx = std::move(idx), target, denom](Node* self) {
+                    const auto& in = self->inputs();
+                    if (!Wants(in[0])) return;
+                    const double gv = self->grad().scalar();
+                    const Tensor& r = in[0]->value();
+                    Tensor& dr = in[0]->grad();
+                    const int d = r.cols();
+                    const double coef = gv * 2.0 / denom;
+                    for (int i : idx) {
+                      const float* rr = r.row(i);
+                      const float* tr = target.row(i);
+                      float* drr = dr.row(i);
+                      for (int j = 0; j < d; ++j) {
+                        drr[j] += static_cast<float>(
+                            coef * (static_cast<double>(rr[j]) - tr[j]));
+                      }
+                    }
+                  });
+}
+
+VarPtr MaskedEdgeSoftmaxCE(const VarPtr& z,
+                           std::vector<EdgeCandidateSet> sets) {
+  UMGAD_CHECK(!sets.empty());
+  const Tensor& zv = z->value();
+  const int m = static_cast<int>(sets.size());
+  std::vector<std::vector<float>> probs(m);
+  double loss = 0.0;
+  for (int e = 0; e < m; ++e) {
+    const auto& set = sets[e];
+    UMGAD_CHECK(!set.cands.empty());
+    const int nc = static_cast<int>(set.cands.size());
+    std::vector<double> scores(nc);
+    double mx = -1e300;
+    for (int c = 0; c < nc; ++c) {
+      scores[c] = zv.RowDot(set.src, zv, set.cands[c]);
+      mx = std::max(mx, scores[c]);
+    }
+    double denom = 0.0;
+    for (int c = 0; c < nc; ++c) {
+      scores[c] = std::exp(scores[c] - mx);
+      denom += scores[c];
+    }
+    probs[e].resize(nc);
+    for (int c = 0; c < nc; ++c) {
+      probs[e][c] = static_cast<float>(scores[c] / denom);
+    }
+    loss += -std::log(std::max(static_cast<double>(probs[e][0]), 1e-30));
+  }
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(loss / m);
+
+  return MakeNode(
+      std::move(out), {z}, "masked_edge_softmax_ce",
+      [sets = std::move(sets), probs = std::move(probs)](Node* self) {
+        const auto& in = self->inputs();
+        if (!Wants(in[0])) return;
+        const double gv = self->grad().scalar();
+        const Tensor& zv = in[0]->value();
+        Tensor& dz = in[0]->grad();
+        const int d = zv.cols();
+        const double coef = gv / static_cast<double>(sets.size());
+        for (size_t e = 0; e < sets.size(); ++e) {
+          const auto& set = sets[e];
+          const float* zsrc = zv.row(set.src);
+          float* dzsrc = dz.row(set.src);
+          for (size_t c = 0; c < set.cands.size(); ++c) {
+            const double delta =
+                coef * (probs[e][c] - (c == 0 ? 1.0 : 0.0));
+            const float* zc = zv.row(set.cands[c]);
+            float* dzc = dz.row(set.cands[c]);
+            for (int j = 0; j < d; ++j) {
+              dzsrc[j] += static_cast<float>(delta * zc[j]);
+              dzc[j] += static_cast<float>(delta * zsrc[j]);
+            }
+          }
+        }
+      });
+}
+
+VarPtr PairDotBceLoss(const VarPtr& a, const VarPtr& b,
+                      std::vector<float> labels) {
+  const Tensor& av = a->value();
+  const Tensor& bv = b->value();
+  UMGAD_CHECK_EQ(av.rows(), bv.rows());
+  UMGAD_CHECK_EQ(av.cols(), bv.cols());
+  UMGAD_CHECK_EQ(static_cast<size_t>(av.rows()), labels.size());
+  const int m = av.rows();
+  double loss = 0.0;
+  std::vector<float> sig(m);
+  for (int i = 0; i < m; ++i) {
+    const double s = av.RowDot(i, bv, i);
+    // Numerically stable BCE-with-logits.
+    loss += std::max(s, 0.0) - s * labels[i] + std::log1p(std::exp(-std::abs(s)));
+    sig[i] = static_cast<float>(1.0 / (1.0 + std::exp(-s)));
+  }
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(loss / m);
+  return MakeNode(
+      std::move(out), {a, b}, "pair_dot_bce",
+      [labels = std::move(labels), sig = std::move(sig)](Node* self) {
+        const auto& in = self->inputs();
+        const double gv = self->grad().scalar();
+        const Tensor& av = in[0]->value();
+        const Tensor& bv = in[1]->value();
+        const int m = av.rows();
+        const int d = av.cols();
+        const double coef = gv / m;
+        for (int i = 0; i < m; ++i) {
+          const double dls = coef * (sig[i] - labels[i]);
+          if (Wants(in[0])) {
+            float* da = in[0]->grad().row(i);
+            const float* br = bv.row(i);
+            for (int j = 0; j < d; ++j) {
+              da[j] += static_cast<float>(dls * br[j]);
+            }
+          }
+          if (Wants(in[1])) {
+            float* db = in[1]->grad().row(i);
+            const float* ar = av.row(i);
+            for (int j = 0; j < d; ++j) {
+              db[j] += static_cast<float>(dls * ar[j]);
+            }
+          }
+        }
+      });
+}
+
+VarPtr DualContrastiveLoss(const VarPtr& zo, const VarPtr& za,
+                           std::vector<int> neg_idx) {
+  const Tensor& o = zo->value();
+  const Tensor& a = za->value();
+  UMGAD_CHECK(o.SameShape(a));
+  UMGAD_CHECK_EQ(static_cast<size_t>(o.rows()), neg_idx.size());
+  const int n = o.rows();
+  double loss = 0.0;
+  std::vector<float> sig1(n);
+  std::vector<float> sig2(n);
+  for (int i = 0; i < n; ++i) {
+    const int j = neg_idx[i];
+    const double sp = o.RowDot(i, a, i);
+    const double s1 = o.RowDot(i, o, j);
+    const double s2 = o.RowDot(i, a, j);
+    const double mx = std::max(s1, s2);
+    const double lse = mx + std::log(std::exp(s1 - mx) + std::exp(s2 - mx));
+    loss += -sp + lse;
+    sig1[i] = static_cast<float>(std::exp(s1 - lse));
+    sig2[i] = static_cast<float>(std::exp(s2 - lse));
+  }
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(loss / n);
+  return MakeNode(
+      std::move(out), {zo, za}, "dual_contrastive",
+      [neg_idx = std::move(neg_idx), sig1 = std::move(sig1),
+       sig2 = std::move(sig2)](Node* self) {
+        const auto& in = self->inputs();
+        const double gv = self->grad().scalar();
+        const Tensor& o = in[0]->value();
+        const Tensor& a = in[1]->value();
+        const int n = o.rows();
+        const int d = o.cols();
+        const double coef = gv / n;
+        const bool wo = Wants(in[0]);
+        const bool wa = Wants(in[1]);
+        for (int i = 0; i < n; ++i) {
+          const int j = neg_idx[i];
+          const float* oi = o.row(i);
+          const float* oj = o.row(j);
+          const float* ai = a.row(i);
+          const float* aj = a.row(j);
+          if (wo) {
+            float* doi = in[0]->grad().row(i);
+            float* doj = in[0]->grad().row(j);
+            for (int k = 0; k < d; ++k) {
+              doi[k] += static_cast<float>(
+                  coef * (-ai[k] + sig1[i] * oj[k] + sig2[i] * aj[k]));
+              doj[k] += static_cast<float>(coef * sig1[i] * oi[k]);
+            }
+          }
+          if (wa) {
+            float* dai = in[1]->grad().row(i);
+            float* daj = in[1]->grad().row(j);
+            for (int k = 0; k < d; ++k) {
+              dai[k] += static_cast<float>(-coef * oi[k]);
+              daj[k] += static_cast<float>(coef * sig2[i] * oi[k]);
+            }
+          }
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Graph attention
+// ---------------------------------------------------------------------------
+
+VarPtr GatAttention(const VarPtr& h, const VarPtr& a_src, const VarPtr& a_dst,
+                    std::shared_ptr<const SparseMatrix> adj, float slope) {
+  UMGAD_CHECK(adj != nullptr);
+  const Tensor& hv = h->value();
+  const int n = hv.rows();
+  const int d = hv.cols();
+  UMGAD_CHECK_EQ(adj->rows(), n);
+  UMGAD_CHECK_EQ(a_src->value().cols(), d);
+  UMGAD_CHECK_EQ(a_dst->value().cols(), d);
+
+  // Per-node projections s_i = <a_src, h_i>, t_i = <a_dst, h_i>.
+  std::vector<double> s(n, 0.0);
+  std::vector<double> t(n, 0.0);
+  const float* asv = a_src->value().data();
+  const float* adv = a_dst->value().data();
+  for (int i = 0; i < n; ++i) {
+    const float* hr = hv.row(i);
+    double ss = 0.0;
+    double tt = 0.0;
+    for (int j = 0; j < d; ++j) {
+      ss += static_cast<double>(asv[j]) * hr[j];
+      tt += static_cast<double>(adv[j]) * hr[j];
+    }
+    s[i] = ss;
+    t[i] = tt;
+  }
+
+  const auto& row_ptr = adj->row_ptr();
+  const auto& cols = adj->col_idx();
+  std::vector<float> alpha(adj->nnz(), 0.0f);
+  std::vector<char> pos(adj->nnz(), 0);  // pre-activation sign per edge
+  Tensor out(n, d);
+  for (int i = 0; i < n; ++i) {
+    const int64_t begin = row_ptr[i];
+    const int64_t end = row_ptr[i + 1];
+    if (begin == end) continue;
+    double mx = -1e300;
+    for (int64_t k = begin; k < end; ++k) {
+      const double zraw = s[i] + t[cols[k]];
+      pos[k] = zraw > 0.0 ? 1 : 0;
+      const double e = zraw > 0.0 ? zraw : slope * zraw;
+      alpha[k] = static_cast<float>(e);
+      mx = std::max(mx, e);
+    }
+    double denom = 0.0;
+    for (int64_t k = begin; k < end; ++k) {
+      alpha[k] = static_cast<float>(std::exp(alpha[k] - mx));
+      denom += alpha[k];
+    }
+    float* orow = out.row(i);
+    for (int64_t k = begin; k < end; ++k) {
+      alpha[k] = static_cast<float>(alpha[k] / denom);
+      const float* hj = hv.row(cols[k]);
+      for (int j = 0; j < d; ++j) orow[j] += alpha[k] * hj[j];
+    }
+  }
+
+  return MakeNode(
+      std::move(out), {h, a_src, a_dst}, "gat_attention",
+      [adj, slope, alpha = std::move(alpha),
+       pos = std::move(pos)](Node* self) {
+        const auto& in = self->inputs();
+        const Tensor& g = self->grad();
+        const Tensor& hv = in[0]->value();
+        const int n = hv.rows();
+        const int d = hv.cols();
+        const auto& row_ptr = adj->row_ptr();
+        const auto& cols = adj->col_idx();
+
+        std::vector<double> ds(n, 0.0);
+        std::vector<double> dt(n, 0.0);
+        const bool wh = Wants(in[0]);
+
+        for (int i = 0; i < n; ++i) {
+          const int64_t begin = row_ptr[i];
+          const int64_t end = row_ptr[i + 1];
+          if (begin == end) continue;
+          const float* grow = g.row(i);
+          // dalpha_k = <g_i, h_{j_k}>, then softmax backward.
+          double weighted = 0.0;
+          std::vector<double> dalpha(end - begin);
+          for (int64_t k = begin; k < end; ++k) {
+            const float* hj = hv.row(cols[k]);
+            double acc = 0.0;
+            for (int j = 0; j < d; ++j) {
+              acc += static_cast<double>(grow[j]) * hj[j];
+            }
+            dalpha[k - begin] = acc;
+            weighted += alpha[k] * acc;
+          }
+          for (int64_t k = begin; k < end; ++k) {
+            const double de = alpha[k] * (dalpha[k - begin] - weighted);
+            const double dz = pos[k] ? de : slope * de;
+            ds[i] += dz;
+            dt[cols[k]] += dz;
+            if (wh) {
+              // Aggregation term: dH_j += alpha * g_i.
+              float* dhj = in[0]->grad().row(cols[k]);
+              for (int j = 0; j < d; ++j) {
+                dhj[j] += alpha[k] * grow[j];
+              }
+            }
+          }
+        }
+
+        const float* asv = in[1]->value().data();
+        const float* adv = in[2]->value().data();
+        if (wh) {
+          Tensor& dh = in[0]->grad();
+          for (int i = 0; i < n; ++i) {
+            float* dhr = dh.row(i);
+            for (int j = 0; j < d; ++j) {
+              dhr[j] += static_cast<float>(ds[i] * asv[j] + dt[i] * adv[j]);
+            }
+          }
+        }
+        if (Wants(in[1])) {
+          float* das = in[1]->grad().data();
+          for (int i = 0; i < n; ++i) {
+            if (ds[i] == 0.0) continue;
+            const float* hr = hv.row(i);
+            for (int j = 0; j < d; ++j) {
+              das[j] += static_cast<float>(ds[i] * hr[j]);
+            }
+          }
+        }
+        if (Wants(in[2])) {
+          float* dad = in[2]->grad().data();
+          for (int i = 0; i < n; ++i) {
+            if (dt[i] == 0.0) continue;
+            const float* hr = hv.row(i);
+            for (int j = 0; j < d; ++j) {
+              dad[j] += static_cast<float>(dt[i] * hr[j]);
+            }
+          }
+        }
+      });
+}
+
+}  // namespace ag
+}  // namespace umgad

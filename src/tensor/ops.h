@@ -1,0 +1,127 @@
+#ifndef UMGAD_TENSOR_OPS_H_
+#define UMGAD_TENSOR_OPS_H_
+
+#include <memory>
+#include <vector>
+
+#include "tensor/autograd.h"
+#include "tensor/sparse.h"
+
+namespace umgad {
+namespace ag {
+
+// ---------------------------------------------------------------------------
+// Elementwise / linear algebra
+// ---------------------------------------------------------------------------
+
+VarPtr Add(const VarPtr& a, const VarPtr& b);
+VarPtr Sub(const VarPtr& a, const VarPtr& b);
+VarPtr AddN(const std::vector<VarPtr>& xs);
+VarPtr Hadamard(const VarPtr& a, const VarPtr& b);
+VarPtr ScalarMul(const VarPtr& a, float alpha);
+
+/// C = A * B (dense).
+VarPtr MatMul(const VarPtr& a, const VarPtr& b);
+
+/// Y = S * X with a constant sparse operator (the normalised adjacency).
+/// The matrix is shared, not copied; it must outlive the graph, which holds
+/// a reference via shared_ptr.
+VarPtr Spmm(std::shared_ptr<const SparseMatrix> s, const VarPtr& x);
+
+/// Y = X + 1*bias^T broadcast over rows; bias is 1 x d.
+VarPtr AddRowBroadcast(const VarPtr& x, const VarPtr& bias);
+
+// ---------------------------------------------------------------------------
+// Activations
+// ---------------------------------------------------------------------------
+
+VarPtr Relu(const VarPtr& a);
+VarPtr LeakyRelu(const VarPtr& a, float slope);
+VarPtr Sigmoid(const VarPtr& a);
+VarPtr Tanh(const VarPtr& a);
+VarPtr Elu(const VarPtr& a, float alpha = 1.0f);
+
+// ---------------------------------------------------------------------------
+// Row / shape ops
+// ---------------------------------------------------------------------------
+
+/// Per-row L2 normalisation; rows with norm < eps pass through unscaled with
+/// zero gradient (they only arise from degenerate inputs).
+VarPtr RowL2Normalize(const VarPtr& a, float eps = 1e-12f);
+
+/// out.row(i) = a.row(idx[i]).
+VarPtr GatherRows(const VarPtr& a, std::vector<int> idx);
+
+/// Copy of `a` with rows in `masked_idx` replaced by the (learnable) 1 x d
+/// `token` — the paper's [MASK] token substitution (Eq. 1).
+VarPtr MaskRows(const VarPtr& a, std::vector<int> masked_idx,
+                const VarPtr& token);
+
+/// y = sum_r softmax(logits)_r * xs[r]. Learnable relation fusion (Eq. 3):
+/// the logits are free parameters and the weights live on the simplex.
+VarPtr SimplexWeightedSum(const std::vector<VarPtr>& xs,
+                          const VarPtr& logits);
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+VarPtr Sum(const VarPtr& a);
+VarPtr Mean(const VarPtr& a);
+
+// ---------------------------------------------------------------------------
+// Fused losses
+// ---------------------------------------------------------------------------
+
+/// Scaled cosine reconstruction error over a row subset (Eq. 4 / Eq. 13):
+///   L = (1/|idx|) * sum_{i in idx} (1 - cos(recon_i, target_i))^eta.
+/// `target` carries no gradient.
+VarPtr ScaledCosineLoss(const VarPtr& recon, const Tensor& target,
+                        std::vector<int> idx, float eta);
+
+/// Mean squared error over all entries (or a row subset if idx not empty).
+VarPtr MseLoss(const VarPtr& recon, const Tensor& target,
+               std::vector<int> idx = {});
+
+/// One masked edge with its softmax candidate set; cands[0] is the true
+/// (masked) endpoint, the rest are negative samples.
+struct EdgeCandidateSet {
+  int src = 0;
+  std::vector<int> cands;
+};
+
+/// Masked-edge reconstruction loss (Eq. 7): mean over sets of
+///   -log softmax_c(z_src . z_cand)[0].
+VarPtr MaskedEdgeSoftmaxCE(const VarPtr& z,
+                           std::vector<EdgeCandidateSet> sets);
+
+/// Pairwise dot-product BCE: mean_i BCE(sigmoid(a_i . b_i), labels_i).
+/// The discriminator loss used by the contrastive baselines.
+VarPtr PairDotBceLoss(const VarPtr& a, const VarPtr& b,
+                      std::vector<float> labels);
+
+/// Dual-view contrastive loss (Eq. 17) between original-view rows `zo` and
+/// augmented-view rows `za`, with per-node negatives `neg_idx`:
+///   L = mean_i [ -zo_i . za_i + log(e^{zo_i . zo_j} + e^{zo_i . za_j}) ],
+/// j = neg_idx[i]. Inputs should be row-normalised for numeric stability.
+VarPtr DualContrastiveLoss(const VarPtr& zo, const VarPtr& za,
+                           std::vector<int> neg_idx);
+
+// ---------------------------------------------------------------------------
+// Graph attention
+// ---------------------------------------------------------------------------
+
+/// Single-head GAT aggregation: given projected features H (N x d) and
+/// attention vectors a_src, a_dst (1 x d),
+///   e_ij   = LeakyReLU(<a_src, h_i> + <a_dst, h_j>)  for j in N(i) u {i},
+///   alpha  = softmax_j(e_ij),
+///   out_i  = sum_j alpha_ij h_j.
+/// The adjacency must contain self-loops if self-attention is desired (the
+/// callers add them). Backward differentiates through the edge softmax.
+VarPtr GatAttention(const VarPtr& h, const VarPtr& a_src, const VarPtr& a_dst,
+                    std::shared_ptr<const SparseMatrix> adj, float slope);
+
+}  // namespace ag
+}  // namespace umgad
+
+#endif  // UMGAD_TENSOR_OPS_H_

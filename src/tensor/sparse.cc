@@ -1,0 +1,197 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace umgad {
+
+SparseMatrix SparseMatrix::FromCoo(int rows, int cols,
+                                   const std::vector<int>& coo_rows,
+                                   const std::vector<int>& coo_cols,
+                                   const std::vector<float>& values) {
+  UMGAD_CHECK_EQ(coo_rows.size(), coo_cols.size());
+  UMGAD_CHECK_EQ(coo_rows.size(), values.size());
+  const size_t nnz_in = coo_rows.size();
+
+  std::vector<size_t> order(nnz_in);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (coo_rows[a] != coo_rows[b]) return coo_rows[a] < coo_rows[b];
+    return coo_cols[a] < coo_cols[b];
+  });
+
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(nnz_in);
+  m.values_.reserve(nnz_in);
+
+  int prev_r = -1;
+  int prev_c = -1;
+  for (size_t k = 0; k < nnz_in; ++k) {
+    const int r = coo_rows[order[k]];
+    const int c = coo_cols[order[k]];
+    const float v = values[order[k]];
+    UMGAD_CHECK(r >= 0 && r < rows && c >= 0 && c < cols);
+    if (r == prev_r && c == prev_c) {
+      m.values_.back() += v;  // merge duplicates
+      continue;
+    }
+    m.col_idx_.push_back(c);
+    m.values_.push_back(v);
+    m.row_ptr_[r + 1] += 1;
+    prev_r = r;
+    prev_c = c;
+  }
+  for (int i = 0; i < rows; ++i) m.row_ptr_[i + 1] += m.row_ptr_[i];
+  return m;
+}
+
+SparseMatrix SparseMatrix::FromEdges(int n, const std::vector<Edge>& edges,
+                                     bool symmetrize) {
+  std::vector<int> r;
+  std::vector<int> c;
+  r.reserve(edges.size() * (symmetrize ? 2 : 1));
+  c.reserve(r.capacity());
+  for (const Edge& e : edges) {
+    r.push_back(e.src);
+    c.push_back(e.dst);
+    if (symmetrize && e.src != e.dst) {
+      r.push_back(e.dst);
+      c.push_back(e.src);
+    }
+  }
+  std::vector<float> v(r.size(), 1.0f);
+  SparseMatrix m = FromCoo(n, n, r, c, v);
+  // Clamp merged duplicates back to 1 so the result stays a 0/1 adjacency.
+  for (auto& val : m.values_) val = 1.0f;
+  return m;
+}
+
+SparseMatrix SparseMatrix::Identity(int n) {
+  SparseMatrix m;
+  m.rows_ = n;
+  m.cols_ = n;
+  m.row_ptr_.resize(n + 1);
+  m.col_idx_.resize(n);
+  m.values_.assign(n, 1.0f);
+  for (int i = 0; i < n; ++i) {
+    m.row_ptr_[i] = i;
+    m.col_idx_[i] = i;
+  }
+  m.row_ptr_[n] = n;
+  return m;
+}
+
+bool SparseMatrix::Has(int i, int j) const {
+  UMGAD_CHECK(i >= 0 && i < rows_);
+  auto begin = col_idx_.begin() + row_ptr_[i];
+  auto end = col_idx_.begin() + row_ptr_[i + 1];
+  return std::binary_search(begin, end, j);
+}
+
+Tensor SparseMatrix::Multiply(const Tensor& x) const {
+  UMGAD_CHECK_EQ(cols_, x.rows());
+  const int d = x.cols();
+  Tensor y(rows_, d);
+  for (int i = 0; i < rows_; ++i) {
+    float* yrow = y.row(i);
+    for (int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const float v = values_[k];
+      const float* xrow = x.row(col_idx_[k]);
+      for (int j = 0; j < d; ++j) yrow[j] += v * xrow[j];
+    }
+  }
+  return y;
+}
+
+Tensor SparseMatrix::MultiplyTransposed(const Tensor& x) const {
+  UMGAD_CHECK_EQ(rows_, x.rows());
+  const int d = x.cols();
+  Tensor y(cols_, d);
+  for (int i = 0; i < rows_; ++i) {
+    const float* xrow = x.row(i);
+    for (int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const float v = values_[k];
+      float* yrow = y.row(col_idx_[k]);
+      for (int j = 0; j < d; ++j) yrow[j] += v * xrow[j];
+    }
+  }
+  return y;
+}
+
+std::vector<double> SparseMatrix::RowSums() const {
+  std::vector<double> sums(rows_, 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    for (int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      sums[i] += values_[k];
+    }
+  }
+  return sums;
+}
+
+SparseMatrix SparseMatrix::NormalizedWithSelfLoops() const {
+  UMGAD_CHECK_EQ(rows_, cols_);
+  const int n = rows_;
+  // Degrees of (S + I).
+  std::vector<double> deg = RowSums();
+  for (int i = 0; i < n; ++i) deg[i] += 1.0;
+
+  std::vector<int> r;
+  std::vector<int> c;
+  std::vector<float> v;
+  r.reserve(nnz() + n);
+  c.reserve(nnz() + n);
+  v.reserve(nnz() + n);
+  auto inv_sqrt = [&](int i) { return 1.0 / std::sqrt(deg[i]); };
+  for (int i = 0; i < n; ++i) {
+    for (int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const int j = col_idx_[k];
+      r.push_back(i);
+      c.push_back(j);
+      v.push_back(static_cast<float>(values_[k] * inv_sqrt(i) * inv_sqrt(j)));
+    }
+    r.push_back(i);
+    c.push_back(i);
+    v.push_back(static_cast<float>(inv_sqrt(i) * inv_sqrt(i)));
+  }
+  return FromCoo(n, n, r, c, v);
+}
+
+SparseMatrix SparseMatrix::RowNormalized() const {
+  std::vector<double> deg = RowSums();
+  SparseMatrix m = *this;
+  for (int i = 0; i < rows_; ++i) {
+    if (deg[i] <= 0.0) continue;
+    const float inv = static_cast<float>(1.0 / deg[i]);
+    for (int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      m.values_[k] *= inv;
+    }
+  }
+  return m;
+}
+
+std::vector<Edge> SparseMatrix::ToEdges() const {
+  std::vector<Edge> out;
+  out.reserve(nnz());
+  for (int i = 0; i < rows_; ++i) {
+    for (int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      out.push_back(Edge{i, col_idx_[k]});
+    }
+  }
+  return out;
+}
+
+Tensor SparseMatrix::ToDense() const {
+  Tensor d(rows_, cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      d.at(i, col_idx_[k]) += values_[k];
+    }
+  }
+  return d;
+}
+
+}  // namespace umgad

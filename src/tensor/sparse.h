@@ -1,0 +1,96 @@
+#ifndef UMGAD_TENSOR_SPARSE_H_
+#define UMGAD_TENSOR_SPARSE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace umgad {
+
+/// An undirected or directed edge (row, col) used by COO builders.
+struct Edge {
+  int src = 0;
+  int dst = 0;
+};
+
+/// Compressed-sparse-row float matrix. Used for adjacency matrices and their
+/// normalised variants; values default to 1.0 for unweighted graphs.
+///
+/// CSR is immutable after construction — graph perturbations (edge masking,
+/// subgraph removal) build new instances, mirroring how the paper recreates
+/// perturbed subgraphs per masking repeat.
+class SparseMatrix {
+ public:
+  SparseMatrix() : rows_(0), cols_(0) {}
+
+  /// Build from COO triplets. Duplicate (r,c) entries are summed. Entries
+  /// are sorted by (row, col).
+  static SparseMatrix FromCoo(int rows, int cols,
+                              const std::vector<int>& coo_rows,
+                              const std::vector<int>& coo_cols,
+                              const std::vector<float>& values);
+
+  /// Unweighted adjacency from an edge list. If `symmetrize` is true every
+  /// edge is inserted in both directions (self-duplicates collapse).
+  static SparseMatrix FromEdges(int n, const std::vector<Edge>& edges,
+                                bool symmetrize);
+
+  static SparseMatrix Identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  int RowNnz(int i) const {
+    return static_cast<int>(row_ptr_[i + 1] - row_ptr_[i]);
+  }
+
+  /// Iterate columns/values of row i: [begin, end) indices into
+  /// col_idx()/values().
+  std::pair<int64_t, int64_t> RowRange(int i) const {
+    return {row_ptr_[i], row_ptr_[i + 1]};
+  }
+
+  /// True if entry (i, j) is present (binary search within the row).
+  bool Has(int i, int j) const;
+
+  /// Dense Y = S * X. Shapes: (m,n) x (n,d) -> (m,d).
+  Tensor Multiply(const Tensor& x) const;
+
+  /// Dense Y = S^T * X. Shapes: (m,n)^T x (m,d) -> (n,d).
+  Tensor MultiplyTransposed(const Tensor& x) const;
+
+  /// Row sums (weighted degrees) as a length-m vector.
+  std::vector<double> RowSums() const;
+
+  /// Symmetrically normalised adjacency with self loops:
+  /// D^{-1/2} (S + I) D^{-1/2} where D is the degree of (S + I).
+  /// The standard GCN propagation operator.
+  SparseMatrix NormalizedWithSelfLoops() const;
+
+  /// Row-stochastic normalisation D^{-1} S (used by RWR and some baselines).
+  SparseMatrix RowNormalized() const;
+
+  /// All stored entries as COO edges (upper+lower; one per stored entry).
+  std::vector<Edge> ToEdges() const;
+
+  /// Dense copy (tests and small-graph scoring only).
+  Tensor ToDense() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace umgad
+
+#endif  // UMGAD_TENSOR_SPARSE_H_

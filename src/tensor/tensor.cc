@@ -1,0 +1,265 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace umgad {
+
+Tensor Tensor::Full(int rows, int cols, float value) {
+  Tensor t(rows, cols);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Identity(int n) {
+  Tensor t(n, n);
+  for (int i = 0; i < n; ++i) t.at(i, i) = 1.0f;
+  return t;
+}
+
+Tensor Tensor::RowVector(std::vector<float> values) {
+  int n = static_cast<int>(values.size());
+  return Tensor(1, n, std::move(values));
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  UMGAD_CHECK(SameShape(other));
+  const float* src = other.data();
+  for (int64_t i = 0; i < size(); ++i) data_[i] += src[i];
+}
+
+void Tensor::AxpyInPlace(float alpha, const Tensor& other) {
+  UMGAD_CHECK(SameShape(other));
+  const float* src = other.data();
+  for (int64_t i = 0; i < size(); ++i) data_[i] += alpha * src[i];
+}
+
+void Tensor::ScaleInPlace(float alpha) {
+  for (auto& v : data_) v *= alpha;
+}
+
+double Tensor::SquaredNorm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+double Tensor::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return acc;
+}
+
+double Tensor::Max() const {
+  UMGAD_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Tensor::Min() const {
+  UMGAD_CHECK(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+bool Tensor::AllFinite() const {
+  for (float v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+double Tensor::RowNorm(int i) const {
+  const float* r = row(i);
+  double acc = 0.0;
+  for (int j = 0; j < cols_; ++j) acc += static_cast<double>(r[j]) * r[j];
+  return std::sqrt(acc);
+}
+
+double Tensor::RowDot(int i, const Tensor& other, int j) const {
+  UMGAD_CHECK_EQ(cols_, other.cols());
+  const float* a = row(i);
+  const float* b = other.row(j);
+  double acc = 0.0;
+  for (int c = 0; c < cols_; ++c) acc += static_cast<double>(a[c]) * b[c];
+  return acc;
+}
+
+std::string Tensor::ShapeString() const {
+  return StrFormat("(%d, %d)", rows_, cols_);
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  UMGAD_CHECK_EQ(a.cols(), b.rows());
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  Tensor c(m, n);
+  // i-k-j loop order: streams over B's rows, cache-friendly for row-major.
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  UMGAD_CHECK_EQ(a.cols(), b.cols());
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.rows();
+  Tensor c(m, n);
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) acc += static_cast<double>(arow[p]) * brow[p];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  UMGAD_CHECK_EQ(a.rows(), b.rows());
+  const int m = a.cols();
+  const int k = a.rows();
+  const int n = b.cols();
+  Tensor c(m, n);
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.row(i);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor t(a.cols(), a.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  c.AddInPlace(b);
+  return c;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  c.AxpyInPlace(-1.0f, b);
+  return c;
+}
+
+Tensor Hadamard(const Tensor& a, const Tensor& b) {
+  UMGAD_CHECK(a.SameShape(b));
+  Tensor c = a;
+  float* cd = c.data();
+  const float* bd = b.data();
+  for (int64_t i = 0; i < c.size(); ++i) cd[i] *= bd[i];
+  return c;
+}
+
+Tensor Scale(const Tensor& a, float alpha) {
+  Tensor c = a;
+  c.ScaleInPlace(alpha);
+  return c;
+}
+
+Tensor GatherRows(const Tensor& a, const std::vector<int>& idx) {
+  Tensor out(static_cast<int>(idx.size()), a.cols());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    UMGAD_CHECK(idx[i] >= 0 && idx[i] < a.rows());
+    std::copy(a.row(idx[i]), a.row(idx[i]) + a.cols(),
+              out.row(static_cast<int>(i)));
+  }
+  return out;
+}
+
+Tensor RowL2Normalize(const Tensor& a, float eps) {
+  Tensor out = a;
+  for (int i = 0; i < a.rows(); ++i) {
+    double norm = a.RowNorm(i);
+    if (norm < eps) continue;
+    float inv = static_cast<float>(1.0 / norm);
+    float* r = out.row(i);
+    for (int j = 0; j < a.cols(); ++j) r[j] *= inv;
+  }
+  return out;
+}
+
+Tensor RowCosine(const Tensor& a, const Tensor& b, float eps) {
+  UMGAD_CHECK(a.SameShape(b));
+  Tensor out(a.rows(), 1);
+  for (int i = 0; i < a.rows(); ++i) {
+    double denom = a.RowNorm(i) * b.RowNorm(i);
+    out.at(i, 0) = denom < eps
+                       ? 0.0f
+                       : static_cast<float>(a.RowDot(i, b, i) / denom);
+  }
+  return out;
+}
+
+Tensor RowL2Distance(const Tensor& a, const Tensor& b) {
+  UMGAD_CHECK(a.SameShape(b));
+  Tensor out(a.rows(), 1);
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* ra = a.row(i);
+    const float* rb = b.row(i);
+    double acc = 0.0;
+    for (int j = 0; j < a.cols(); ++j) {
+      double d = static_cast<double>(ra[j]) - rb[j];
+      acc += d * d;
+    }
+    out.at(i, 0) = static_cast<float>(std::sqrt(acc));
+  }
+  return out;
+}
+
+Tensor RowL1Distance(const Tensor& a, const Tensor& b) {
+  UMGAD_CHECK(a.SameShape(b));
+  Tensor out(a.rows(), 1);
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* ra = a.row(i);
+    const float* rb = b.row(i);
+    double acc = 0.0;
+    for (int j = 0; j < a.cols(); ++j) {
+      acc += std::abs(static_cast<double>(ra[j]) - rb[j]);
+    }
+    out.at(i, 0) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+double MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  UMGAD_CHECK(a.SameShape(b));
+  double m = 0.0;
+  const float* da = a.data();
+  const float* db = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(da[i]) - db[i]));
+  }
+  return m;
+}
+
+}  // namespace umgad

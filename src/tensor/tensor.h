@@ -1,0 +1,131 @@
+#ifndef UMGAD_TENSOR_TENSOR_H_
+#define UMGAD_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace umgad {
+
+/// Dense row-major float32 matrix. This is the single dense container used
+/// across the library; vectors are represented as 1xN or Nx1 tensors.
+///
+/// The class is a plain value type (copyable, movable). All shape errors are
+/// programmer errors and fail fast via UMGAD_CHECK.
+class Tensor {
+ public:
+  Tensor() : rows_(0), cols_(0) {}
+  Tensor(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0f) {
+    UMGAD_CHECK_GE(rows, 0);
+    UMGAD_CHECK_GE(cols, 0);
+  }
+  Tensor(int rows, int cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    UMGAD_CHECK_EQ(data_.size(),
+                   static_cast<size_t>(rows) * static_cast<size_t>(cols));
+  }
+
+  static Tensor Zeros(int rows, int cols) { return Tensor(rows, cols); }
+  static Tensor Full(int rows, int cols, float value);
+  static Tensor Identity(int n);
+  /// 1xN row vector from values.
+  static Tensor RowVector(std::vector<float> values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t size() const { return static_cast<int64_t>(rows_) * cols_; }
+  bool empty() const { return size() == 0; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(int i) { return data_.data() + static_cast<size_t>(i) * cols_; }
+  const float* row(int i) const {
+    return data_.data() + static_cast<size_t>(i) * cols_;
+  }
+
+  float& at(int i, int j) {
+    UMGAD_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+  float at(int i, int j) const {
+    UMGAD_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+
+  /// Value of a 1x1 tensor (losses).
+  float scalar() const {
+    UMGAD_CHECK_EQ(size(), 1);
+    return data_[0];
+  }
+
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  void Fill(float value);
+  void SetZero() { Fill(0.0f); }
+
+  /// this += other (shape must match).
+  void AddInPlace(const Tensor& other);
+  /// this += alpha * other.
+  void AxpyInPlace(float alpha, const Tensor& other);
+  /// this *= alpha.
+  void ScaleInPlace(float alpha);
+
+  /// Squared Frobenius norm (double accumulation).
+  double SquaredNorm() const;
+  double Sum() const;
+  double Max() const;
+  double Min() const;
+  bool AllFinite() const;
+
+  /// L2 norm of row i.
+  double RowNorm(int i) const;
+  /// Dot product of row i with row j of another tensor (same cols).
+  double RowDot(int i, const Tensor& other, int j) const;
+
+  std::string ShapeString() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<float> data_;
+};
+
+/// C = A * B. Shapes: (m,k) x (k,n) -> (m,n).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// C = A * B^T. Shapes: (m,k) x (n,k) -> (m,n).
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+/// C = A^T * B. Shapes: (k,m) x (k,n) -> (m,n).
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+Tensor Transpose(const Tensor& a);
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Hadamard(const Tensor& a, const Tensor& b);
+Tensor Scale(const Tensor& a, float alpha);
+
+/// Rows of `a` gathered by index; out.row(i) = a.row(idx[i]).
+Tensor GatherRows(const Tensor& a, const std::vector<int>& idx);
+
+/// Per-row L2 normalisation with epsilon guard; zero rows stay zero.
+Tensor RowL2Normalize(const Tensor& a, float eps = 1e-12f);
+
+/// Cosine similarity between corresponding rows of a and b, as Nx1 tensor.
+Tensor RowCosine(const Tensor& a, const Tensor& b, float eps = 1e-12f);
+
+/// Per-row Euclidean distance ||a_i - b_i||_2, as Nx1 tensor.
+Tensor RowL2Distance(const Tensor& a, const Tensor& b);
+
+/// Per-row L1 distance ||a_i - b_i||_1, as Nx1 tensor.
+Tensor RowL1Distance(const Tensor& a, const Tensor& b);
+
+/// Max |a - b| over all entries (test helper).
+double MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+}  // namespace umgad
+
+#endif  // UMGAD_TENSOR_TENSOR_H_

@@ -1,0 +1,298 @@
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace umgad {
+namespace ag {
+namespace {
+
+/// Reduce an arbitrary-shape op output to a scalar with a fixed random
+/// probe so every output element influences the loss with a distinct
+/// weight: loss = sum(out .* probe).
+VarPtr ToScalar(const VarPtr& v, const Tensor& probe) {
+  return Sum(Hadamard(v, Constant(probe)));
+}
+
+using BuildFn =
+    std::function<VarPtr(const std::vector<VarPtr>& leaves)>;
+
+/// Central-difference gradient check of `build` at `inputs`. float32
+/// arithmetic bounds the achievable agreement, hence the loose tolerances.
+void CheckGradients(const std::vector<Tensor>& inputs, const BuildFn& build,
+                    double eps = 1e-2, double rel_tol = 5e-2,
+                    double abs_tol = 2e-3) {
+  // Analytic gradients.
+  std::vector<VarPtr> leaves;
+  leaves.reserve(inputs.size());
+  for (const Tensor& t : inputs) leaves.push_back(Leaf(t));
+  VarPtr loss = build(leaves);
+  ASSERT_EQ(loss->value().size(), 1);
+  Backward(loss);
+  std::vector<Tensor> analytic;
+  for (const auto& leaf : leaves) analytic.push_back(leaf->grad());
+
+  auto eval = [&](const std::vector<Tensor>& xs) -> double {
+    std::vector<VarPtr> ls;
+    for (const Tensor& t : xs) ls.push_back(Leaf(t));
+    return build(ls)->value().scalar();
+  };
+
+  for (size_t p = 0; p < inputs.size(); ++p) {
+    for (int64_t i = 0; i < inputs[p].size(); ++i) {
+      std::vector<Tensor> plus = inputs;
+      std::vector<Tensor> minus = inputs;
+      plus[p].data()[i] += static_cast<float>(eps);
+      minus[p].data()[i] -= static_cast<float>(eps);
+      const double numeric = (eval(plus) - eval(minus)) / (2.0 * eps);
+      const double exact = analytic[p].data()[i];
+      const double err = std::abs(numeric - exact);
+      const double scale = std::max(std::abs(numeric), std::abs(exact));
+      EXPECT_LE(err, abs_tol + rel_tol * scale)
+          << "param " << p << " element " << i << ": numeric=" << numeric
+          << " analytic=" << exact;
+    }
+  }
+}
+
+Tensor Rand(int r, int c, uint64_t seed, double scale = 1.0) {
+  Rng rng(seed);
+  return RandomNormal(r, c, 0.0, scale, &rng);
+}
+
+std::shared_ptr<const SparseMatrix> SmallGraph(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  for (int k = 0; k < 3 * n; ++k) {
+    int u = static_cast<int>(rng.UniformInt(n));
+    int v = static_cast<int>(rng.UniformInt(n));
+    if (u != v) edges.push_back(Edge{u, v});
+  }
+  return std::make_shared<const SparseMatrix>(
+      SparseMatrix::FromEdges(n, edges, true).NormalizedWithSelfLoops());
+}
+
+TEST(AutogradTest, AddGradient) {
+  Tensor probe = Rand(3, 4, 99);
+  CheckGradients({Rand(3, 4, 1), Rand(3, 4, 2)}, [&](const auto& v) {
+    return ToScalar(Add(v[0], v[1]), probe);
+  });
+}
+
+TEST(AutogradTest, SubGradient) {
+  Tensor probe = Rand(3, 4, 98);
+  CheckGradients({Rand(3, 4, 3), Rand(3, 4, 4)}, [&](const auto& v) {
+    return ToScalar(Sub(v[0], v[1]), probe);
+  });
+}
+
+TEST(AutogradTest, AddNGradient) {
+  Tensor probe = Rand(2, 3, 97);
+  CheckGradients({Rand(2, 3, 5), Rand(2, 3, 6), Rand(2, 3, 7)},
+                 [&](const auto& v) {
+                   return ToScalar(AddN({v[0], v[1], v[2]}), probe);
+                 });
+}
+
+TEST(AutogradTest, HadamardGradient) {
+  Tensor probe = Rand(3, 3, 96);
+  CheckGradients({Rand(3, 3, 8), Rand(3, 3, 9)}, [&](const auto& v) {
+    return ToScalar(Hadamard(v[0], v[1]), probe);
+  });
+}
+
+TEST(AutogradTest, ScalarMulGradient) {
+  Tensor probe = Rand(2, 5, 95);
+  CheckGradients({Rand(2, 5, 10)}, [&](const auto& v) {
+    return ToScalar(ScalarMul(v[0], -1.7f), probe);
+  });
+}
+
+TEST(AutogradTest, MatMulGradient) {
+  Tensor probe = Rand(3, 4, 94);
+  CheckGradients({Rand(3, 5, 11), Rand(5, 4, 12)}, [&](const auto& v) {
+    return ToScalar(MatMul(v[0], v[1]), probe);
+  });
+}
+
+TEST(AutogradTest, SpmmGradient) {
+  auto s = SmallGraph(6, 42);
+  Tensor probe = Rand(6, 3, 93);
+  CheckGradients({Rand(6, 3, 13)}, [&](const auto& v) {
+    return ToScalar(Spmm(s, v[0]), probe);
+  });
+}
+
+TEST(AutogradTest, AddRowBroadcastGradient) {
+  Tensor probe = Rand(4, 3, 92);
+  CheckGradients({Rand(4, 3, 14), Rand(1, 3, 15)}, [&](const auto& v) {
+    return ToScalar(AddRowBroadcast(v[0], v[1]), probe);
+  });
+}
+
+TEST(AutogradTest, ActivationGradients) {
+  Tensor probe = Rand(3, 3, 91);
+  for (auto fn : {+[](const VarPtr& x) { return Relu(x); },
+                  +[](const VarPtr& x) { return LeakyRelu(x, 0.2f); },
+                  +[](const VarPtr& x) { return Sigmoid(x); },
+                  +[](const VarPtr& x) { return Tanh(x); },
+                  +[](const VarPtr& x) { return Elu(x, 1.0f); }}) {
+    CheckGradients({Rand(3, 3, 16, 0.8)}, [&](const auto& v) {
+      return ToScalar(fn(v[0]), probe);
+    });
+  }
+}
+
+TEST(AutogradTest, RowL2NormalizeGradient) {
+  Tensor probe = Rand(4, 3, 90);
+  CheckGradients(
+      {Rand(4, 3, 17)},
+      [&](const auto& v) { return ToScalar(RowL2Normalize(v[0]), probe); },
+      /*eps=*/5e-3);
+}
+
+TEST(AutogradTest, GatherRowsGradient) {
+  Tensor probe = Rand(4, 3, 89);
+  CheckGradients({Rand(5, 3, 18)}, [&](const auto& v) {
+    return ToScalar(GatherRows(v[0], {0, 2, 2, 4}), probe);
+  });
+}
+
+TEST(AutogradTest, MaskRowsGradient) {
+  Tensor probe = Rand(5, 3, 88);
+  CheckGradients({Rand(5, 3, 19), Rand(1, 3, 20)}, [&](const auto& v) {
+    return ToScalar(MaskRows(v[0], {1, 3}, v[1]), probe);
+  });
+}
+
+TEST(AutogradTest, SimplexWeightedSumGradient) {
+  Tensor probe = Rand(3, 3, 87);
+  CheckGradients(
+      {Rand(3, 3, 21), Rand(3, 3, 22), Rand(1, 2, 23)},
+      [&](const auto& v) {
+        return ToScalar(SimplexWeightedSum({v[0], v[1]}, v[2]), probe);
+      });
+}
+
+TEST(AutogradTest, SumAndMeanGradients) {
+  CheckGradients({Rand(3, 4, 24)},
+                 [&](const auto& v) { return Sum(v[0]); });
+  CheckGradients({Rand(3, 4, 25)},
+                 [&](const auto& v) { return Mean(v[0]); });
+}
+
+TEST(AutogradTest, ScaledCosineLossGradient) {
+  Tensor target = Rand(5, 4, 26);
+  for (float eta : {1.0f, 2.0f, 3.0f}) {
+    CheckGradients(
+        {Rand(5, 4, 27)},
+        [&](const auto& v) {
+          return ScaledCosineLoss(v[0], target, {0, 2, 4}, eta);
+        },
+        /*eps=*/5e-3);
+  }
+}
+
+TEST(AutogradTest, MseLossGradient) {
+  Tensor target = Rand(4, 3, 28);
+  CheckGradients({Rand(4, 3, 29)}, [&](const auto& v) {
+    return MseLoss(v[0], target);
+  });
+  CheckGradients({Rand(4, 3, 30)}, [&](const auto& v) {
+    return MseLoss(v[0], target, {1, 3});
+  });
+}
+
+TEST(AutogradTest, MaskedEdgeSoftmaxCEGradient) {
+  std::vector<EdgeCandidateSet> sets = {
+      {0, {1, 2, 3}},
+      {2, {4, 0, 1}},
+  };
+  CheckGradients(
+      {Rand(5, 3, 31, 0.5)},
+      [&](const auto& v) { return MaskedEdgeSoftmaxCE(v[0], sets); },
+      /*eps=*/5e-3);
+}
+
+TEST(AutogradTest, PairDotBceLossGradient) {
+  std::vector<float> labels = {1.0f, 0.0f, 1.0f};
+  CheckGradients(
+      {Rand(3, 4, 32, 0.5), Rand(3, 4, 33, 0.5)},
+      [&](const auto& v) { return PairDotBceLoss(v[0], v[1], labels); },
+      /*eps=*/5e-3);
+}
+
+TEST(AutogradTest, DualContrastiveLossGradient) {
+  std::vector<int> neg = {2, 0, 1};
+  CheckGradients(
+      {Rand(3, 4, 34, 0.4), Rand(3, 4, 35, 0.4)},
+      [&](const auto& v) { return DualContrastiveLoss(v[0], v[1], neg); },
+      /*eps=*/5e-3);
+}
+
+TEST(AutogradTest, GatAttentionGradient) {
+  auto adj = SmallGraph(5, 77);
+  Tensor probe = Rand(5, 3, 86);
+  CheckGradients(
+      {Rand(5, 3, 36, 0.5), Rand(1, 3, 37, 0.5), Rand(1, 3, 38, 0.5)},
+      [&](const auto& v) {
+        return ToScalar(GatAttention(v[0], v[1], v[2], adj, 0.2f), probe);
+      },
+      /*eps=*/5e-3);
+}
+
+TEST(AutogradTest, SharedSubexpressionAccumulates) {
+  // loss = sum(x .* x) => dl/dx = 2x. Exercises the diamond topology.
+  Tensor x = Rand(3, 3, 39);
+  VarPtr leaf = Leaf(x);
+  VarPtr loss = Sum(Hadamard(leaf, leaf));
+  Backward(loss);
+  for (int64_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(leaf->grad().data()[i], 2.0f * x.data()[i], 1e-4);
+  }
+}
+
+TEST(AutogradTest, ParameterReusedAcrossBranches) {
+  // loss = sum(W) + 2*sum(W) accumulated through two branches.
+  Tensor w = Rand(2, 2, 40);
+  VarPtr leaf = Leaf(w);
+  VarPtr loss = Add(Sum(leaf), ScalarMul(Sum(leaf), 2.0f));
+  Backward(loss);
+  for (int64_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(leaf->grad().data()[i], 3.0f, 1e-5);
+  }
+}
+
+TEST(AutogradTest, ConstantsReceiveNoGradient) {
+  VarPtr c = Constant(Rand(2, 2, 41));
+  VarPtr leaf = Leaf(Rand(2, 2, 42));
+  VarPtr loss = Sum(Hadamard(c, leaf));
+  Backward(loss);
+  EXPECT_TRUE(leaf->has_grad());
+  EXPECT_FALSE(c->has_grad());
+}
+
+TEST(AutogradTest, ZeroGradResets) {
+  VarPtr leaf = Leaf(Rand(2, 2, 43));
+  Backward(Sum(leaf));
+  EXPECT_GT(leaf->grad().SquaredNorm(), 0.0);
+  leaf->ZeroGrad();
+  EXPECT_EQ(leaf->grad().SquaredNorm(), 0.0);
+}
+
+TEST(AutogradTest, BackwardTwiceAccumulates) {
+  VarPtr leaf = Leaf(Rand(2, 2, 44));
+  Backward(Sum(leaf));
+  Backward(Sum(leaf));
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(leaf->grad().data()[i], 2.0f, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace ag
+}  // namespace umgad

@@ -1,0 +1,289 @@
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+
+namespace umgad {
+namespace {
+
+// --------------------------- Status / Result ------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad ratio");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad ratio");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad ratio");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  UMGAD_ASSIGN_OR_RETURN(int h, Half(x));
+  *out = h;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UseHalf(3, &out).code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------------- Rng ------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.NextU64() != b.NextU64()) ++differing;
+  }
+  EXPECT_GT(differing, 12);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += rng.Uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversSupport) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  const int n = 50000;
+  double mean = 0.0;
+  double var = 0.0;
+  std::vector<double> xs(n);
+  for (int i = 0; i < n; ++i) {
+    xs[i] = rng.Normal();
+    mean += xs[i];
+  }
+  mean /= n;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= n;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(19);
+  std::vector<int> s = rng.SampleWithoutReplacement(100, 40);
+  std::set<int> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 40u);
+  for (int v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(23);
+  std::vector<int> s = rng.SampleWithoutReplacement(10, 10);
+  std::sort(s.begin(), s.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(RngTest, PermutationIsBijection) {
+  Rng rng(29);
+  std::vector<int> p = rng.Permutation(50);
+  std::set<int> uniq(p.begin(), p.end());
+  EXPECT_EQ(uniq.size(), 50u);
+}
+
+TEST(RngTest, SampleDiscreteRespectsWeights) {
+  Rng rng(31);
+  std::vector<double> w = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) counts[rng.SampleDiscrete(w)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, SampleDiscreteAllZeroFallsBackToUniform) {
+  Rng rng(37);
+  std::vector<double> w = {0.0, 0.0};
+  int c1 = 0;
+  for (int i = 0; i < 1000; ++i) c1 += rng.SampleDiscrete(w);
+  EXPECT_GT(c1, 300);
+  EXPECT_LT(c1, 700);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(41);
+  Rng child = a.Fork();
+  EXPECT_NE(a.NextU64(), child.NextU64());
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(43);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+// ----------------------------- string_util --------------------------------
+
+TEST(StringUtilTest, SplitBasic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, JoinBasic) {
+  EXPECT_EQ(Join({"x", "y"}, ", "), "x, y");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StrFormatFormats) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(StringUtilTest, FormatFloatPrecision) {
+  EXPECT_EQ(FormatFloat(0.77025, 3), "0.770");
+}
+
+TEST(StringUtilTest, FormatMeanStdUsesPlusMinus) {
+  std::string cell = FormatMeanStd(0.77, 0.009, 3);
+  EXPECT_NE(cell.find("0.770"), std::string::npos);
+  EXPECT_NE(cell.find("\xC2\xB1"), std::string::npos);
+  EXPECT_NE(cell.find("0.009"), std::string::npos);
+}
+
+// ---------------------------- TablePrinter --------------------------------
+
+TEST(TablePrinterTest, PrintsAlignedTable) {
+  TablePrinter table("demo");
+  table.SetHeader({"Method", "AUC"});
+  table.AddRow({"Radar", "0.625"});
+  table.AddRow({"UMGAD", "0.770"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("Radar"), std::string::npos);
+  EXPECT_NE(out.find("0.770"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvEscapesCommas) {
+  TablePrinter table;
+  table.SetHeader({"a", "b"});
+  table.AddRow({"x,y", "z"});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+}
+
+TEST(TablePrinterTest, CountsRows) {
+  TablePrinter table;
+  table.SetHeader({"a"});
+  EXPECT_EQ(table.num_rows(), 0);
+  table.AddRow({"1"});
+  EXPECT_EQ(table.num_rows(), 1);
+}
+
+// -------------------------------- Timer -----------------------------------
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), timer.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace umgad

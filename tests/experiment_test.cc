@@ -1,0 +1,81 @@
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "graph/datasets.h"
+
+namespace umgad {
+namespace {
+
+TEST(ExperimentTest, RunExperimentAggregatesSeeds) {
+  auto result = RunExperiment("PREM", "Tiny", {1, 2, 3},
+                              ThresholdMode::kInflection);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->detector, "PREM");
+  EXPECT_EQ(result->dataset, "Tiny");
+  EXPECT_GT(result->auc.mean, 0.0);
+  EXPECT_LE(result->auc.mean, 1.0);
+  EXPECT_GE(result->macro_f1.mean, 0.0);
+  EXPECT_GE(result->mean_fit_seconds, 0.0);
+}
+
+TEST(ExperimentTest, UnknownDetectorFails) {
+  auto result =
+      RunExperiment("Nope", "Tiny", {1}, ThresholdMode::kInflection);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ExperimentTest, UnknownDatasetFails) {
+  auto result =
+      RunExperiment("PREM", "Nope", {1}, ThresholdMode::kInflection);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ExperimentTest, LeakageModeUsesTrueCount) {
+  MultiplexGraph g = MakeTiny(3);
+  auto detector = MakeDetector("Radar", 3);
+  ASSERT_TRUE((*detector)->Fit(g).ok());
+  RunResult leak =
+      EvaluateFitted(**detector, g, ThresholdMode::kTopKLeakage);
+  EXPECT_EQ(leak.predicted_anomalies, g.num_anomalies());
+  RunResult unsup =
+      EvaluateFitted(**detector, g, ThresholdMode::kInflection);
+  // AUC is threshold-independent.
+  EXPECT_DOUBLE_EQ(leak.auc, unsup.auc);
+}
+
+TEST(ExperimentTest, LeakageNeverWorseOnAverage) {
+  // With the true count, Macro-F1 is at least competitive with the
+  // unsupervised threshold for a reasonable detector (paper Table V vs II).
+  MultiplexGraph g = MakeTiny(5);
+  auto detector = MakeDetector("PREM", 5);
+  ASSERT_TRUE((*detector)->Fit(g).ok());
+  RunResult leak =
+      EvaluateFitted(**detector, g, ThresholdMode::kTopKLeakage);
+  EXPECT_GE(leak.macro_f1, 0.0);
+}
+
+TEST(ExperimentTest, BenchSeedsHonorsEnvironment) {
+  ::setenv("UMGAD_SEEDS", "4", 1);
+  EXPECT_EQ(BenchSeeds(2).size(), 4u);
+  ::unsetenv("UMGAD_SEEDS");
+  EXPECT_EQ(BenchSeeds(2).size(), 2u);
+}
+
+TEST(ExperimentTest, BenchScaleHonorsEnvironment) {
+  ::setenv("UMGAD_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(BenchScale(1.0), 0.5);
+  ::unsetenv("UMGAD_SCALE");
+  EXPECT_DOUBLE_EQ(BenchScale(1.0), 1.0);
+}
+
+TEST(ExperimentTest, SeedsAreDistinct) {
+  std::vector<uint64_t> seeds = BenchSeeds(3);
+  EXPECT_EQ(seeds.size(), 3u);
+  EXPECT_NE(seeds[0], seeds[1]);
+  EXPECT_NE(seeds[1], seeds[2]);
+}
+
+}  // namespace
+}  // namespace umgad

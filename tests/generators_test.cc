@@ -1,0 +1,205 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/generators.h"
+
+namespace umgad {
+namespace {
+
+TEST(GeneratorsTest, SbmHitsEdgeBudget) {
+  Rng rng(1);
+  SbmMultiplexConfig config;
+  config.num_nodes = 500;
+  config.feature_dim = 8;
+  config.relations = {{.name = "a", .target_edges = 1500}};
+  MultiplexGraph g = GenerateSbmMultiplex(config, &rng);
+  // Duplicate draws collapse, so the realised count is slightly below the
+  // budget but must be in the right ballpark.
+  EXPECT_GT(g.num_edges(0), 1200);
+  EXPECT_LE(g.num_edges(0), 1500);
+}
+
+TEST(GeneratorsTest, SubsetRelationIsSubset) {
+  Rng rng(2);
+  SbmMultiplexConfig config;
+  config.num_nodes = 400;
+  config.feature_dim = 8;
+  config.relations = {
+      {.name = "view", .target_edges = 1200},
+      {.name = "cart", .target_edges = 0, .subset_of = 0,
+       .subset_frac = 0.3},
+  };
+  MultiplexGraph g = GenerateSbmMultiplex(config, &rng);
+  EXPECT_LT(g.num_edges(1), g.num_edges(0));
+  // Every cart edge exists in view.
+  const SparseMatrix& cart = g.layer(1);
+  const auto& rp = cart.row_ptr();
+  const auto& ci = cart.col_idx();
+  for (int i = 0; i < cart.rows(); ++i) {
+    for (int64_t k = rp[i]; k < rp[i + 1]; ++k) {
+      EXPECT_TRUE(g.layer(0).Has(i, ci[k]));
+    }
+  }
+}
+
+TEST(GeneratorsTest, AttributesClusterByCommunity) {
+  Rng rng(3);
+  SbmMultiplexConfig config;
+  config.num_nodes = 300;
+  config.feature_dim = 16;
+  config.num_communities = 3;
+  config.attribute_noise = 0.2;
+  config.relations = {{.name = "a", .target_edges = 900,
+                       .intra_community_prob = 0.95}};
+  MultiplexGraph g = GenerateSbmMultiplex(config, &rng);
+  // Connected nodes (mostly same community) are more similar than random
+  // pairs on average.
+  const Tensor& x = g.attributes();
+  const SparseMatrix& adj = g.layer(0);
+  double edge_sim = 0.0;
+  int edge_count = 0;
+  const auto& rp = adj.row_ptr();
+  const auto& ci = adj.col_idx();
+  for (int i = 0; i < adj.rows(); ++i) {
+    for (int64_t k = rp[i]; k < rp[i + 1]; ++k) {
+      edge_sim += x.RowDot(i, x, ci[k]) /
+                  (x.RowNorm(i) * x.RowNorm(ci[k]) + 1e-12);
+      ++edge_count;
+    }
+  }
+  edge_sim /= edge_count;
+  Rng pair_rng(4);
+  double random_sim = 0.0;
+  for (int t = 0; t < 2000; ++t) {
+    int i = static_cast<int>(pair_rng.UniformInt(300));
+    int j = static_cast<int>(pair_rng.UniformInt(300));
+    random_sim += x.RowDot(i, x, j) /
+                  (x.RowNorm(i) * x.RowNorm(j) + 1e-12);
+  }
+  random_sim /= 2000;
+  EXPECT_GT(edge_sim, random_sim + 0.2);
+}
+
+TEST(GeneratorsTest, FraudRingsLabelMembers) {
+  Rng rng(5);
+  SbmMultiplexConfig config;
+  config.num_nodes = 400;
+  config.feature_dim = 8;
+  config.relations = {
+      {.name = "a", .target_edges = 1200},
+      {.name = "b", .target_edges = 600},
+  };
+  MultiplexGraph g = GenerateSbmMultiplex(config, &rng);
+  FraudRingConfig rings;
+  rings.num_rings = 4;
+  rings.ring_size = 6;
+  rings.relation_affinity = {0.8, 0.4};
+  std::vector<int> members = PlantFraudRings(&g, rings, &rng);
+  EXPECT_EQ(members.size(), 24u);
+  EXPECT_EQ(g.num_anomalies(), 24);
+}
+
+TEST(GeneratorsTest, FraudMembersDeviateFromOriginalAttributes) {
+  Rng rng(6);
+  SbmMultiplexConfig config;
+  config.num_nodes = 300;
+  config.feature_dim = 8;
+  config.relations = {{.name = "a", .target_edges = 900}};
+  MultiplexGraph g = GenerateSbmMultiplex(config, &rng);
+  Tensor before = g.attributes();
+  FraudRingConfig rings;
+  rings.num_rings = 3;
+  rings.ring_size = 5;
+  rings.relation_affinity = {1.0};
+  rings.camouflage = 0.5;
+  std::vector<int> members = PlantFraudRings(&g, rings, &rng);
+  for (int v : members) {
+    EXPECT_GT(MaxAbsDiff(GatherRows(before, {v}),
+                         GatherRows(g.attributes(), {v})),
+              0.01);
+  }
+}
+
+// ------------------------- dataset registry -------------------------------
+
+class DatasetSmoke : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetSmoke, GeneratesValidGraph) {
+  // Tiny scale keeps the parameterised sweep fast; structure checks only.
+  const double scale = (GetParam() == "DG-Fin" || GetParam() == "T-Social")
+                           ? 0.02
+                           : 0.15;
+  auto result = MakeDataset(GetParam(), /*seed=*/11, scale);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const MultiplexGraph& g = *result;
+  EXPECT_GT(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_relations(), 3);
+  EXPECT_TRUE(g.has_labels());
+  EXPECT_GT(g.num_anomalies(), 0);
+  EXPECT_LT(g.num_anomalies(), g.num_nodes() / 2);
+  EXPECT_TRUE(g.attributes().AllFinite());
+  EXPECT_EQ(g.name(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetSmoke,
+                         ::testing::Values("Retail", "Alibaba", "Amazon",
+                                           "YelpChi", "DG-Fin", "T-Social"));
+
+TEST(DatasetsTest, UnknownNameIsNotFound) {
+  auto result = MakeDataset("NoSuchDataset", 1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetsTest, TinyDatasetShape) {
+  MultiplexGraph g = MakeTiny(3);
+  EXPECT_EQ(g.num_nodes(), 200);
+  EXPECT_EQ(g.num_relations(), 2);
+  EXPECT_EQ(g.num_anomalies(), 10);
+}
+
+TEST(DatasetsTest, NameListsMatchPaper) {
+  EXPECT_EQ(SmallDatasetNames(),
+            (std::vector<std::string>{"Retail", "Alibaba", "Amazon",
+                                      "YelpChi"}));
+  EXPECT_EQ(LargeDatasetNames(),
+            (std::vector<std::string>{"DG-Fin", "T-Social"}));
+}
+
+TEST(DatasetsTest, DeterministicPerSeed) {
+  MultiplexGraph a = MakeTiny(42);
+  MultiplexGraph b = MakeTiny(42);
+  EXPECT_LT(MaxAbsDiff(a.attributes(), b.attributes()), 1e-9);
+  EXPECT_EQ(a.labels(), b.labels());
+  EXPECT_EQ(a.layer(0).nnz(), b.layer(0).nnz());
+}
+
+TEST(DatasetsTest, SaveLoadRoundTrip) {
+  MultiplexGraph g = MakeTiny(7);
+  const std::string path = ::testing::TempDir() + "/tiny_roundtrip.txt";
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded->num_relations(), g.num_relations());
+  EXPECT_EQ(loaded->labels(), g.labels());
+  EXPECT_EQ(loaded->layer(0).nnz(), g.layer(0).nnz());
+  EXPECT_EQ(loaded->layer(1).nnz(), g.layer(1).nnz());
+  EXPECT_LT(MaxAbsDiff(loaded->attributes(), g.attributes()), 1e-4);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetsTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/garbage.txt";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("not a graph\n", f);
+  fclose(f);
+  EXPECT_FALSE(LoadGraph(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadGraph("/nonexistent/path.txt").ok());
+}
+
+}  // namespace
+}  // namespace umgad

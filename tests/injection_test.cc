@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "graph/anomaly_injection.h"
+#include "graph/generators.h"
+
+namespace umgad {
+namespace {
+
+MultiplexGraph BaseGraph(uint64_t seed) {
+  Rng rng(seed);
+  SbmMultiplexConfig config;
+  config.name = "base";
+  config.num_nodes = 300;
+  config.feature_dim = 8;
+  config.num_communities = 4;
+  config.relations = {
+      {.name = "a", .target_edges = 900},
+      {.name = "b", .target_edges = 400},
+  };
+  return GenerateSbmMultiplex(config, &rng);
+}
+
+TEST(InjectionTest, StructuralCreatesCliques) {
+  MultiplexGraph g = BaseGraph(1);
+  Rng rng(2);
+  InjectionConfig config;
+  config.clique_size = 4;
+  config.num_cliques = 2;
+  std::vector<int> affected = InjectStructuralAnomalies(&g, config, &rng);
+  EXPECT_EQ(affected.size(), 8u);
+  // Every clique is fully connected in at least one layer.
+  for (int c = 0; c < 2; ++c) {
+    for (int a = 0; a < 4; ++a) {
+      for (int b = a + 1; b < 4; ++b) {
+        const int u = affected[c * 4 + a];
+        const int v = affected[c * 4 + b];
+        bool connected = false;
+        for (int r = 0; r < g.num_relations(); ++r) {
+          connected = connected || g.layer(r).Has(u, v);
+        }
+        EXPECT_TRUE(connected) << "missing clique edge " << u << "-" << v;
+      }
+    }
+  }
+  for (int v : affected) EXPECT_EQ(g.labels()[v], 1);
+  EXPECT_EQ(g.num_anomalies(), 8);
+}
+
+TEST(InjectionTest, AttributeSwapsToDistantNode) {
+  MultiplexGraph g = BaseGraph(3);
+  Tensor before = g.attributes();
+  Rng rng(4);
+  InjectionConfig config;
+  config.num_attribute_anomalies = 10;
+  config.candidate_pool = 40;
+  std::vector<int> affected = InjectAttributeAnomalies(&g, config, &rng);
+  EXPECT_EQ(affected.size(), 10u);
+  int changed = 0;
+  for (int v : affected) {
+    EXPECT_EQ(g.labels()[v], 1);
+    if (MaxAbsDiff(GatherRows(before, {v}),
+                   GatherRows(g.attributes(), {v})) > 1e-6) {
+      ++changed;
+    }
+  }
+  // Swapping to the most distant of 40 candidates always changes the row
+  // (identical rows would need exact duplicates in random data).
+  EXPECT_EQ(changed, 10);
+}
+
+TEST(InjectionTest, CombinedInjectionDisjointSets) {
+  MultiplexGraph g = BaseGraph(5);
+  Rng rng(6);
+  InjectionConfig config;
+  config.clique_size = 5;
+  config.num_cliques = 3;
+  config.num_attribute_anomalies = 15;
+  std::vector<int> affected = InjectAnomalies(&g, config, &rng);
+  EXPECT_EQ(affected.size(), 30u);
+  std::set<int> uniq(affected.begin(), affected.end());
+  EXPECT_EQ(uniq.size(), 30u) << "structural and attribute sets overlap";
+  EXPECT_EQ(g.num_anomalies(), 30);
+}
+
+TEST(InjectionTest, LabelsInitializedWhenMissing) {
+  Rng rng(7);
+  SbmMultiplexConfig config;
+  config.num_nodes = 100;
+  config.feature_dim = 4;
+  config.relations = {{.name = "a", .target_edges = 200}};
+  MultiplexGraph g = GenerateSbmMultiplex(config, &rng);
+  g.mutable_labels().clear();  // simulate unlabelled input
+  InjectionConfig inj;
+  inj.num_attribute_anomalies = 5;
+  InjectAttributeAnomalies(&g, inj, &rng);
+  EXPECT_TRUE(g.has_labels());
+  EXPECT_EQ(g.num_anomalies(), 5);
+}
+
+TEST(InjectionTest, InjectionPreservesSymmetry) {
+  MultiplexGraph g = BaseGraph(8);
+  Rng rng(9);
+  InjectionConfig config;
+  InjectStructuralAnomalies(&g, config, &rng);
+  for (int r = 0; r < g.num_relations(); ++r) {
+    const SparseMatrix& layer = g.layer(r);
+    const auto& rp = layer.row_ptr();
+    const auto& ci = layer.col_idx();
+    for (int i = 0; i < layer.rows(); ++i) {
+      for (int64_t k = rp[i]; k < rp[i + 1]; ++k) {
+        EXPECT_TRUE(layer.Has(ci[k], i));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace umgad

@@ -1,0 +1,98 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/masking.h"
+#include "tensor/init.h"
+
+namespace umgad {
+namespace {
+
+TEST(MaskingTest, SampleMaskedNodesCount) {
+  Rng rng(1);
+  std::vector<int> masked = SampleMaskedNodes(100, 0.4, &rng);
+  EXPECT_EQ(masked.size(), 40u);
+  std::set<int> uniq(masked.begin(), masked.end());
+  EXPECT_EQ(uniq.size(), 40u);
+}
+
+TEST(MaskingTest, SampleMaskedNodesAtLeastOne) {
+  Rng rng(2);
+  EXPECT_EQ(SampleMaskedNodes(50, 0.0, &rng).size(), 1u);
+  EXPECT_EQ(SampleMaskedNodes(50, 1.0, &rng).size(), 50u);
+}
+
+TEST(MaskingTest, AttributeSwapChangesOnlySwappedRows) {
+  Rng data_rng(3);
+  Tensor x = RandomNormal(50, 6, 0, 1, &data_rng);
+  Rng rng(4);
+  AttributeSwap swap = MakeAttributeSwap(x, 0.2, &rng);
+  EXPECT_EQ(swap.swapped_nodes.size(), 10u);
+  std::set<int> swapped(swap.swapped_nodes.begin(),
+                        swap.swapped_nodes.end());
+  for (int i = 0; i < 50; ++i) {
+    const double diff =
+        MaxAbsDiff(GatherRows(x, {i}), GatherRows(swap.augmented, {i}));
+    if (swapped.count(i) == 0) {
+      EXPECT_LT(diff, 1e-9) << "non-swapped row " << i << " changed";
+    }
+  }
+}
+
+TEST(MaskingTest, AttributeSwapCopiesExistingRow) {
+  Rng data_rng(5);
+  Tensor x = RandomNormal(30, 4, 0, 1, &data_rng);
+  Rng rng(6);
+  AttributeSwap swap = MakeAttributeSwap(x, 0.3, &rng);
+  // Every swapped row must equal some other original row.
+  for (int i : swap.swapped_nodes) {
+    bool found = false;
+    for (int j = 0; j < 30 && !found; ++j) {
+      if (j == i) continue;
+      found = MaxAbsDiff(GatherRows(swap.augmented, {i}),
+                         GatherRows(x, {j})) < 1e-9;
+    }
+    EXPECT_TRUE(found) << "swapped row " << i << " matches no source";
+  }
+}
+
+SparseMatrix GridGraph(int n) {
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back(Edge{i, i + 1});
+  for (int i = 0; i + 5 < n; ++i) edges.push_back(Edge{i, i + 5});
+  return SparseMatrix::FromEdges(n, edges, true);
+}
+
+TEST(MaskingTest, SubgraphMaskRemovesIncidentEdges) {
+  Rng rng(7);
+  SparseMatrix adj = GridGraph(60);
+  SubgraphMask mask = MakeSubgraphMask(adj, 3, 5, 0.3, &rng);
+  EXPECT_FALSE(mask.masked_nodes.empty());
+  for (int v : mask.masked_nodes) {
+    EXPECT_EQ(mask.remaining.RowNnz(v), 0)
+        << "masked node " << v << " still has edges";
+  }
+}
+
+TEST(MaskingTest, SubgraphMaskEdgesAccountedFor) {
+  Rng rng(8);
+  SparseMatrix adj = GridGraph(60);
+  SubgraphMask mask = MakeSubgraphMask(adj, 2, 6, 0.3, &rng);
+  // remaining nnz + 2 * removed undirected (non-loop) edges == original.
+  int64_t removed_directed = 0;
+  for (const Edge& e : mask.removed_edges) {
+    removed_directed += e.src == e.dst ? 1 : 2;
+  }
+  EXPECT_EQ(mask.remaining.nnz() + removed_directed, adj.nnz());
+}
+
+TEST(MaskingTest, SubgraphMaskSizeScalesWithCount) {
+  Rng rng(9);
+  SparseMatrix adj = GridGraph(100);
+  SubgraphMask small = MakeSubgraphMask(adj, 1, 4, 0.3, &rng);
+  SubgraphMask large = MakeSubgraphMask(adj, 8, 8, 0.3, &rng);
+  EXPECT_LT(small.masked_nodes.size(), large.masked_nodes.size());
+}
+
+}  // namespace
+}  // namespace umgad

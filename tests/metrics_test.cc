@@ -1,0 +1,131 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+
+namespace umgad {
+namespace {
+
+/// O(P*N) reference implementation for cross-validation.
+double BruteForceAuc(const std::vector<double>& scores,
+                     const std::vector<int>& labels) {
+  double num = 0.0;
+  int64_t pairs = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] != 1) continue;
+    for (size_t j = 0; j < scores.size(); ++j) {
+      if (labels[j] != 0) continue;
+      ++pairs;
+      if (scores[i] > scores[j]) num += 1.0;
+      else if (scores[i] == scores[j]) num += 0.5;
+    }
+  }
+  return pairs > 0 ? num / pairs : 0.5;
+}
+
+TEST(AucTest, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(AucTest, InvertedRanking) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(AucTest, AllTiesGiveHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(AucTest, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {1, 1}), 0.5);
+}
+
+class AucRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(AucRandomized, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const int n = 150;
+  std::vector<double> scores(n);
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    // Quantised scores force tie handling to matter.
+    scores[i] = static_cast<double>(rng.UniformInt(20)) / 20.0;
+    labels[i] = rng.Bernoulli(0.2) ? 1 : 0;
+  }
+  EXPECT_NEAR(RocAuc(scores, labels), BruteForceAuc(scores, labels), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AucRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(ConfusionTest, CountsCells) {
+  Confusion c = ConfusionCounts({1, 1, 0, 0, 1}, {1, 0, 0, 1, 1});
+  EXPECT_EQ(c.tp, 2);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.tn, 1);
+  EXPECT_EQ(c.fn, 1);
+}
+
+TEST(F1Test, HandComputedValues) {
+  Confusion c{/*tp=*/2, /*fp=*/1, /*tn=*/1, /*fn=*/1};
+  EXPECT_NEAR(Precision(c), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(Recall(c), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(F1Positive(c), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(F1Negative(c), 0.5, 1e-12);
+}
+
+TEST(F1Test, DegenerateCasesAreZero) {
+  Confusion none{0, 0, 10, 5};
+  EXPECT_DOUBLE_EQ(F1Positive(none), 0.0);
+  Confusion no_neg{5, 5, 0, 0};
+  EXPECT_DOUBLE_EQ(F1Negative(no_neg), 0.0);
+}
+
+TEST(MacroF1Test, PerfectPrediction) {
+  EXPECT_DOUBLE_EQ(MacroF1({1, 0, 1, 0}, {1, 0, 1, 0}), 1.0);
+}
+
+TEST(MacroF1Test, AllWrong) {
+  EXPECT_DOUBLE_EQ(MacroF1({0, 1, 0, 1}, {1, 0, 1, 0}), 0.0);
+}
+
+TEST(MacroF1Test, IsMeanOfClassF1s) {
+  std::vector<int> pred = {1, 1, 0, 0, 1};
+  std::vector<int> labels = {1, 0, 0, 1, 1};
+  Confusion c = ConfusionCounts(pred, labels);
+  EXPECT_NEAR(MacroF1(pred, labels),
+              0.5 * (F1Positive(c) + F1Negative(c)), 1e-12);
+}
+
+TEST(AveragePrecisionTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}),
+                   1.0);
+}
+
+TEST(AveragePrecisionTest, HandValue) {
+  // Ranking: pos, neg, pos -> AP = (1/1 + 2/3) / 2.
+  EXPECT_NEAR(AveragePrecision({0.9, 0.5, 0.4}, {1, 0, 1}),
+              (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(AveragePrecisionTest, NoPositivesIsZero) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.5, 0.4}, {0, 0}), 0.0);
+}
+
+TEST(AggregateTest, MeanAndStd) {
+  MeanStd ms = Aggregate({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 2.0);
+  EXPECT_NEAR(ms.std, std::sqrt(2.0 / 3.0), 1e-12);
+}
+
+TEST(AggregateTest, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(Aggregate({}).mean, 0.0);
+  MeanStd one = Aggregate({5.0});
+  EXPECT_DOUBLE_EQ(one.mean, 5.0);
+  EXPECT_DOUBLE_EQ(one.std, 0.0);
+}
+
+}  // namespace
+}  // namespace umgad

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/gat.h"
+#include "nn/gcn.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/init.h"
+
+namespace umgad {
+namespace {
+
+std::shared_ptr<const SparseMatrix> RingGraph(int n) {
+  std::vector<Edge> edges;
+  for (int i = 0; i < n; ++i) edges.push_back(Edge{i, (i + 1) % n});
+  return std::make_shared<const SparseMatrix>(
+      SparseMatrix::FromEdges(n, edges, true).NormalizedWithSelfLoops());
+}
+
+TEST(LinearTest, ForwardShapeAndBias) {
+  Rng rng(1);
+  nn::Linear layer(4, 3, &rng);
+  Tensor x = RandomNormal(5, 4, 0, 1, &rng);
+  ag::VarPtr y = layer.Forward(ag::Constant(x));
+  EXPECT_EQ(y->value().rows(), 5);
+  EXPECT_EQ(y->value().cols(), 3);
+  // weight (4x3) + bias (1x3)
+  EXPECT_EQ(layer.ParameterCount(), 4 * 3 + 3);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(2);
+  nn::Linear layer(4, 3, &rng, /*bias=*/false);
+  EXPECT_EQ(layer.ParameterCount(), 12);
+}
+
+TEST(ModuleTest, ParametersIncludeChildren) {
+  Rng rng(3);
+  nn::GcnConv conv(6, 4, nn::Activation::kRelu, &rng);
+  EXPECT_EQ(conv.Parameters().size(), 2u);  // W + b
+  EXPECT_EQ(conv.ParameterCount(), 6 * 4 + 4);
+}
+
+TEST(GcnTest, ForwardShape) {
+  Rng rng(4);
+  auto adj = RingGraph(6);
+  nn::GcnConv conv(3, 5, nn::Activation::kNone, &rng);
+  Tensor x = RandomNormal(6, 3, 0, 1, &rng);
+  ag::VarPtr y = conv.Forward(adj, ag::Constant(x));
+  EXPECT_EQ(y->value().rows(), 6);
+  EXPECT_EQ(y->value().cols(), 5);
+  EXPECT_TRUE(y->value().AllFinite());
+}
+
+TEST(GcnTest, ReluClampsNegative) {
+  Rng rng(5);
+  auto adj = RingGraph(4);
+  nn::GcnConv conv(2, 3, nn::Activation::kRelu, &rng);
+  Tensor x = RandomNormal(4, 2, 0, 1, &rng);
+  ag::VarPtr y = conv.Forward(adj, ag::Constant(x));
+  EXPECT_GE(y->value().Min(), 0.0);
+}
+
+TEST(SgcTest, ZeroHopsIsLinear) {
+  Rng rng(6);
+  auto adj = RingGraph(5);
+  nn::SgcConv conv(3, 3, /*hops=*/0, nn::Activation::kNone, &rng);
+  Tensor x = RandomNormal(5, 3, 0, 1, &rng);
+  // With 0 hops the adjacency must not matter.
+  ag::VarPtr y1 = conv.Forward(adj, ag::Constant(x));
+  ag::VarPtr y2 = conv.Forward(RingGraph(5), ag::Constant(x));
+  EXPECT_LT(MaxAbsDiff(y1->value(), y2->value()), 1e-6);
+}
+
+TEST(SgcTest, HopsPropagate) {
+  Rng rng(7);
+  auto adj = RingGraph(8);
+  nn::SgcConv conv1(2, 4, 1, nn::Activation::kNone, &rng);
+  Tensor x = RandomNormal(8, 2, 0, 1, &rng);
+  ag::VarPtr y = conv1.Forward(adj, ag::Constant(x));
+  EXPECT_TRUE(y->value().AllFinite());
+}
+
+TEST(GatTest, ForwardShapeAndFinite) {
+  Rng rng(8);
+  auto adj = RingGraph(7);
+  nn::GatConv conv(3, 4, nn::Activation::kElu, &rng);
+  Tensor x = RandomNormal(7, 3, 0, 1, &rng);
+  ag::VarPtr y = conv.Forward(adj, ag::Constant(x));
+  EXPECT_EQ(y->value().rows(), 7);
+  EXPECT_EQ(y->value().cols(), 4);
+  EXPECT_TRUE(y->value().AllFinite());
+}
+
+TEST(GatTest, AttentionIsConvexCombination) {
+  // With identity weights (d_in == d_out forced via training-free check):
+  // each output row is a convex combination of projected neighbour rows,
+  // so outputs stay within the min/max envelope of h = x W.
+  Rng rng(9);
+  auto adj = RingGraph(6);
+  nn::GatConv conv(3, 3, nn::Activation::kNone, &rng);
+  Tensor x = RandomNormal(6, 3, 0, 1, &rng);
+  ag::VarPtr y = conv.Forward(adj, ag::Constant(x));
+  EXPECT_TRUE(y->value().AllFinite());
+}
+
+TEST(ActivateTest, AllVariantsFinite) {
+  Rng rng(10);
+  Tensor x = RandomNormal(3, 3, 0, 2, &rng);
+  for (auto act : {nn::Activation::kNone, nn::Activation::kRelu,
+                   nn::Activation::kLeakyRelu, nn::Activation::kElu,
+                   nn::Activation::kTanh}) {
+    ag::VarPtr y = nn::Activate(ag::Constant(x), act);
+    EXPECT_TRUE(y->value().AllFinite());
+  }
+}
+
+// --------------------------- Optimisers -----------------------------------
+
+/// Minimise ||W - target||^2; both optimisers must reduce the loss.
+template <typename Opt>
+double OptimizeQuadratic(Opt&& opt, const ag::VarPtr& w,
+                         const Tensor& target, int steps) {
+  double last = 0.0;
+  for (int s = 0; s < steps; ++s) {
+    opt.ZeroGrad();
+    ag::VarPtr loss = ag::MseLoss(w, target);
+    last = loss->value().scalar();
+    ag::Backward(loss);
+    opt.Step();
+  }
+  return last;
+}
+
+TEST(OptimizerTest, SgdConverges) {
+  Rng rng(11);
+  ag::VarPtr w = ag::Leaf(RandomNormal(3, 3, 0, 1, &rng));
+  Tensor target = RandomNormal(3, 3, 0, 1, &rng);
+  const double initial = ag::MseLoss(w, target)->value().scalar();
+  nn::Sgd sgd({w}, 0.5f);
+  const double final_loss = OptimizeQuadratic(sgd, w, target, 50);
+  EXPECT_LT(final_loss, initial * 0.01);
+}
+
+TEST(OptimizerTest, AdamConverges) {
+  Rng rng(12);
+  ag::VarPtr w = ag::Leaf(RandomNormal(3, 3, 0, 1, &rng));
+  Tensor target = RandomNormal(3, 3, 0, 1, &rng);
+  const double initial = ag::MseLoss(w, target)->value().scalar();
+  nn::Adam adam({w}, 0.1f);
+  const double final_loss = OptimizeQuadratic(adam, w, target, 100);
+  EXPECT_LT(final_loss, initial * 0.01);
+}
+
+TEST(OptimizerTest, WeightDecayShrinksWeights) {
+  Rng rng(13);
+  ag::VarPtr w = ag::Leaf(Tensor::Full(2, 2, 1.0f));
+  nn::Sgd sgd({w}, 0.1f, /*weight_decay=*/1.0f);
+  // Gradient-free steps: decay alone shrinks the parameter.
+  for (int s = 0; s < 5; ++s) {
+    sgd.ZeroGrad();
+    ag::Backward(ag::ScalarMul(ag::Sum(w), 0.0f));
+    sgd.Step();
+  }
+  EXPECT_LT(w->value().at(0, 0), 1.0f);
+}
+
+TEST(OptimizerTest, StepWithoutGradIsNoop) {
+  ag::VarPtr w = ag::Leaf(Tensor::Full(2, 2, 2.0f));
+  nn::Adam adam({w}, 0.5f);
+  adam.Step();  // no backward happened
+  EXPECT_EQ(w->value().at(0, 0), 2.0f);
+}
+
+// ------------------------------ loss helpers ------------------------------
+
+TEST(LossTest, BuildEdgeCandidatesShape) {
+  Rng rng(14);
+  SparseMatrix adj = SparseMatrix::FromEdges(
+      10, {Edge{0, 1}, Edge{2, 3}, Edge{4, 5}}, true);
+  std::vector<ag::EdgeCandidateSet> sets = nn::BuildEdgeCandidates(
+      {Edge{0, 1}, Edge{2, 3}}, adj, 4, &rng);
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0].src, 0);
+  EXPECT_EQ(sets[0].cands[0], 1);
+  EXPECT_EQ(sets[0].cands.size(), 5u);
+  // Negatives must not be neighbours of src.
+  for (size_t c = 1; c < sets[0].cands.size(); ++c) {
+    EXPECT_FALSE(adj.Has(0, sets[0].cands[c]));
+  }
+}
+
+TEST(LossTest, ContrastiveNegativesAvoidSelf) {
+  Rng rng(15);
+  std::vector<int> neg = nn::SampleContrastiveNegatives(50, &rng);
+  ASSERT_EQ(neg.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_NE(neg[i], i);
+    EXPECT_GE(neg[i], 0);
+    EXPECT_LT(neg[i], 50);
+  }
+}
+
+TEST(LossTest, ConvexCombineInterpolates) {
+  ag::VarPtr a = ag::Constant(Tensor::Full(1, 1, 2.0f));
+  ag::VarPtr b = ag::Constant(Tensor::Full(1, 1, 10.0f));
+  EXPECT_NEAR(nn::ConvexCombine(a, b, 0.25f)->value().scalar(), 8.0f, 1e-5);
+}
+
+}  // namespace
+}  // namespace umgad

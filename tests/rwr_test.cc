@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "graph/random_walk.h"
+
+namespace umgad {
+namespace {
+
+SparseMatrix PathGraph(int n) {
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back(Edge{i, i + 1});
+  return SparseMatrix::FromEdges(n, edges, true);
+}
+
+TEST(RwrTest, IncludesSeed) {
+  Rng rng(1);
+  RwrConfig config;
+  config.target_size = 5;
+  std::vector<int> sub = SampleRwrSubgraph(PathGraph(20), 10, config, &rng);
+  EXPECT_EQ(sub[0], 10);
+}
+
+TEST(RwrTest, RespectsTargetSize) {
+  Rng rng(2);
+  RwrConfig config;
+  config.target_size = 6;
+  config.max_steps = 10000;
+  std::vector<int> sub = SampleRwrSubgraph(PathGraph(50), 25, config, &rng);
+  EXPECT_LE(static_cast<int>(sub.size()), 6);
+  EXPECT_GE(static_cast<int>(sub.size()), 2);
+}
+
+TEST(RwrTest, NodesAreDistinct) {
+  Rng rng(3);
+  RwrConfig config;
+  config.target_size = 8;
+  std::vector<int> sub = SampleRwrSubgraph(PathGraph(30), 15, config, &rng);
+  std::set<int> uniq(sub.begin(), sub.end());
+  EXPECT_EQ(uniq.size(), sub.size());
+}
+
+TEST(RwrTest, StaysInComponent) {
+  // Two disconnected paths: a walk from the first must never reach the
+  // second.
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < 10; ++i) edges.push_back(Edge{i, i + 1});
+  for (int i = 10; i + 1 < 20; ++i) edges.push_back(Edge{i, i + 1});
+  SparseMatrix adj = SparseMatrix::FromEdges(20, edges, true);
+  Rng rng(4);
+  RwrConfig config;
+  config.target_size = 10;
+  std::vector<int> sub = SampleRwrSubgraph(adj, 3, config, &rng);
+  for (int v : sub) EXPECT_LT(v, 10);
+}
+
+TEST(RwrTest, IsolatedSeedReturnsSelf) {
+  SparseMatrix adj = SparseMatrix::FromEdges(5, {Edge{1, 2}}, true);
+  Rng rng(5);
+  RwrConfig config;
+  config.target_size = 4;
+  config.max_steps = 50;
+  std::vector<int> sub = SampleRwrSubgraph(adj, 0, config, &rng);
+  EXPECT_EQ(sub, (std::vector<int>{0}));
+}
+
+TEST(RwrTest, DeterministicGivenSeed) {
+  SparseMatrix adj = PathGraph(40);
+  RwrConfig config;
+  config.target_size = 6;
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(SampleRwrSubgraph(adj, 20, config, &a),
+            SampleRwrSubgraph(adj, 20, config, &b));
+}
+
+TEST(RwrTest, BatchSamplerUsesDistinctSeeds) {
+  Rng rng(8);
+  RwrConfig config;
+  config.target_size = 3;
+  std::vector<std::vector<int>> subs =
+      SampleRwrSubgraphs(PathGraph(30), 10, config, &rng);
+  EXPECT_EQ(subs.size(), 10u);
+  std::set<int> seeds;
+  for (const auto& s : subs) seeds.insert(s[0]);
+  EXPECT_EQ(seeds.size(), 10u);
+}
+
+TEST(RwrTest, HighRestartStaysLocal) {
+  Rng rng(9);
+  RwrConfig config;
+  config.target_size = 10;
+  config.restart_prob = 0.95;
+  config.max_steps = 500;
+  std::vector<int> sub = SampleRwrSubgraph(PathGraph(100), 50, config, &rng);
+  // With aggressive restarts the walk hugs the seed.
+  for (int v : sub) EXPECT_NEAR(v, 50, 10);
+}
+
+}  // namespace
+}  // namespace umgad

@@ -1,0 +1,136 @@
+#include <cmath>
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/scorer.h"
+#include "graph/datasets.h"
+#include "tensor/init.h"
+
+namespace umgad {
+namespace {
+
+TEST(NormalizeTest, MinMaxMapsToUnitInterval) {
+  std::vector<double> v = {3.0, 1.0, 5.0};
+  std::vector<double> out = MinMaxNormalize(v);
+  EXPECT_DOUBLE_EQ(out[0], 0.5);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+TEST(NormalizeTest, MinMaxConstantIsZero) {
+  std::vector<double> out = MinMaxNormalize({2.0, 2.0, 2.0});
+  for (double x : out) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(NormalizeTest, StandardizeMoments) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> z = Standardize(v);
+  double mean = std::accumulate(z.begin(), z.end(), 0.0) / z.size();
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  double var = 0.0;
+  for (double x : z) var += x * x;
+  EXPECT_NEAR(var / z.size(), 1.0, 1e-12);
+}
+
+TEST(NormalizeTest, StandardizePreservesOrder) {
+  std::vector<double> v = {5.0, -1.0, 3.0};
+  std::vector<double> z = Standardize(v);
+  EXPECT_GT(z[0], z[2]);
+  EXPECT_GT(z[2], z[1]);
+}
+
+SparseMatrix TriangleWithTail() {
+  return SparseMatrix::FromEdges(
+      5, {Edge{0, 1}, Edge{1, 2}, Edge{0, 2}, Edge{2, 3}, Edge{3, 4}}, true);
+}
+
+TEST(StructureResidualTest, ExactAndSampledAgreeOnRanking) {
+  SparseMatrix adj = TriangleWithTail();
+  Rng init_rng(1);
+  Tensor z = RandomNormal(5, 4, 0, 1, &init_rng);
+  std::vector<double> exact = StructureResidualExact(adj, z);
+  Rng rng(2);
+  std::vector<double> sampled = StructureResidual(adj, z, 200, &rng);
+  // With enough samples the two estimates converge (all nodes here have
+  // few non-neighbours).
+  for (int i = 0; i < 5; ++i) EXPECT_NEAR(sampled[i], exact[i], 0.15);
+}
+
+TEST(StructureResidualTest, PerfectEmbeddingScoresLow) {
+  // Embeddings engineered so that edges have large positive dots and
+  // non-edges negative: two well-separated clusters.
+  SparseMatrix adj = SparseMatrix::FromEdges(
+      4, {Edge{0, 1}, Edge{2, 3}}, true);
+  Tensor z(4, 2);
+  z.at(0, 0) = 3.0f;
+  z.at(1, 0) = 3.0f;
+  z.at(2, 1) = 3.0f;
+  z.at(3, 1) = 3.0f;
+  std::vector<double> residual = StructureResidualExact(adj, z);
+  for (double r : residual) EXPECT_LT(r, 0.8);
+
+  // Breaking node 0's embedding raises its residual above the others.
+  z.at(0, 0) = -3.0f;
+  std::vector<double> broken = StructureResidualExact(adj, z);
+  EXPECT_GT(broken[0], residual[0] + 0.5);
+}
+
+TEST(StructureResidualTest, IsolatedNodeOnlyLeaks) {
+  SparseMatrix adj = SparseMatrix::FromEdges(3, {Edge{1, 2}}, true);
+  Tensor z = Tensor::Full(3, 2, 0.0f);
+  Rng rng(3);
+  std::vector<double> residual = StructureResidual(adj, z, 10, &rng);
+  // Zero embeddings: sigmoid(0) = 0.5 leak; node 0 has no edge-error term.
+  EXPECT_NEAR(residual[0], 0.5, 1e-6);
+}
+
+TEST(ComputeScoresTest, CombinesViewsAndBranches) {
+  MultiplexGraph g = MakeTiny(5);
+  Rng init_rng(4);
+  ViewScoring full;
+  full.attr_recon = g.attributes();  // perfect recon -> zero attr part
+  for (int r = 0; r < g.num_relations(); ++r) {
+    full.embeddings.push_back(
+        RandomNormal(g.num_nodes(), 8, 0, 1, &init_rng));
+  }
+  Rng rng(6);
+  std::vector<double> scores =
+      ComputeAnomalyScores(g, {full}, 0.5f, 8, &rng);
+  EXPECT_EQ(scores.size(), static_cast<size_t>(g.num_nodes()));
+  for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(ComputeScoresTest, AttrOnlyViewUsesAttrBranch) {
+  MultiplexGraph g = MakeTiny(7);
+  ViewScoring attr_only;
+  Rng init_rng(8);
+  attr_only.attr_recon =
+      RandomNormal(g.num_nodes(), g.feature_dim(), 0, 1, &init_rng);
+  Rng rng(9);
+  std::vector<double> scores =
+      ComputeAnomalyScores(g, {attr_only}, 0.5f, 8, &rng);
+  // Standardised single-component scores: non-constant.
+  const auto [mn, mx] = std::minmax_element(scores.begin(), scores.end());
+  EXPECT_LT(*mn, *mx);
+}
+
+TEST(ComputeScoresTest, WorseReconstructionRanksHigher) {
+  MultiplexGraph g = MakeTiny(11);
+  ViewScoring view;
+  view.attr_recon = g.attributes();
+  // Corrupt the reconstruction of node 3 only.
+  for (int d = 0; d < g.feature_dim(); ++d) {
+    view.attr_recon.at(3, d) += 10.0f;
+  }
+  Rng rng(12);
+  std::vector<double> scores =
+      ComputeAnomalyScores(g, {view}, 1.0f, 0, &rng);
+  const int argmax = static_cast<int>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+  EXPECT_EQ(argmax, 3);
+}
+
+}  // namespace
+}  // namespace umgad

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/init.h"
+#include "tensor/sparse.h"
+
+namespace umgad {
+namespace {
+
+SparseMatrix RandomSparse(int n, int edges, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> e;
+  for (int k = 0; k < edges; ++k) {
+    int u = static_cast<int>(rng.UniformInt(n));
+    int v = static_cast<int>(rng.UniformInt(n));
+    if (u != v) e.push_back(Edge{u, v});
+  }
+  return SparseMatrix::FromEdges(n, e, /*symmetrize=*/true);
+}
+
+TEST(SparseTest, FromCooSortsAndStores) {
+  SparseMatrix m = SparseMatrix::FromCoo(3, 3, {2, 0, 1}, {0, 1, 2},
+                                         {1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_TRUE(m.Has(0, 1));
+  EXPECT_TRUE(m.Has(2, 0));
+  EXPECT_FALSE(m.Has(0, 0));
+}
+
+TEST(SparseTest, FromCooMergesDuplicates) {
+  SparseMatrix m = SparseMatrix::FromCoo(2, 2, {0, 0, 0}, {1, 1, 1},
+                                         {1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_FLOAT_EQ(m.values()[0], 6.0f);
+}
+
+TEST(SparseTest, FromEdgesSymmetrizes) {
+  SparseMatrix m =
+      SparseMatrix::FromEdges(3, {Edge{0, 1}, Edge{1, 2}}, true);
+  EXPECT_TRUE(m.Has(1, 0));
+  EXPECT_TRUE(m.Has(2, 1));
+  EXPECT_EQ(m.nnz(), 4);
+}
+
+TEST(SparseTest, FromEdgesClampsDuplicateToOne) {
+  SparseMatrix m = SparseMatrix::FromEdges(
+      2, {Edge{0, 1}, Edge{0, 1}, Edge{1, 0}}, true);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_FLOAT_EQ(m.values()[0], 1.0f);
+}
+
+TEST(SparseTest, IdentityMultiplyIsNoop) {
+  Rng rng(3);
+  Tensor x = RandomNormal(5, 4, 0, 1, &rng);
+  Tensor y = SparseMatrix::Identity(5).Multiply(x);
+  EXPECT_LT(MaxAbsDiff(x, y), 1e-7);
+}
+
+TEST(SparseTest, MultiplyMatchesDense) {
+  SparseMatrix s = RandomSparse(12, 40, 7);
+  Rng rng(11);
+  Tensor x = RandomNormal(12, 6, 0, 1, &rng);
+  Tensor via_sparse = s.Multiply(x);
+  Tensor via_dense = MatMul(s.ToDense(), x);
+  EXPECT_LT(MaxAbsDiff(via_sparse, via_dense), 1e-4);
+}
+
+TEST(SparseTest, MultiplyTransposedMatchesDense) {
+  SparseMatrix s = RandomSparse(10, 30, 13);
+  Rng rng(17);
+  Tensor x = RandomNormal(10, 3, 0, 1, &rng);
+  Tensor via_sparse = s.MultiplyTransposed(x);
+  Tensor via_dense = MatMul(Transpose(s.ToDense()), x);
+  EXPECT_LT(MaxAbsDiff(via_sparse, via_dense), 1e-4);
+}
+
+TEST(SparseTest, RowSumsMatchDense) {
+  SparseMatrix s = RandomSparse(9, 25, 19);
+  Tensor dense = s.ToDense();
+  std::vector<double> sums = s.RowSums();
+  for (int i = 0; i < 9; ++i) {
+    double expected = 0.0;
+    for (int j = 0; j < 9; ++j) expected += dense.at(i, j);
+    EXPECT_NEAR(sums[i], expected, 1e-5);
+  }
+}
+
+TEST(SparseTest, NormalizedWithSelfLoopsSpectrum) {
+  SparseMatrix s = RandomSparse(15, 40, 23);
+  SparseMatrix norm = s.NormalizedWithSelfLoops();
+  // Every node gets a self loop, so each row is non-empty.
+  for (int i = 0; i < 15; ++i) EXPECT_GE(norm.RowNnz(i), 1);
+  // Row sums of D^{-1/2}(A+I)D^{-1/2} are positive; they equal 1 exactly
+  // on degree-regular graphs and stay near 1 otherwise (they can exceed 1
+  // when a node's neighbours have smaller degrees than it).
+  for (double rs : norm.RowSums()) {
+    EXPECT_GT(rs, 0.0);
+    EXPECT_LE(rs, 2.0);
+  }
+  // An isolated node's row is exactly its unit self loop.
+  SparseMatrix isolated = SparseMatrix::FromEdges(3, {Edge{0, 1}}, true)
+                              .NormalizedWithSelfLoops();
+  auto [begin, end] = isolated.RowRange(2);
+  ASSERT_EQ(end - begin, 1);
+  EXPECT_FLOAT_EQ(isolated.values()[begin], 1.0f);
+}
+
+TEST(SparseTest, NormalizedSymmetric) {
+  SparseMatrix s = RandomSparse(10, 25, 29);
+  Tensor norm = s.NormalizedWithSelfLoops().ToDense();
+  EXPECT_LT(MaxAbsDiff(norm, Transpose(norm)), 1e-6);
+}
+
+TEST(SparseTest, RowNormalizedIsStochastic) {
+  SparseMatrix s = RandomSparse(10, 30, 31);
+  std::vector<double> sums = s.RowNormalized().RowSums();
+  for (int i = 0; i < 10; ++i) {
+    if (s.RowNnz(i) > 0) EXPECT_NEAR(sums[i], 1.0, 1e-5);
+  }
+}
+
+TEST(SparseTest, ToEdgesRoundTrip) {
+  SparseMatrix s = RandomSparse(8, 20, 37);
+  std::vector<Edge> edges = s.ToEdges();
+  EXPECT_EQ(static_cast<int64_t>(edges.size()), s.nnz());
+  SparseMatrix rebuilt = SparseMatrix::FromEdges(8, edges, false);
+  EXPECT_LT(MaxAbsDiff(s.ToDense(), rebuilt.ToDense()), 1e-6);
+}
+
+TEST(SparseTest, RowRangeIteration) {
+  SparseMatrix m = SparseMatrix::FromCoo(3, 3, {1, 1}, {0, 2}, {1.f, 1.f});
+  auto [begin, end] = m.RowRange(1);
+  EXPECT_EQ(end - begin, 2);
+  EXPECT_EQ(m.RowNnz(0), 0);
+  EXPECT_EQ(m.RowNnz(1), 2);
+}
+
+TEST(SparseTest, EmptyMatrix) {
+  SparseMatrix m = SparseMatrix::FromCoo(4, 4, {}, {}, {});
+  EXPECT_EQ(m.nnz(), 0);
+  Tensor x = Tensor::Full(4, 2, 1.0f);
+  Tensor y = m.Multiply(x);
+  EXPECT_DOUBLE_EQ(y.Sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace umgad

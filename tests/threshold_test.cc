@@ -1,0 +1,147 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/threshold.h"
+
+namespace umgad {
+namespace {
+
+/// Sharply separated score set: `anomalies` values near `hi`, the rest near
+/// `lo` — the curve shape the paper's Fig. 2 shows for a good detector.
+std::vector<double> SharpScores(int n, int anomalies, double hi, double lo,
+                                double noise, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> s(n);
+  for (int i = 0; i < n; ++i) {
+    s[i] = (i < anomalies ? hi : lo) + rng.Normal(0.0, noise);
+  }
+  rng.Shuffle(&s);
+  return s;
+}
+
+struct SharpCase {
+  int n;
+  int anomalies;
+};
+
+class InflectionRecovery : public ::testing::TestWithParam<SharpCase> {};
+
+TEST_P(InflectionRecovery, FindsBoundaryOnSharpCurves) {
+  const auto [n, anomalies] = GetParam();
+  std::vector<double> scores =
+      SharpScores(n, anomalies, 2.0, 0.1, 0.03, 17);
+  ThresholdResult result = SelectThresholdInflection(scores);
+  // The predicted count lands within the smoothing window of the truth.
+  EXPECT_NEAR(result.num_predicted, anomalies,
+              std::max(5, result.window + 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, InflectionRecovery,
+    ::testing::Values(SharpCase{500, 25}, SharpCase{1000, 50},
+                      SharpCase{1000, 120}, SharpCase{3000, 90},
+                      SharpCase{5000, 400}, SharpCase{800, 8}));
+
+TEST(ThresholdTest, DefaultWindowFollowsPaperFormula) {
+  std::vector<double> scores = SharpScores(100000, 500, 2.0, 0.1, 0.02, 3);
+  ThresholdResult r = SelectThresholdInflection(scores);
+  EXPECT_EQ(r.window, 10);  // max(floor(1e-4 * 1e5), 5)
+  std::vector<double> small = SharpScores(1000, 50, 2.0, 0.1, 0.02, 3);
+  EXPECT_EQ(SelectThresholdInflection(small).window, 5);
+}
+
+TEST(ThresholdTest, ExplicitWindowOverrides) {
+  std::vector<double> scores = SharpScores(1000, 50, 2.0, 0.1, 0.02, 5);
+  EXPECT_EQ(SelectThresholdInflection(scores, 11).window, 11);
+}
+
+TEST(ThresholdTest, SmoothedSequenceIsSortedDescending) {
+  std::vector<double> scores = SharpScores(400, 30, 2.0, 0.1, 0.05, 7);
+  ThresholdResult r = SelectThresholdInflection(scores);
+  for (size_t i = 1; i < r.smoothed.size(); ++i) {
+    EXPECT_LE(r.smoothed[i], r.smoothed[i - 1] + 1e-9);
+  }
+}
+
+TEST(ThresholdTest, HandlesTinyInputs) {
+  ThresholdResult one = SelectThresholdInflection({1.0});
+  EXPECT_EQ(one.num_predicted, 1);
+  ThresholdResult two = SelectThresholdInflection({1.0, 0.0});
+  EXPECT_GE(two.num_predicted, 1);
+}
+
+TEST(ThresholdTest, ConstantScoresPredictEverything) {
+  std::vector<double> scores(100, 0.5);
+  ThresholdResult r = SelectThresholdInflection(scores);
+  EXPECT_EQ(r.num_predicted, 100);
+}
+
+TEST(ThresholdTest, TopKThresholdPassesExactlyK) {
+  Rng rng(11);
+  std::vector<double> scores(200);
+  for (auto& s : scores) s = rng.Uniform();  // distinct w.h.p.
+  const double threshold = ThresholdTopK(scores, 17);
+  int passed = 0;
+  for (double s : scores) passed += s >= threshold ? 1 : 0;
+  EXPECT_EQ(passed, 17);
+}
+
+TEST(ThresholdTest, BestF1IsAtLeastTopKF1) {
+  std::vector<double> scores = SharpScores(300, 30, 2.0, 0.1, 0.3, 13);
+  // Labels: reconstruct from the generating process by rank (top 30 true).
+  std::vector<int> order(300);
+  for (int i = 0; i < 300; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return scores[a] > scores[b]; });
+  std::vector<int> labels(300, 0);
+  for (int k = 0; k < 30; ++k) labels[order[k]] = 1;
+
+  auto f1_at = [&](double threshold) {
+    int tp = 0;
+    int fp = 0;
+    int fn = 0;
+    for (int i = 0; i < 300; ++i) {
+      const bool pred = scores[i] >= threshold;
+      if (pred && labels[i]) ++tp;
+      if (pred && !labels[i]) ++fp;
+      if (!pred && labels[i]) ++fn;
+    }
+    const double p = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0;
+    const double r = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0;
+    return p + r > 0 ? 2 * p * r / (p + r) : 0.0;
+  };
+  const double best = f1_at(ThresholdBestF1(scores, labels));
+  EXPECT_GE(best + 1e-12, f1_at(ThresholdTopK(scores, 30)));
+  EXPECT_GE(best + 1e-12, f1_at(ThresholdTopK(scores, 60)));
+}
+
+TEST(ThresholdTest, PredictWithThresholdBoundary) {
+  std::vector<int> pred = PredictWithThreshold({0.9, 0.5, 0.1}, 0.5);
+  EXPECT_EQ(pred, (std::vector<int>{1, 1, 0}));
+}
+
+TEST(TwoSegmentTest, FindsCornerOfPiecewiseLinear) {
+  // y = 10 - x for x < 40; flat 0.5 afterwards.
+  std::vector<double> y;
+  for (int i = 0; i < 40; ++i) y.push_back(10.0 - 0.24 * i);
+  for (int i = 40; i < 400; ++i) y.push_back(0.5 - 0.0001 * i);
+  const int cp = TwoSegmentChangePoint(y);
+  EXPECT_NEAR(cp, 40, 3);
+}
+
+TEST(TwoSegmentTest, ShortInputFallsBack) {
+  EXPECT_EQ(TwoSegmentChangePoint({1.0, 0.5}), 1);
+}
+
+TEST(ThresholdTest, InflectionIndexMatchesThresholdValue) {
+  std::vector<double> scores = SharpScores(600, 45, 2.0, 0.1, 0.04, 19);
+  ThresholdResult r = SelectThresholdInflection(scores);
+  ASSERT_GE(r.inflection_index, 0);
+  ASSERT_LT(static_cast<size_t>(r.inflection_index), r.smoothed.size());
+  EXPECT_DOUBLE_EQ(r.threshold, r.smoothed[r.inflection_index]);
+}
+
+}  // namespace
+}  // namespace umgad

@@ -1,0 +1,214 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/umgad.h"
+#include "eval/metrics.h"
+#include "graph/datasets.h"
+
+namespace umgad {
+namespace {
+
+UmgadConfig FastConfig() {
+  UmgadConfig config;
+  config.epochs = 20;
+  config.hidden_dim = 24;
+  config.mask_repeats = 1;
+  config.num_subgraphs = 3;
+  return config;
+}
+
+TEST(UmgadTest, FitProducesFiniteScores) {
+  MultiplexGraph g = MakeTiny(1);
+  UmgadModel model(FastConfig());
+  ASSERT_TRUE(model.Fit(g).ok());
+  ASSERT_EQ(model.scores().size(), static_cast<size_t>(g.num_nodes()));
+  for (double s : model.scores()) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(UmgadTest, LossDecreasesDuringTraining) {
+  MultiplexGraph g = MakeTiny(2);
+  UmgadConfig config = FastConfig();
+  config.epochs = 30;
+  UmgadModel model(config);
+  ASSERT_TRUE(model.Fit(g).ok());
+  const auto& hist = model.loss_history();
+  ASSERT_GE(hist.size(), 10u);
+  EXPECT_LT(hist.back(), hist.front() * 0.8);
+}
+
+TEST(UmgadTest, DetectsInjectedAnomalies) {
+  MultiplexGraph g = MakeTiny(3);
+  UmgadConfig config = FastConfig();
+  config.epochs = 40;
+  UmgadModel model(config);
+  ASSERT_TRUE(model.Fit(g).ok());
+  EXPECT_GT(RocAuc(model.scores(), g.labels()), 0.72);
+}
+
+TEST(UmgadTest, DeterministicForSameSeed) {
+  MultiplexGraph g = MakeTiny(4);
+  UmgadConfig config = FastConfig();
+  UmgadModel a(config);
+  UmgadModel b(config);
+  ASSERT_TRUE(a.Fit(g).ok());
+  ASSERT_TRUE(b.Fit(g).ok());
+  for (size_t i = 0; i < a.scores().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.scores()[i], b.scores()[i]);
+  }
+}
+
+TEST(UmgadTest, DifferentSeedsDiffer) {
+  MultiplexGraph g = MakeTiny(5);
+  UmgadConfig c1 = FastConfig();
+  UmgadConfig c2 = FastConfig();
+  c2.seed = 999;
+  UmgadModel a(c1);
+  UmgadModel b(c2);
+  ASSERT_TRUE(a.Fit(g).ok());
+  ASSERT_TRUE(b.Fit(g).ok());
+  double diff = 0.0;
+  for (size_t i = 0; i < a.scores().size(); ++i) {
+    diff += std::abs(a.scores()[i] - b.scores()[i]);
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(UmgadTest, PredictUnsupervisedReturnsBinary) {
+  MultiplexGraph g = MakeTiny(6);
+  UmgadModel model(FastConfig());
+  ASSERT_TRUE(model.Fit(g).ok());
+  std::vector<int> pred = model.PredictUnsupervised();
+  ASSERT_EQ(pred.size(), static_cast<size_t>(g.num_nodes()));
+  int positives = 0;
+  for (int p : pred) {
+    EXPECT_TRUE(p == 0 || p == 1);
+    positives += p;
+  }
+  EXPECT_EQ(positives, model.threshold_result().num_predicted);
+  EXPECT_GT(positives, 0);
+  EXPECT_LT(positives, g.num_nodes());
+}
+
+TEST(UmgadTest, RejectsTinyGraph) {
+
+  auto g = MultiplexGraph::Create(
+      "micro", Tensor(2, 2),
+      {SparseMatrix::FromEdges(2, {Edge{0, 1}}, true)}, {"r"});
+  ASSERT_TRUE(g.ok());
+  UmgadModel model;
+  EXPECT_EQ(model.Fit(*g).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(UmgadTest, RejectsAllViewsDisabled) {
+  MultiplexGraph g = MakeTiny(7);
+  UmgadConfig config = FastConfig();
+  config.use_original_view = false;
+  config.use_attr_augmented_view = false;
+  config.use_subgraph_augmented_view = false;
+  UmgadModel model(config);
+  EXPECT_EQ(model.Fit(g).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(UmgadTest, RejectsBothBranchesDisabled) {
+  MultiplexGraph g = MakeTiny(8);
+  UmgadConfig config = FastConfig();
+  config.use_attribute_recon = false;
+  config.use_structure_recon = false;
+  UmgadModel model(config);
+  EXPECT_EQ(model.Fit(g).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(UmgadTest, RejectsBadEta) {
+  MultiplexGraph g = MakeTiny(9);
+  UmgadConfig config = FastConfig();
+  config.eta = 0.5f;
+  UmgadModel model(config);
+  EXPECT_EQ(model.Fit(g).code(), StatusCode::kInvalidArgument);
+}
+
+struct AblationCase {
+  const char* name;
+  void (*apply)(UmgadConfig*);
+};
+
+class AblationVariants : public ::testing::TestWithParam<AblationCase> {};
+
+TEST_P(AblationVariants, VariantTrainsAndScores) {
+  MultiplexGraph g = MakeTiny(10);
+  UmgadConfig config = FastConfig();
+  GetParam().apply(&config);
+  UmgadModel model(config);
+  ASSERT_TRUE(model.Fit(g).ok()) << GetParam().name;
+  EXPECT_EQ(model.scores().size(), static_cast<size_t>(g.num_nodes()));
+  for (double s : model.scores()) EXPECT_TRUE(std::isfinite(s));
+  // Every variant should still carry signal on the easy tiny dataset.
+  EXPECT_GT(RocAuc(model.scores(), g.labels()), 0.55) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableIV, AblationVariants,
+    ::testing::Values(
+        AblationCase{"w/o M",
+                     [](UmgadConfig* c) { c->use_masking = false; }},
+        AblationCase{"w/o O",
+                     [](UmgadConfig* c) { c->use_original_view = false; }},
+        AblationCase{"w/o A",
+                     [](UmgadConfig* c) { c->DisableAugmentedViews(); }},
+        AblationCase{"w/o NA",
+                     [](UmgadConfig* c) {
+                       c->use_attr_augmented_view = false;
+                     }},
+        AblationCase{"w/o SA",
+                     [](UmgadConfig* c) {
+                       c->use_subgraph_augmented_view = false;
+                     }},
+        AblationCase{"w/o DCL",
+                     [](UmgadConfig* c) { c->use_contrastive = false; }},
+        AblationCase{"uniform-fusion",
+                     [](UmgadConfig* c) {
+                       c->use_relation_fusion = false;
+                     }},
+        AblationCase{"Att", [](UmgadConfig* c) {
+                       c->use_structure_recon = false;
+                     }},
+        AblationCase{"Str",
+                     [](UmgadConfig* c) {
+                       c->use_attribute_recon = false;
+                     }},
+        AblationCase{"SGC-encoder", [](UmgadConfig* c) {
+                       c->encoder = EncoderKind::kSgc;
+                     }}),
+    [](const ::testing::TestParamInfo<AblationCase>& info) {
+      std::string name = info.param.name;
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+TEST(UmgadTest, FusionWeightsOnSimplex) {
+  MultiplexGraph g = MakeTiny(11);
+  UmgadModel model(FastConfig());
+  ASSERT_TRUE(model.Fit(g).ok());
+  std::vector<double> w = model.OriginalFusionWeights();
+  ASSERT_EQ(w.size(), static_cast<size_t>(g.num_relations()));
+  double sum = 0.0;
+  for (double v : w) {
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(UmgadTest, TimingIsPopulated) {
+  MultiplexGraph g = MakeTiny(12);
+  UmgadModel model(FastConfig());
+  ASSERT_TRUE(model.Fit(g).ok());
+  EXPECT_GT(model.fit_seconds(), 0.0);
+  EXPECT_GT(model.epoch_seconds(), 0.0);
+  EXPECT_LT(model.epoch_seconds(), model.fit_seconds());
+}
+
+}  // namespace
+}  // namespace umgad

@@ -1,0 +1,173 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/views.h"
+#include "graph/datasets.h"
+#include "nn/optimizer.h"
+
+namespace umgad {
+namespace {
+
+struct ViewFixture {
+  MultiplexGraph graph = MakeTiny(21);
+  std::vector<std::shared_ptr<const SparseMatrix>> norm_adjs;
+  UmgadConfig config;
+  Rng rng{7};
+
+  ViewFixture() {
+    for (int r = 0; r < graph.num_relations(); ++r) {
+      norm_adjs.push_back(std::make_shared<const SparseMatrix>(
+          graph.layer(r).NormalizedWithSelfLoops()));
+    }
+    config.hidden_dim = 16;
+    config.mask_repeats = 2;
+    config.num_subgraphs = 2;
+  }
+
+  ReconstructionView MakeView(ReconstructionView::Kind kind) {
+    return ReconstructionView(kind, graph.feature_dim(),
+                              graph.num_relations(), config, &rng);
+  }
+};
+
+TEST(ViewsTest, OriginalViewProducesScalarLossAndRecon) {
+  ViewFixture f;
+  ReconstructionView view = f.MakeView(ReconstructionView::Kind::kOriginal);
+  ViewForward out = view.Forward(f.graph, f.norm_adjs, &f.rng);
+  ASSERT_TRUE(out.loss != nullptr);
+  EXPECT_EQ(out.loss->value().size(), 1);
+  EXPECT_TRUE(std::isfinite(out.loss->value().scalar()));
+  EXPECT_GT(out.loss->value().scalar(), 0.0f);
+  ASSERT_TRUE(out.fused_recon != nullptr);
+  EXPECT_EQ(out.fused_recon->value().rows(), f.graph.num_nodes());
+  EXPECT_EQ(out.fused_recon->value().cols(), f.graph.feature_dim());
+}
+
+TEST(ViewsTest, AttrAugmentedViewHasNoStructureBranch) {
+  ViewFixture f;
+  ReconstructionView view =
+      f.MakeView(ReconstructionView::Kind::kAttrAugmented);
+  ViewForward out = view.Forward(f.graph, f.norm_adjs, &f.rng);
+  ASSERT_TRUE(out.loss != nullptr);
+  EXPECT_TRUE(std::isfinite(out.loss->value().scalar()));
+
+  // Scoring exposes embeddings from the shared encoder even though the
+  // training loss is attribute-only.
+  ViewScoring scoring = view.Score(f.graph, f.norm_adjs);
+  EXPECT_FALSE(scoring.attr_recon.empty());
+  EXPECT_EQ(scoring.embeddings.size(),
+            static_cast<size_t>(f.graph.num_relations()));
+}
+
+TEST(ViewsTest, SubgraphViewProducesBothBranches) {
+  ViewFixture f;
+  ReconstructionView view =
+      f.MakeView(ReconstructionView::Kind::kSubgraphAugmented);
+  ViewForward out = view.Forward(f.graph, f.norm_adjs, &f.rng);
+  ASSERT_TRUE(out.loss != nullptr);
+  EXPECT_TRUE(std::isfinite(out.loss->value().scalar()));
+  ASSERT_TRUE(out.fused_recon != nullptr);
+}
+
+TEST(ViewsTest, LossIsDifferentiableThroughAllParameters) {
+  ViewFixture f;
+  ReconstructionView view = f.MakeView(ReconstructionView::Kind::kOriginal);
+  ViewForward out = view.Forward(f.graph, f.norm_adjs, &f.rng);
+  ag::Backward(out.loss);
+  int with_grad = 0;
+  for (const auto& p : view.Parameters()) {
+    if (p->has_grad() && p->grad().SquaredNorm() > 0.0) ++with_grad;
+  }
+  // Most parameters receive gradient every step (the mask token of the
+  // structure-branch GMAEs legitimately does not — Embed() never masks).
+  EXPECT_GT(with_grad, static_cast<int>(view.Parameters().size()) / 2);
+}
+
+TEST(ViewsTest, TrainingStepReducesViewLoss) {
+  ViewFixture f;
+  f.config.mask_repeats = 1;
+  ReconstructionView view = f.MakeView(ReconstructionView::Kind::kOriginal);
+  nn::Adam opt(view.Parameters(), 5e-3f);
+  Rng train_rng(3);
+  double first = 0.0;
+  double last = 0.0;
+  for (int step = 0; step < 25; ++step) {
+    opt.ZeroGrad();
+    // Fixed RNG per step so the masking noise does not hide the trend.
+    Rng step_rng(11);
+    ViewForward out = view.Forward(f.graph, f.norm_adjs, &step_rng);
+    const double loss = out.loss->value().scalar();
+    if (step == 0) first = loss;
+    last = loss;
+    ag::Backward(out.loss);
+    opt.Step();
+  }
+  (void)train_rng;
+  EXPECT_LT(last, first * 0.9);
+}
+
+TEST(ViewsTest, ScoreIsDeterministic) {
+  ViewFixture f;
+  ReconstructionView view = f.MakeView(ReconstructionView::Kind::kOriginal);
+  ViewScoring a = view.Score(f.graph, f.norm_adjs);
+  ViewScoring b = view.Score(f.graph, f.norm_adjs);
+  EXPECT_LT(MaxAbsDiff(a.attr_recon, b.attr_recon), 1e-9);
+  for (size_t r = 0; r < a.embeddings.size(); ++r) {
+    EXPECT_LT(MaxAbsDiff(a.embeddings[r], b.embeddings[r]), 1e-9);
+  }
+}
+
+TEST(ViewsTest, AttrOnlyConfigSkipsStructure) {
+  ViewFixture f;
+  f.config.use_structure_recon = false;
+  ReconstructionView view = f.MakeView(ReconstructionView::Kind::kOriginal);
+  ViewScoring scoring = view.Score(f.graph, f.norm_adjs);
+  EXPECT_FALSE(scoring.attr_recon.empty());
+  EXPECT_TRUE(scoring.embeddings.empty());
+}
+
+TEST(ViewsTest, StructOnlyConfigSkipsAttributes) {
+  ViewFixture f;
+  f.config.use_attribute_recon = false;
+  ReconstructionView view = f.MakeView(ReconstructionView::Kind::kOriginal);
+  ViewForward out = view.Forward(f.graph, f.norm_adjs, &f.rng);
+  ASSERT_TRUE(out.loss != nullptr);
+  EXPECT_TRUE(out.fused_recon == nullptr);
+  ViewScoring scoring = view.Score(f.graph, f.norm_adjs);
+  EXPECT_TRUE(scoring.attr_recon.empty());
+  EXPECT_FALSE(scoring.embeddings.empty());
+}
+
+TEST(ViewsTest, NoMaskingAblationStillLearns) {
+  ViewFixture f;
+  f.config.use_masking = false;
+  ReconstructionView view = f.MakeView(ReconstructionView::Kind::kOriginal);
+  ViewForward out = view.Forward(f.graph, f.norm_adjs, &f.rng);
+  ASSERT_TRUE(out.loss != nullptr);
+  ag::Backward(out.loss);
+  double grad_norm = 0.0;
+  for (const auto& p : view.Parameters()) {
+    if (p->has_grad()) grad_norm += p->grad().SquaredNorm();
+  }
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+TEST(ViewsTest, FusionWeightsAreSimplex) {
+  ViewFixture f;
+  ReconstructionView view = f.MakeView(ReconstructionView::Kind::kOriginal);
+  std::vector<double> w = view.FusionWeights();
+  ASSERT_EQ(w.size(), static_cast<size_t>(f.graph.num_relations()));
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(ViewsTest, AllNodesHelper) {
+  std::vector<int> all = AllNodes(4);
+  EXPECT_EQ(all, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(AllNodes(0).empty());
+}
+
+}  // namespace
+}  // namespace umgad
