@@ -1,0 +1,61 @@
+// Locks the public API surface exercised by every downstream consumer: a
+// MultiplexGraph built through the validating factory, the UmgadModel
+// detector, and a baseline constructed through the MakeDetector registry.
+// If this file stops compiling, a PR changed the public API.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/detector.h"
+#include "core/config.h"
+#include "core/umgad.h"
+#include "graph/datasets.h"
+#include "graph/multiplex_graph.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace umgad {
+namespace {
+
+TEST(BuildSanityTest, MultiplexGraphFactoryValidates) {
+  // Two relations over 4 nodes with 3-dim attributes.
+  Tensor attributes(4, 3);
+  std::vector<Edge> edges = {{0, 1}, {2, 3}};
+  SparseMatrix layer = SparseMatrix::FromEdges(4, edges, /*symmetrize=*/true);
+  auto graph = MultiplexGraph::Create("sanity", attributes, {layer, layer},
+                                      {"buys", "reviews"}, {0, 0, 1, 0});
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 4);
+  EXPECT_EQ(graph->num_relations(), 2);
+  EXPECT_EQ(graph->feature_dim(), 3);
+  EXPECT_EQ(graph->num_anomalies(), 1);
+}
+
+TEST(BuildSanityTest, UmgadModelImplementsDetector) {
+  UmgadConfig config;
+  config.epochs = 2;
+  UmgadModel model(config);
+  Detector* as_detector = &model;
+  EXPECT_EQ(as_detector->name(), "UMGAD");
+
+  MultiplexGraph g = MakeTiny(3);
+  ASSERT_TRUE(as_detector->Fit(g).ok());
+  EXPECT_EQ(model.scores().size(), static_cast<size_t>(g.num_nodes()));
+  EXPECT_EQ(model.PredictUnsupervised().size(),
+            static_cast<size_t>(g.num_nodes()));
+}
+
+TEST(BuildSanityTest, BaselineConstructibleViaRegistry) {
+  Result<std::unique_ptr<Detector>> dominant = MakeDetector("DOMINANT", 1);
+  ASSERT_TRUE(dominant.ok());
+  EXPECT_EQ((*dominant)->name(), "DOMINANT");
+
+  MultiplexGraph g = MakeTiny(5);
+  ASSERT_TRUE((*dominant)->Fit(g).ok());
+  EXPECT_EQ((*dominant)->scores().size(), static_cast<size_t>(g.num_nodes()));
+}
+
+}  // namespace
+}  // namespace umgad

@@ -115,7 +115,9 @@ TEST(SparseTest, RowNormalizedIsStochastic) {
   SparseMatrix s = RandomSparse(10, 30, 31);
   std::vector<double> sums = s.RowNormalized().RowSums();
   for (int i = 0; i < 10; ++i) {
-    if (s.RowNnz(i) > 0) EXPECT_NEAR(sums[i], 1.0, 1e-5);
+    if (s.RowNnz(i) > 0) {
+      EXPECT_NEAR(sums[i], 1.0, 1e-5);
+    }
   }
 }
 
