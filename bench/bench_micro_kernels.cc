@@ -1,10 +1,17 @@
-// Kernel microbenchmarks backing the complexity analysis of Sec. IV-F:
-// SpMM (the GMAE propagation kernel), dense MatMul (the projection
-// kernel), GAT attention, RWR sampling, AUC, and the threshold selector.
+// Kernel microbenchmarks backing the complexity analysis of Sec. IV-F and
+// the performance playbook (docs/PERFORMANCE.md): SpMM (the GMAE
+// propagation kernel), dense MatMul (the projection kernel — naive
+// reference vs the blocked/parallel kernel, with a thread sweep), GAT
+// attention, RWR sampling, AUC, and the threshold selector.
+//
+// Thread-sweep benches take the lane count as their argument and resize the
+// global pool around the timing loop; everything else runs at whatever
+// UMGAD_THREADS selects.
 
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/threshold.h"
 #include "eval/metrics.h"
 #include "graph/random_walk.h"
@@ -13,6 +20,15 @@
 
 namespace umgad {
 namespace {
+
+/// GFLOP/s counter for an (m,k,n) product (2 flops per multiply-add).
+void SetMatMulCounters(benchmark::State& state, int64_t m, int64_t k,
+                       int64_t n) {
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(2 * m * k * n) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
 
 SparseMatrix RandomAdj(int n, int mean_degree, uint64_t seed) {
   Rng rng(seed);
@@ -28,6 +44,8 @@ SparseMatrix RandomAdj(int n, int mean_degree, uint64_t seed) {
 
 void BM_Spmm(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  const int prev_threads = NumThreads();
+  SetNumThreads(static_cast<int>(state.range(1)));
   SparseMatrix adj = RandomAdj(n, 8, 1).NormalizedWithSelfLoops();
   Rng rng(2);
   Tensor x = RandomNormal(n, 48, 0, 1, &rng);
@@ -35,8 +53,29 @@ void BM_Spmm(benchmark::State& state) {
     benchmark::DoNotOptimize(adj.Multiply(x));
   }
   state.SetItemsProcessed(state.iterations() * adj.nnz());
+  SetNumThreads(prev_threads);
 }
-BENCHMARK(BM_Spmm)->Arg(1000)->Arg(4000)->Arg(16000);
+BENCHMARK(BM_Spmm)
+    ->Args({1000, 1})
+    ->Args({4000, 1})
+    ->Args({16000, 1})
+    ->Args({16000, 4})
+    ->UseRealTime();
+
+// Tall-skinny GMAE projection shape (N x 32 times 32 x 48): the per-layer
+// X*W product. Naive reference vs blocked kernel.
+void BM_MatMulNaive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  Tensor a = RandomNormal(n, 32, 0, 1, &rng);
+  Tensor b = RandomNormal(32, 48, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulNaive(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * 32 * 48);
+  SetMatMulCounters(state, n, 32, 48);
+}
+BENCHMARK(BM_MatMulNaive)->Arg(1000)->Arg(4000)->Arg(16000);
 
 void BM_MatMul(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -47,8 +86,36 @@ void BM_MatMul(benchmark::State& state) {
     benchmark::DoNotOptimize(MatMul(a, b));
   }
   state.SetItemsProcessed(state.iterations() * int64_t{n} * 32 * 48);
+  SetMatMulCounters(state, n, 32, 48);
 }
 BENCHMARK(BM_MatMul)->Arg(1000)->Arg(4000)->Arg(16000);
+
+// Square 512^3 case from the acceptance bar of the kernel rewrite: naive
+// baseline, then the blocked kernel across pool sizes.
+void BM_MatMul512Naive(benchmark::State& state) {
+  Rng rng(3);
+  Tensor a = RandomNormal(512, 512, 0, 1, &rng);
+  Tensor b = RandomNormal(512, 512, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulNaive(a, b));
+  }
+  SetMatMulCounters(state, 512, 512, 512);
+}
+BENCHMARK(BM_MatMul512Naive);
+
+void BM_MatMul512(benchmark::State& state) {
+  const int prev_threads = NumThreads();
+  SetNumThreads(static_cast<int>(state.range(0)));
+  Rng rng(3);
+  Tensor a = RandomNormal(512, 512, 0, 1, &rng);
+  Tensor b = RandomNormal(512, 512, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  SetMatMulCounters(state, 512, 512, 512);
+  SetNumThreads(prev_threads);
+}
+BENCHMARK(BM_MatMul512)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_GatAttention(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/scorer.h"
 #include "nn/loss.h"
@@ -74,6 +75,19 @@ Status UmgadModel::Fit(const MultiplexGraph& graph) {
   nn::Adam optimizer(params, config_.learning_rate, 0.9f, 0.999f, 1e-8f,
                      config_.weight_decay);
 
+  // The three views own disjoint parameters and their forward passes are
+  // independent given independent random streams, so each epoch fans the
+  // active views out across the thread pool (barrier before the joint loss;
+  // backward and the Adam step stay sequential). Each view gets an Rng
+  // forked *sequentially* from the epoch Rng, which keeps every draw — and
+  // therefore the fitted model — identical for any UMGAD_THREADS value.
+  std::vector<ReconstructionView*> active_views;
+  for (ReconstructionView* view :
+       {original_.get(), attr_augmented_.get(), subgraph_augmented_.get()}) {
+    if (view != nullptr) active_views.push_back(view);
+  }
+  const int active_count = static_cast<int>(active_views.size());
+
   loss_history_.clear();
   WallTimer epoch_timer;
   double epoch_time_acc = 0.0;
@@ -81,22 +95,34 @@ Status UmgadModel::Fit(const MultiplexGraph& graph) {
     epoch_timer.Restart();
     optimizer.ZeroGrad();
 
+    std::vector<Rng> view_rngs;
+    view_rngs.reserve(active_count);
+    for (int v = 0; v < active_count; ++v) view_rngs.push_back(rng.Fork());
+    std::vector<ViewForward> forwards(active_count);
+    ParallelFor(active_count, 1, [&](int64_t b, int64_t e) {
+      for (int v = static_cast<int>(b); v < e; ++v) {
+        forwards[v] =
+            active_views[v]->Forward(graph, norm_adjs, &view_rngs[v]);
+      }
+    });
+
     ViewForward orig;
     ViewForward attr_aug;
     ViewForward sub_aug;
     std::vector<ag::VarPtr> terms;
+    int next = 0;
     if (original_) {
-      orig = original_->Forward(graph, norm_adjs, &rng);
+      orig = std::move(forwards[next++]);
       if (orig.loss) terms.push_back(orig.loss);  // L_O, weight 1
     }
     if (attr_augmented_) {
-      attr_aug = attr_augmented_->Forward(graph, norm_adjs, &rng);
+      attr_aug = std::move(forwards[next++]);
       if (attr_aug.loss) {
         terms.push_back(ag::ScalarMul(attr_aug.loss, config_.lambda));
       }
     }
     if (subgraph_augmented_) {
-      sub_aug = subgraph_augmented_->Forward(graph, norm_adjs, &rng);
+      sub_aug = std::move(forwards[next++]);
       if (sub_aug.loss) {
         terms.push_back(ag::ScalarMul(sub_aug.loss, config_.mu));
       }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "core/masking.h"
 #include "graph/graph_ops.h"
 #include "nn/loss.h"
@@ -39,6 +40,18 @@ ag::VarPtr SumLosses(const std::vector<ag::VarPtr>& losses) {
   if (losses.size() == 1) return losses[0];
   return ag::AddN(losses);
 }
+
+/// One relation's pre-drawn structure-branch randomness. The per-relation
+/// loops below are split into two phases so the fan-out stays deterministic:
+/// phase 1 walks the shared Rng *sequentially* (mask/negative sampling),
+/// phase 2 does the heavy, RNG-free work (re-normalising the perturbed
+/// operator, GMAE encode, edge loss) in parallel across relations.
+struct StructDraw {
+  bool active = false;      // false -> contribute a constant-zero loss
+  bool perturbed = false;   // true -> normalise `remaining`, else full op
+  SparseMatrix remaining;   // adjacency minus masked edges (when perturbed)
+  std::vector<ag::EdgeCandidateSet> cands;
+};
 
 /// Existing (unmasked) edges used as positive targets in the plain-GAE
 /// ablation (w/o M): the model still reconstructs structure, but over the
@@ -111,17 +124,20 @@ ViewForward ReconstructionView::ForwardOriginal(
 
   for (int k = 0; k < config_.mask_repeats; ++k) {
     if (config_.use_attribute_recon) {
-      // Eq. 1-4: token-mask nodes, reconstruct over the full edge set.
+      // Eq. 1-4: token-mask nodes, reconstruct over the full edge set. The
+      // mask is drawn once (sequentially); the R per-relation GMAE passes
+      // are independent and fan out across the pool.
       std::vector<int> masked =
           config_.use_masking
               ? SampleMaskedNodes(n, config_.mask_ratio, rng)
               : std::vector<int>{};
-      std::vector<ag::VarPtr> recons;
-      recons.reserve(r_count);
-      for (int r = 0; r < r_count; ++r) {
-        recons.push_back(attr_gmae_[r]->ReconstructAttributes(
-            norm_adjs[r], x, masked));
-      }
+      std::vector<ag::VarPtr> recons(r_count);
+      ParallelFor(r_count, 1, [&](int64_t b, int64_t e) {
+        for (int r = static_cast<int>(b); r < e; ++r) {
+          recons[r] = attr_gmae_[r]->ReconstructAttributes(norm_adjs[r], x,
+                                                           masked);
+        }
+      });
       ag::VarPtr fused = fusion_a_->FuseTensors(recons);
       const std::vector<int>& loss_idx =
           config_.use_masking ? masked : AllNodes(n);
@@ -132,30 +148,42 @@ ViewForward ReconstructionView::ForwardOriginal(
 
     if (config_.use_structure_recon) {
       // Eq. 5-8: mask edges, re-normalise, predict the masked edges.
-      std::vector<ag::VarPtr> per_relation;
-      per_relation.reserve(r_count);
+      // Phase 1 — all Rng draws, in relation order.
+      std::vector<StructDraw> draws(r_count);
       for (int r = 0; r < r_count; ++r) {
-        std::shared_ptr<const SparseMatrix> op;
+        StructDraw& draw = draws[r];
         std::vector<Edge> targets;
         if (config_.use_masking) {
           EdgeMask mask =
               SampleEdgeMask(graph.layer(r), config_.mask_ratio, rng);
           targets = CapEdges(std::move(mask.masked), kMaxEdgeTargets, rng);
-          op = NormShared(mask.remaining);
+          draw.perturbed = true;
+          draw.remaining = std::move(mask.remaining);
         } else {
           targets = SampleObservedEdges(graph.layer(r), config_.mask_ratio,
                                         rng);
-          op = norm_adjs[r];
         }
-        if (targets.empty()) {
-          per_relation.push_back(ag::Constant(Tensor(1, 1)));
-          continue;
-        }
-        ag::VarPtr z = struct_gmae_[r]->Embed(op, x);
-        std::vector<ag::EdgeCandidateSet> cands = nn::BuildEdgeCandidates(
-            targets, graph.layer(r), config_.num_negatives, rng);
-        per_relation.push_back(ag::MaskedEdgeSoftmaxCE(z, std::move(cands)));
+        if (targets.empty()) continue;
+        draw.active = true;
+        draw.cands = nn::BuildEdgeCandidates(targets, graph.layer(r),
+                                             config_.num_negatives, rng);
       }
+      // Phase 2 — re-normalisation, embedding, and edge loss per relation.
+      std::vector<ag::VarPtr> per_relation(r_count);
+      ParallelFor(r_count, 1, [&](int64_t b, int64_t e) {
+        for (int r = static_cast<int>(b); r < e; ++r) {
+          StructDraw& draw = draws[r];
+          if (!draw.active) {
+            per_relation[r] = ag::Constant(Tensor(1, 1));
+            continue;
+          }
+          std::shared_ptr<const SparseMatrix> op =
+              draw.perturbed ? NormShared(draw.remaining) : norm_adjs[r];
+          ag::VarPtr z = struct_gmae_[r]->Embed(op, x);
+          per_relation[r] =
+              ag::MaskedEdgeSoftmaxCE(z, std::move(draw.cands));
+        }
+      });
       struct_losses.push_back(fusion_b_->FuseLosses(per_relation));
     }
   }
@@ -187,12 +215,13 @@ ViewForward ReconstructionView::ForwardAttrAugmented(
         MakeAttributeSwap(x, config_.attr_swap_ratio, rng);
     const std::vector<int> masked =
         config_.use_masking ? swap.swapped_nodes : std::vector<int>{};
-    std::vector<ag::VarPtr> recons;
-    recons.reserve(r_count);
-    for (int r = 0; r < r_count; ++r) {
-      recons.push_back(attr_gmae_[r]->ReconstructAttributes(
-          norm_adjs[r], swap.augmented, masked));
-    }
+    std::vector<ag::VarPtr> recons(r_count);
+    ParallelFor(r_count, 1, [&](int64_t b, int64_t e) {
+      for (int r = static_cast<int>(b); r < e; ++r) {
+        recons[r] = attr_gmae_[r]->ReconstructAttributes(
+            norm_adjs[r], swap.augmented, masked);
+      }
+    });
     ag::VarPtr fused = fusion_a_->FuseTensors(recons);
     // Eq. 13: the target is the *original* attribute matrix.
     losses.push_back(
@@ -219,45 +248,61 @@ ViewForward ReconstructionView::ForwardSubgraphAugmented(
   ag::VarPtr last_fused;
 
   for (int k = 0; k < config_.mask_repeats; ++k) {
-    std::vector<ag::VarPtr> recons;
-    std::vector<ag::VarPtr> per_relation_struct;
+    // Phase 1 — all Rng draws, in relation order: RWR subgraph masks, the
+    // edge-target cap, and negative candidates.
+    std::vector<SubgraphMask> masks(r_count);
+    std::vector<StructDraw> draws(r_count);
     std::unordered_set<int> union_masked;
     for (int r = 0; r < r_count; ++r) {
-      SubgraphMask mask = MakeSubgraphMask(
+      masks[r] = MakeSubgraphMask(
           graph.layer(r), config_.num_subgraphs, config_.subgraph_size,
           config_.rwr_restart, rng);
-      union_masked.insert(mask.masked_nodes.begin(),
-                          mask.masked_nodes.end());
-      std::shared_ptr<const SparseMatrix> op = NormShared(mask.remaining);
-
-      if (config_.use_attribute_recon) {
-        recons.push_back(attr_gmae_[r]->ReconstructAttributes(
-            op, x,
-            config_.use_masking ? mask.masked_nodes : std::vector<int>{}));
-      }
-      if (config_.use_structure_recon) {
-        std::vector<Edge> targets =
-            CapEdges(std::move(mask.removed_edges), kMaxEdgeTargets, rng);
-        // Self loops can appear among incident edges; drop them (a node
-        // cannot be its own softmax candidate in Eq. 7).
-        targets.erase(std::remove_if(targets.begin(), targets.end(),
-                                     [](const Edge& e) {
-                                       return e.src == e.dst;
-                                     }),
-                      targets.end());
-        if (targets.empty()) {
-          per_relation_struct.push_back(ag::Constant(Tensor(1, 1)));
-        } else {
-          ag::VarPtr z = attr_gmae_[r]->Embed(op, x);
-          std::vector<ag::EdgeCandidateSet> cands = nn::BuildEdgeCandidates(
-              targets, graph.layer(r), config_.num_negatives, rng);
-          per_relation_struct.push_back(
-              ag::MaskedEdgeSoftmaxCE(z, std::move(cands)));
-        }
-      }
+      union_masked.insert(masks[r].masked_nodes.begin(),
+                          masks[r].masked_nodes.end());
+      if (!config_.use_structure_recon) continue;
+      std::vector<Edge> targets =
+          CapEdges(std::move(masks[r].removed_edges), kMaxEdgeTargets, rng);
+      // Self loops can appear among incident edges; drop them (a node
+      // cannot be its own softmax candidate in Eq. 7).
+      targets.erase(std::remove_if(targets.begin(), targets.end(),
+                                   [](const Edge& e) {
+                                     return e.src == e.dst;
+                                   }),
+                    targets.end());
+      if (targets.empty()) continue;
+      draws[r].active = true;
+      draws[r].cands = nn::BuildEdgeCandidates(targets, graph.layer(r),
+                                               config_.num_negatives, rng);
     }
 
-    if (config_.use_attribute_recon && !recons.empty()) {
+    // Phase 2 — per relation: normalise the perturbed operator once, then
+    // attribute reconstruction and/or the structure loss; independent
+    // across relations, so fan out.
+    std::vector<ag::VarPtr> recons(r_count);
+    std::vector<ag::VarPtr> per_relation_struct(r_count);
+    ParallelFor(r_count, 1, [&](int64_t b, int64_t e) {
+      for (int r = static_cast<int>(b); r < e; ++r) {
+        std::shared_ptr<const SparseMatrix> op =
+            NormShared(masks[r].remaining);
+        if (config_.use_attribute_recon) {
+          recons[r] = attr_gmae_[r]->ReconstructAttributes(
+              op, x,
+              config_.use_masking ? masks[r].masked_nodes
+                                  : std::vector<int>{});
+        }
+        if (config_.use_structure_recon) {
+          if (!draws[r].active) {
+            per_relation_struct[r] = ag::Constant(Tensor(1, 1));
+          } else {
+            ag::VarPtr z = attr_gmae_[r]->Embed(op, x);
+            per_relation_struct[r] =
+                ag::MaskedEdgeSoftmaxCE(z, std::move(draws[r].cands));
+          }
+        }
+      }
+    });
+
+    if (config_.use_attribute_recon && r_count > 0) {
       ag::VarPtr fused = fusion_a_->FuseTensors(recons);
       std::vector<int> loss_idx(union_masked.begin(), union_masked.end());
       std::sort(loss_idx.begin(), loss_idx.end());
@@ -267,7 +312,7 @@ ViewForward ReconstructionView::ForwardSubgraphAugmented(
       }
       last_fused = fused;
     }
-    if (config_.use_structure_recon && !per_relation_struct.empty()) {
+    if (config_.use_structure_recon && r_count > 0) {
       struct_losses.push_back(fusion_b_->FuseLosses(per_relation_struct));
     }
   }
@@ -291,22 +336,26 @@ ViewScoring ReconstructionView::Score(
   const Tensor& x = graph.attributes();
   const int r_count = graph.num_relations();
 
+  // The scoring pass is deterministic (no masking, no Rng), so both
+  // per-relation loops fan out directly.
   if (config_.use_attribute_recon) {
-    std::vector<ag::VarPtr> recons;
-    recons.reserve(r_count);
-    for (int r = 0; r < r_count; ++r) {
-      recons.push_back(
-          attr_gmae_[r]->ReconstructAttributes(norm_adjs[r], x, {}));
-    }
+    std::vector<ag::VarPtr> recons(r_count);
+    ParallelFor(r_count, 1, [&](int64_t b, int64_t e) {
+      for (int r = static_cast<int>(b); r < e; ++r) {
+        recons[r] = attr_gmae_[r]->ReconstructAttributes(norm_adjs[r], x, {});
+      }
+    });
     out.attr_recon = fusion_a_->FuseTensors(recons)->value();
   }
   if (config_.use_structure_recon) {
-    out.embeddings.reserve(r_count);
-    for (int r = 0; r < r_count; ++r) {
-      const Gmae& encoder =
-          struct_gmae_.empty() ? *attr_gmae_[r] : *struct_gmae_[r];
-      out.embeddings.push_back(encoder.Embed(norm_adjs[r], x)->value());
-    }
+    out.embeddings.resize(r_count);
+    ParallelFor(r_count, 1, [&](int64_t b, int64_t e) {
+      for (int r = static_cast<int>(b); r < e; ++r) {
+        const Gmae& encoder =
+            struct_gmae_.empty() ? *attr_gmae_[r] : *struct_gmae_[r];
+        out.embeddings[r] = encoder.Embed(norm_adjs[r], x)->value();
+      }
+    });
   }
   return out;
 }

@@ -3,10 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace umgad {
 namespace ag {
 
 namespace {
+
+/// Grain sizes for the parallel hot loops (shared with src/tensor/tensor.cc
+/// via common/thread_pool.h).
+constexpr int64_t kElemGrain = kParallelElemGrain;
+constexpr int64_t kRowGrain = kParallelRowGrain;
 
 /// All ops funnel through this helper: the node requires a gradient iff any
 /// input does, and the backward closure is only attached in that case.
@@ -119,10 +126,12 @@ VarPtr AddRowBroadcast(const VarPtr& x, const VarPtr& bias) {
   UMGAD_CHECK_EQ(bias->value().cols(), x->value().cols());
   Tensor out = x->value();
   const float* b = bias->value().data();
-  for (int i = 0; i < out.rows(); ++i) {
-    float* row = out.row(i);
-    for (int j = 0; j < out.cols(); ++j) row[j] += b[j];
-  }
+  ParallelFor(out.rows(), kRowGrain, [&out, b](int64_t r0, int64_t r1) {
+    for (int i = static_cast<int>(r0); i < r1; ++i) {
+      float* row = out.row(i);
+      for (int j = 0; j < out.cols(); ++j) row[j] += b[j];
+    }
+  });
   return MakeNode(std::move(out), {x, bias}, "add_row_broadcast",
                   [](Node* self) {
                     const Tensor& g = self->grad();
@@ -149,7 +158,9 @@ VarPtr UnaryOp(const VarPtr& a, const char* name, Fwd fwd,
                BwdFromInOut dval) {
   Tensor out = a->value();
   float* d = out.data();
-  for (int64_t i = 0; i < out.size(); ++i) d[i] = fwd(d[i]);
+  ParallelFor(out.size(), kElemGrain, [d, fwd](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) d[i] = fwd(d[i]);
+  });
   return MakeNode(std::move(out), {a}, name, [dval](Node* self) {
     const auto& in = self->inputs();
     if (!Wants(in[0])) return;
@@ -158,9 +169,12 @@ VarPtr UnaryOp(const VarPtr& a, const char* name, Fwd fwd,
     const float* y = self->value().data();
     const float* gd = g.data();
     float* dx = in[0]->grad().data();
-    for (int64_t i = 0; i < g.size(); ++i) {
-      dx[i] += gd[i] * dval(x[i], y[i]);
-    }
+    ParallelFor(g.size(), kElemGrain,
+                [dx, gd, x, y, dval](int64_t b, int64_t e) {
+                  for (int64_t i = b; i < e; ++i) {
+                    dx[i] += gd[i] * dval(x[i], y[i]);
+                  }
+                });
   });
 }
 
@@ -207,35 +221,41 @@ VarPtr RowL2Normalize(const VarPtr& a, float eps) {
   const Tensor& x = a->value();
   Tensor out = x;
   std::vector<float> norms(x.rows());
-  for (int i = 0; i < x.rows(); ++i) {
-    double n = x.RowNorm(i);
-    norms[i] = static_cast<float>(n);
-    if (n < eps) continue;
-    float inv = static_cast<float>(1.0 / n);
-    float* r = out.row(i);
-    for (int j = 0; j < x.cols(); ++j) r[j] *= inv;
-  }
+  ParallelFor(x.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int i = static_cast<int>(r0); i < r1; ++i) {
+      double n = x.RowNorm(i);
+      norms[i] = static_cast<float>(n);
+      if (n < eps) continue;
+      float inv = static_cast<float>(1.0 / n);
+      float* r = out.row(i);
+      for (int j = 0; j < x.cols(); ++j) r[j] *= inv;
+    }
+  });
   return MakeNode(
       std::move(out), {a}, "row_l2_normalize",
-      [norms, eps](Node* self) {
+      [norms = std::move(norms), eps](Node* self) {
         const auto& in = self->inputs();
         if (!Wants(in[0])) return;
         const Tensor& g = self->grad();
         const Tensor& y = self->value();
         Tensor& dx = in[0]->grad();
         const int d = g.cols();
-        for (int i = 0; i < g.rows(); ++i) {
-          if (norms[i] < eps) continue;
-          const float* grow = g.row(i);
-          const float* yrow = y.row(i);
-          double gy = 0.0;
-          for (int j = 0; j < d; ++j) gy += static_cast<double>(grow[j]) * yrow[j];
-          const float inv = 1.0f / norms[i];
-          float* dxrow = dx.row(i);
-          for (int j = 0; j < d; ++j) {
-            dxrow[j] += inv * (grow[j] - static_cast<float>(gy) * yrow[j]);
+        ParallelFor(g.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
+          for (int i = static_cast<int>(r0); i < r1; ++i) {
+            if (norms[i] < eps) continue;
+            const float* grow = g.row(i);
+            const float* yrow = y.row(i);
+            double gy = 0.0;
+            for (int j = 0; j < d; ++j) {
+              gy += static_cast<double>(grow[j]) * yrow[j];
+            }
+            const float inv = 1.0f / norms[i];
+            float* dxrow = dx.row(i);
+            for (int j = 0; j < d; ++j) {
+              dxrow[j] += inv * (grow[j] - static_cast<float>(gy) * yrow[j]);
+            }
           }
-        }
+        });
       });
 }
 
@@ -681,47 +701,54 @@ VarPtr GatAttention(const VarPtr& h, const VarPtr& a_src, const VarPtr& a_dst,
   std::vector<double> t(n, 0.0);
   const float* asv = a_src->value().data();
   const float* adv = a_dst->value().data();
-  for (int i = 0; i < n; ++i) {
-    const float* hr = hv.row(i);
-    double ss = 0.0;
-    double tt = 0.0;
-    for (int j = 0; j < d; ++j) {
-      ss += static_cast<double>(asv[j]) * hr[j];
-      tt += static_cast<double>(adv[j]) * hr[j];
+  ParallelFor(n, kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int i = static_cast<int>(r0); i < r1; ++i) {
+      const float* hr = hv.row(i);
+      double ss = 0.0;
+      double tt = 0.0;
+      for (int j = 0; j < d; ++j) {
+        ss += static_cast<double>(asv[j]) * hr[j];
+        tt += static_cast<double>(adv[j]) * hr[j];
+      }
+      s[i] = ss;
+      t[i] = tt;
     }
-    s[i] = ss;
-    t[i] = tt;
-  }
+  });
 
   const auto& row_ptr = adj->row_ptr();
   const auto& cols = adj->col_idx();
   std::vector<float> alpha(adj->nnz(), 0.0f);
   std::vector<char> pos(adj->nnz(), 0);  // pre-activation sign per edge
   Tensor out(n, d);
-  for (int i = 0; i < n; ++i) {
-    const int64_t begin = row_ptr[i];
-    const int64_t end = row_ptr[i + 1];
-    if (begin == end) continue;
-    double mx = -1e300;
-    for (int64_t k = begin; k < end; ++k) {
-      const double zraw = s[i] + t[cols[k]];
-      pos[k] = zraw > 0.0 ? 1 : 0;
-      const double e = zraw > 0.0 ? zraw : slope * zraw;
-      alpha[k] = static_cast<float>(e);
-      mx = std::max(mx, e);
+  // Row-partitioned: node i owns its edge slice [row_ptr[i], row_ptr[i+1])
+  // of alpha/pos and its output row, so the parallel sweep is race-free and
+  // thread-count invariant.
+  ParallelFor(n, kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int i = static_cast<int>(r0); i < r1; ++i) {
+      const int64_t begin = row_ptr[i];
+      const int64_t end = row_ptr[i + 1];
+      if (begin == end) continue;
+      double mx = -1e300;
+      for (int64_t k = begin; k < end; ++k) {
+        const double zraw = s[i] + t[cols[k]];
+        pos[k] = zraw > 0.0 ? 1 : 0;
+        const double e = zraw > 0.0 ? zraw : slope * zraw;
+        alpha[k] = static_cast<float>(e);
+        mx = std::max(mx, e);
+      }
+      double denom = 0.0;
+      for (int64_t k = begin; k < end; ++k) {
+        alpha[k] = static_cast<float>(std::exp(alpha[k] - mx));
+        denom += alpha[k];
+      }
+      float* orow = out.row(i);
+      for (int64_t k = begin; k < end; ++k) {
+        alpha[k] = static_cast<float>(alpha[k] / denom);
+        const float* hj = hv.row(cols[k]);
+        for (int j = 0; j < d; ++j) orow[j] += alpha[k] * hj[j];
+      }
     }
-    double denom = 0.0;
-    for (int64_t k = begin; k < end; ++k) {
-      alpha[k] = static_cast<float>(std::exp(alpha[k] - mx));
-      denom += alpha[k];
-    }
-    float* orow = out.row(i);
-    for (int64_t k = begin; k < end; ++k) {
-      alpha[k] = static_cast<float>(alpha[k] / denom);
-      const float* hj = hv.row(cols[k]);
-      for (int j = 0; j < d; ++j) orow[j] += alpha[k] * hj[j];
-    }
-  }
+  });
 
   return MakeNode(
       std::move(out), {h, a_src, a_dst}, "gat_attention",

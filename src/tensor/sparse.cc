@@ -4,7 +4,17 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/thread_pool.h"
+
 namespace umgad {
+
+namespace {
+
+/// Rows per parallel SpMM chunk. The pool oversubscribes chunks 4x over
+/// lanes, so skewed degree distributions still balance.
+constexpr int64_t kSpmmRowGrain = 64;
+
+}  // namespace
 
 SparseMatrix SparseMatrix::FromCoo(int rows, int cols,
                                    const std::vector<int>& coo_rows,
@@ -96,17 +106,25 @@ Tensor SparseMatrix::Multiply(const Tensor& x) const {
   UMGAD_CHECK_EQ(cols_, x.rows());
   const int d = x.cols();
   Tensor y(rows_, d);
-  for (int i = 0; i < rows_; ++i) {
-    float* yrow = y.row(i);
-    for (int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      const float v = values_[k];
-      const float* xrow = x.row(col_idx_[k]);
-      for (int j = 0; j < d; ++j) yrow[j] += v * xrow[j];
+  // Row-partitioned: each output row is produced by exactly one thread with
+  // the same nonzero order, so results are invariant to the thread count.
+  ParallelFor(rows_, kSpmmRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int i = static_cast<int>(r0); i < r1; ++i) {
+      float* yrow = y.row(i);
+      for (int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        const float v = values_[k];
+        const float* xrow = x.row(col_idx_[k]);
+        for (int j = 0; j < d; ++j) yrow[j] += v * xrow[j];
+      }
     }
-  }
+  });
   return y;
 }
 
+// Deliberately serial: the CSR walk scatters into y.row(col_idx_[k]), so a
+// partition over input rows races on output rows. Parallelising this (the
+// Spmm backward path) needs a transposed index or per-thread accumulators,
+// both of which change memory cost or summation order — ROADMAP item.
 Tensor SparseMatrix::MultiplyTransposed(const Tensor& x) const {
   UMGAD_CHECK_EQ(rows_, x.rows());
   const int d = x.cols();

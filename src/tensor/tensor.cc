@@ -2,10 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <vector>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace umgad {
+
+namespace {
+
+/// Grain sizes for the parallel hot loops (shared with src/tensor/ops.cc
+/// via common/thread_pool.h).
+constexpr int64_t kElemGrain = kParallelElemGrain;
+constexpr int64_t kRowGrain = kParallelRowGrain;
+
+}  // namespace
 
 Tensor Tensor::Full(int rows, int cols, float value) {
   Tensor t(rows, cols);
@@ -31,17 +43,26 @@ void Tensor::Fill(float value) {
 void Tensor::AddInPlace(const Tensor& other) {
   UMGAD_CHECK(SameShape(other));
   const float* src = other.data();
-  for (int64_t i = 0; i < size(); ++i) data_[i] += src[i];
+  float* dst = data_.data();
+  ParallelFor(size(), kElemGrain, [src, dst](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) dst[i] += src[i];
+  });
 }
 
 void Tensor::AxpyInPlace(float alpha, const Tensor& other) {
   UMGAD_CHECK(SameShape(other));
   const float* src = other.data();
-  for (int64_t i = 0; i < size(); ++i) data_[i] += alpha * src[i];
+  float* dst = data_.data();
+  ParallelFor(size(), kElemGrain, [src, dst, alpha](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) dst[i] += alpha * src[i];
+  });
 }
 
 void Tensor::ScaleInPlace(float alpha) {
-  for (auto& v : data_) v *= alpha;
+  float* dst = data_.data();
+  ParallelFor(size(), kElemGrain, [dst, alpha](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) dst[i] *= alpha;
+  });
 }
 
 double Tensor::SquaredNorm() const {
@@ -93,7 +114,7 @@ std::string Tensor::ShapeString() const {
   return StrFormat("(%d, %d)", rows_, cols_);
 }
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
+Tensor MatMulNaive(const Tensor& a, const Tensor& b) {
   UMGAD_CHECK_EQ(a.cols(), b.rows());
   const int m = a.rows();
   const int k = a.cols();
@@ -113,7 +134,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return c;
 }
 
-Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+Tensor MatMulTransBNaive(const Tensor& a, const Tensor& b) {
   UMGAD_CHECK_EQ(a.cols(), b.cols());
   const int m = a.rows();
   const int k = a.cols();
@@ -132,7 +153,7 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   return c;
 }
 
-Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+Tensor MatMulTransANaive(const Tensor& a, const Tensor& b) {
   UMGAD_CHECK_EQ(a.rows(), b.rows());
   const int m = a.cols();
   const int k = a.rows();
@@ -151,11 +172,183 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   return c;
 }
 
+// ---------------------------------------------------------------------------
+// Blocked matmul core (design notes in docs/PERFORMANCE.md)
+//
+// C = A*B is computed panel by panel: B is packed once into zero-padded
+// column panels of kPanelCols, then rows of C are partitioned across the
+// thread pool and each 8-row strip is produced by a register-tiled
+// micro-kernel whose inner loop the compiler vectorises. Every C element is
+// accumulated in ascending-k order by exactly one thread, so results are
+// bit-identical to the naive kernel and invariant to UMGAD_THREADS.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kMicroRows = 8;   // rows of C per micro-kernel call
+constexpr int kPanelCols = 64;  // packed-panel width (multiple of SIMD width)
+
+/// Below this many multiply-adds, packing and dispatch cost more than the
+/// whole product; the naive loop handles it.
+constexpr int64_t kSmallMatMulMuls = 1 << 15;
+
+/// 8 x kPanelCols register tile: 8 rows of A against one packed B panel,
+/// full-depth accumulation. The accumulators live in registers; `w` columns
+/// (<= kPanelCols) are stored. Written in the unrolled hand style on purpose
+/// — GCC/Clang keep the named accumulator arrays in vector registers, which
+/// a 2-D array version defeats.
+void Micro8(const float* a, int64_t lda, const float* bp, float* c,
+            int64_t ldc, int k, int w) {
+  float acc0[kPanelCols] = {0.0f}, acc1[kPanelCols] = {0.0f},
+        acc2[kPanelCols] = {0.0f}, acc3[kPanelCols] = {0.0f},
+        acc4[kPanelCols] = {0.0f}, acc5[kPanelCols] = {0.0f},
+        acc6[kPanelCols] = {0.0f}, acc7[kPanelCols] = {0.0f};
+  for (int p = 0; p < k; ++p) {
+    const float* b = bp + static_cast<int64_t>(p) * kPanelCols;
+    const float v0 = a[p];
+    const float v1 = a[lda + p];
+    const float v2 = a[2 * lda + p];
+    const float v3 = a[3 * lda + p];
+    const float v4 = a[4 * lda + p];
+    const float v5 = a[5 * lda + p];
+    const float v6 = a[6 * lda + p];
+    const float v7 = a[7 * lda + p];
+    for (int j = 0; j < kPanelCols; ++j) {
+      const float bv = b[j];
+      acc0[j] += v0 * bv;
+      acc1[j] += v1 * bv;
+      acc2[j] += v2 * bv;
+      acc3[j] += v3 * bv;
+      acc4[j] += v4 * bv;
+      acc5[j] += v5 * bv;
+      acc6[j] += v6 * bv;
+      acc7[j] += v7 * bv;
+    }
+  }
+  float* crow = c;
+  for (int j = 0; j < w; ++j) crow[j] = acc0[j];
+  crow += ldc;
+  for (int j = 0; j < w; ++j) crow[j] = acc1[j];
+  crow += ldc;
+  for (int j = 0; j < w; ++j) crow[j] = acc2[j];
+  crow += ldc;
+  for (int j = 0; j < w; ++j) crow[j] = acc3[j];
+  crow += ldc;
+  for (int j = 0; j < w; ++j) crow[j] = acc4[j];
+  crow += ldc;
+  for (int j = 0; j < w; ++j) crow[j] = acc5[j];
+  crow += ldc;
+  for (int j = 0; j < w; ++j) crow[j] = acc6[j];
+  crow += ldc;
+  for (int j = 0; j < w; ++j) crow[j] = acc7[j];
+}
+
+/// Single-row edge kernel for the m % kMicroRows remainder.
+void Micro1(const float* a, const float* bp, float* c, int k, int w) {
+  float acc[kPanelCols] = {0.0f};
+  for (int p = 0; p < k; ++p) {
+    const float* b = bp + static_cast<int64_t>(p) * kPanelCols;
+    const float v = a[p];
+    for (int j = 0; j < kPanelCols; ++j) acc[j] += v * b[j];
+  }
+  for (int j = 0; j < w; ++j) c[j] = acc[j];
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  UMGAD_CHECK_EQ(a.cols(), b.rows());
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  if (static_cast<int64_t>(m) * k * n < kSmallMatMulMuls) {
+    return MatMulNaive(a, b);
+  }
+  Tensor c(m, n);
+
+  // Pack B once into zero-padded panels: panel t holds columns
+  // [t*kPanelCols, t*kPanelCols + w) contiguously per k-row, so the
+  // micro-kernel streams it with unit stride and needs no column tail logic.
+  // new[] instead of std::vector: the buffer is fully overwritten below, so
+  // value-initialisation would be a wasted pass over up to O(k*n) memory.
+  const int panels = (n + kPanelCols - 1) / kPanelCols;
+  std::unique_ptr<float[]> packed(
+      new float[static_cast<size_t>(panels) * k * kPanelCols]);
+  for (int t = 0; t < panels; ++t) {
+    const int j0 = t * kPanelCols;
+    const int w = std::min(kPanelCols, n - j0);
+    float* panel = packed.get() + static_cast<size_t>(t) * k * kPanelCols;
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b.row(p) + j0;
+      float* dst = panel + static_cast<int64_t>(p) * kPanelCols;
+      int j = 0;
+      for (; j < w; ++j) dst[j] = brow[j];
+      for (; j < kPanelCols; ++j) dst[j] = 0.0f;
+    }
+  }
+
+  ParallelFor(m, kMicroRows, [&](int64_t r0, int64_t r1) {
+    for (int t = 0; t < panels; ++t) {
+      const int j0 = t * kPanelCols;
+      const int w = std::min(kPanelCols, n - j0);
+      const float* panel =
+          packed.get() + static_cast<size_t>(t) * k * kPanelCols;
+      int64_t i = r0;
+      for (; i + kMicroRows <= r1; i += kMicroRows) {
+        Micro8(a.row(static_cast<int>(i)), k, panel,
+               c.row(static_cast<int>(i)) + j0, n, k, w);
+      }
+      for (; i < r1; ++i) {
+        Micro1(a.row(static_cast<int>(i)), panel,
+               c.row(static_cast<int>(i)) + j0, k, w);
+      }
+    }
+  });
+  return c;
+}
+
+// Both transposed products are one cheap transpose away from the blocked
+// core; the copy is O(m*k) against the O(m*k*n) product and the resulting
+// per-element accumulation order (ascending k) matches the naive kernels.
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  UMGAD_CHECK_EQ(a.cols(), b.cols());
+  return MatMul(a, Transpose(b));
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  UMGAD_CHECK_EQ(a.rows(), b.rows());
+  return MatMul(Transpose(a), b);
+}
+
 Tensor Transpose(const Tensor& a) {
   Tensor t(a.cols(), a.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int j = 0; j < a.cols(); ++j) t.at(j, i) = a.at(i, j);
+  const int rows = a.rows();
+  const int cols = a.cols();
+  if (a.size() < kElemGrain) {
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < cols; ++j) t.at(j, i) = a.at(i, j);
+    }
+    return t;
   }
+  // Cache-blocked 64x64 tiles, parallel over output row blocks (= input
+  // column blocks); tiles are disjoint so the partition is race-free.
+  constexpr int kTile = 64;
+  const int col_blocks = (cols + kTile - 1) / kTile;
+  ParallelFor(col_blocks, 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t bj = b0; bj < b1; ++bj) {
+      const int j0 = static_cast<int>(bj) * kTile;
+      const int j1 = std::min(cols, j0 + kTile);
+      for (int i0 = 0; i0 < rows; i0 += kTile) {
+        const int i1 = std::min(rows, i0 + kTile);
+        for (int i = i0; i < i1; ++i) {
+          const float* arow = a.row(i);
+          for (int j = j0; j < j1; ++j) {
+            t.row(j)[i] = arow[j];
+          }
+        }
+      }
+    }
+  });
   return t;
 }
 
@@ -198,56 +391,64 @@ Tensor GatherRows(const Tensor& a, const std::vector<int>& idx) {
 
 Tensor RowL2Normalize(const Tensor& a, float eps) {
   Tensor out = a;
-  for (int i = 0; i < a.rows(); ++i) {
-    double norm = a.RowNorm(i);
-    if (norm < eps) continue;
-    float inv = static_cast<float>(1.0 / norm);
-    float* r = out.row(i);
-    for (int j = 0; j < a.cols(); ++j) r[j] *= inv;
-  }
+  ParallelFor(a.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int i = static_cast<int>(r0); i < r1; ++i) {
+      double norm = a.RowNorm(i);
+      if (norm < eps) continue;
+      float inv = static_cast<float>(1.0 / norm);
+      float* r = out.row(i);
+      for (int j = 0; j < a.cols(); ++j) r[j] *= inv;
+    }
+  });
   return out;
 }
 
 Tensor RowCosine(const Tensor& a, const Tensor& b, float eps) {
   UMGAD_CHECK(a.SameShape(b));
   Tensor out(a.rows(), 1);
-  for (int i = 0; i < a.rows(); ++i) {
-    double denom = a.RowNorm(i) * b.RowNorm(i);
-    out.at(i, 0) = denom < eps
-                       ? 0.0f
-                       : static_cast<float>(a.RowDot(i, b, i) / denom);
-  }
+  ParallelFor(a.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int i = static_cast<int>(r0); i < r1; ++i) {
+      double denom = a.RowNorm(i) * b.RowNorm(i);
+      out.at(i, 0) = denom < eps
+                         ? 0.0f
+                         : static_cast<float>(a.RowDot(i, b, i) / denom);
+    }
+  });
   return out;
 }
 
 Tensor RowL2Distance(const Tensor& a, const Tensor& b) {
   UMGAD_CHECK(a.SameShape(b));
   Tensor out(a.rows(), 1);
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* ra = a.row(i);
-    const float* rb = b.row(i);
-    double acc = 0.0;
-    for (int j = 0; j < a.cols(); ++j) {
-      double d = static_cast<double>(ra[j]) - rb[j];
-      acc += d * d;
+  ParallelFor(a.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int i = static_cast<int>(r0); i < r1; ++i) {
+      const float* ra = a.row(i);
+      const float* rb = b.row(i);
+      double acc = 0.0;
+      for (int j = 0; j < a.cols(); ++j) {
+        double d = static_cast<double>(ra[j]) - rb[j];
+        acc += d * d;
+      }
+      out.at(i, 0) = static_cast<float>(std::sqrt(acc));
     }
-    out.at(i, 0) = static_cast<float>(std::sqrt(acc));
-  }
+  });
   return out;
 }
 
 Tensor RowL1Distance(const Tensor& a, const Tensor& b) {
   UMGAD_CHECK(a.SameShape(b));
   Tensor out(a.rows(), 1);
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* ra = a.row(i);
-    const float* rb = b.row(i);
-    double acc = 0.0;
-    for (int j = 0; j < a.cols(); ++j) {
-      acc += std::abs(static_cast<double>(ra[j]) - rb[j]);
+  ParallelFor(a.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int i = static_cast<int>(r0); i < r1; ++i) {
+      const float* ra = a.row(i);
+      const float* rb = b.row(i);
+      double acc = 0.0;
+      for (int j = 0; j < a.cols(); ++j) {
+        acc += std::abs(static_cast<double>(ra[j]) - rb[j]);
+      }
+      out.at(i, 0) = static_cast<float>(acc);
     }
-    out.at(i, 0) = static_cast<float>(acc);
-  }
+  });
   return out;
 }
 

@@ -97,11 +97,29 @@ class Tensor {
 };
 
 /// C = A * B. Shapes: (m,k) x (k,n) -> (m,n).
+///
+/// Large products go through a cache-blocked, register-tiled kernel whose
+/// rows are dispatched across the global thread pool (see
+/// docs/PERFORMANCE.md). Each output element is accumulated in ascending-k
+/// order by exactly one thread, so the result is bit-identical to
+/// MatMulNaive and invariant to UMGAD_THREADS.
 Tensor MatMul(const Tensor& a, const Tensor& b);
-/// C = A * B^T. Shapes: (m,k) x (n,k) -> (m,n).
+/// C = A * B^T. Shapes: (m,k) x (n,k) -> (m,n). Implemented as
+/// MatMul(A, Transpose(B)); accumulates in float like MatMul (the seed's
+/// double-accumulation variant survives as MatMulTransBNaive).
 Tensor MatMulTransB(const Tensor& a, const Tensor& b);
-/// C = A^T * B. Shapes: (k,m) x (k,n) -> (m,n).
+/// C = A^T * B. Shapes: (k,m) x (k,n) -> (m,n). Implemented as
+/// MatMul(Transpose(A), B).
 Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+
+/// Reference kernels: the seed's single-threaded triple loops, kept as the
+/// cross-check oracle for tests and as the "before" case in
+/// bench_micro_kernels. MatMulNaive / MatMulTransANaive accumulate in float
+/// in ascending-k order (the same per-element order as the blocked kernel);
+/// MatMulTransBNaive accumulates each dot product in double.
+Tensor MatMulNaive(const Tensor& a, const Tensor& b);
+Tensor MatMulTransBNaive(const Tensor& a, const Tensor& b);
+Tensor MatMulTransANaive(const Tensor& a, const Tensor& b);
 Tensor Transpose(const Tensor& a);
 Tensor Add(const Tensor& a, const Tensor& b);
 Tensor Sub(const Tensor& a, const Tensor& b);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "tensor/init.h"
 #include "tensor/tensor.h"
 
@@ -117,6 +118,75 @@ INSTANTIATE_TEST_SUITE_P(Shapes, MatMulProperty,
                                            MatShapes{8, 8, 8},
                                            MatShapes{3, 17, 2},
                                            MatShapes{16, 5, 11}));
+
+// Cross-checks of the blocked/parallel kernels against the naive reference
+// loops on shapes that exercise every edge of the tiling: non-square,
+// odd-size, single row/column, panel-width (64) boundaries, and micro-kernel
+// row (8) boundaries. MatMul and MatMulTransA preserve the reference
+// kernels' ascending-k float accumulation, so they must agree bit-exactly;
+// MatMulTransB replaces the reference's double accumulation with float, so
+// it gets a small tolerance scaled by depth.
+class MatMulVsNaive : public ::testing::TestWithParam<MatShapes> {};
+
+TEST_P(MatMulVsNaive, BlockedMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Tensor a = RandomTensor(m, k, 101);
+  Tensor b = RandomTensor(k, n, 103);
+  EXPECT_EQ(MaxAbsDiff(MatMul(a, b), MatMulNaive(a, b)), 0.0);
+}
+
+TEST_P(MatMulVsNaive, TransAMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Tensor a = RandomTensor(k, m, 107);  // (k,m): A^T is (m,k)
+  Tensor b = RandomTensor(k, n, 109);
+  EXPECT_EQ(MaxAbsDiff(MatMulTransA(a, b), MatMulTransANaive(a, b)), 0.0);
+}
+
+TEST_P(MatMulVsNaive, TransBMatchesNaiveWithinFloatAccumulation) {
+  const auto [m, k, n] = GetParam();
+  Tensor a = RandomTensor(m, k, 113);
+  Tensor b = RandomTensor(n, k, 127);  // (n,k): B^T is (k,n)
+  const double tol = 1e-6 * k * 8.0 + 1e-6;
+  EXPECT_LT(MaxAbsDiff(MatMulTransB(a, b), MatMulTransBNaive(a, b)), tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulVsNaive,
+    ::testing::Values(MatShapes{1, 1, 1},        // degenerate
+                      MatShapes{7, 13, 9},       // small odd (naive path)
+                      MatShapes{64, 64, 64},     // exact panel boundary
+                      MatShapes{65, 63, 65},     // just past/short of panels
+                      MatShapes{129, 65, 200},   // odd rows, 8-row remainder
+                      MatShapes{8, 300, 1},      // single output column
+                      MatShapes{1, 300, 90},     // single output row
+                      MatShapes{250, 3, 250},    // shallow k
+                      MatShapes{100, 257, 31},   // sub-panel n, odd k
+                      MatShapes{1000, 48, 32})); // GMAE projection shape
+
+TEST(TensorTest, MatMulThreadCountInvariance) {
+  Tensor a = RandomTensor(143, 77, 131);
+  Tensor b = RandomTensor(77, 180, 137);
+  SetNumThreads(1);
+  Tensor c1 = MatMul(a, b);
+  SetNumThreads(4);
+  Tensor c4 = MatMul(a, b);
+  SetNumThreads(1);
+  EXPECT_EQ(MaxAbsDiff(c1, c4), 0.0);
+}
+
+TEST(TensorTest, ElementwiseOpsThreadCountInvariance) {
+  // Big enough to cross the parallel-dispatch threshold (32k entries).
+  Tensor a = RandomTensor(300, 200, 139);
+  Tensor b = RandomTensor(300, 200, 149);
+  SetNumThreads(4);
+  Tensor sum = Add(a, b);
+  Tensor had = Hadamard(a, b);
+  SetNumThreads(1);
+  Tensor sum_serial = Add(a, b);
+  Tensor had_serial = Hadamard(a, b);
+  EXPECT_EQ(MaxAbsDiff(sum, sum_serial), 0.0);
+  EXPECT_EQ(MaxAbsDiff(had, had_serial), 0.0);
+}
 
 TEST(TensorTest, TransposeInvolution) {
   Tensor a = RandomTensor(3, 5, 17);
