@@ -15,8 +15,11 @@
 #include "core/threshold.h"
 #include "eval/metrics.h"
 #include "graph/random_walk.h"
+#include "nn/gcn.h"
+#include "nn/optimizer.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
+#include "tensor/pool.h"
 
 namespace umgad {
 namespace {
@@ -122,15 +125,103 @@ void BM_GatAttention(benchmark::State& state) {
   auto adj = std::make_shared<const SparseMatrix>(
       RandomAdj(n, 8, 4).NormalizedWithSelfLoops());
   Rng rng(5);
-  ag::VarPtr h = ag::Constant(RandomNormal(n, 48, 0, 1, &rng));
-  ag::VarPtr a_src = ag::Constant(RandomNormal(1, 48, 0, 1, &rng));
-  ag::VarPtr a_dst = ag::Constant(RandomNormal(1, 48, 0, 1, &rng));
+  // Persistent: the inputs must survive the per-iteration tape rewind that
+  // reclaims each iteration's op node.
+  ag::VarPtr h = ag::PersistentConstant(RandomNormal(n, 48, 0, 1, &rng));
+  ag::VarPtr a_src = ag::PersistentConstant(RandomNormal(1, 48, 0, 1, &rng));
+  ag::VarPtr a_dst = ag::PersistentConstant(RandomNormal(1, 48, 0, 1, &rng));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         ag::GatAttention(h, a_src, a_dst, adj, 0.2f));
+    ag::Tape::Global().Reset();
   }
 }
 BENCHMARK(BM_GatAttention)->Arg(1000)->Arg(4000);
+
+// The Spmm backward kernel: the seed's serial scatter vs the transposed-
+// index row-parallel rewrite (bit-identical; see tests/sparse_test.cc).
+void BM_SpmmTransposedNaive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SparseMatrix adj = RandomAdj(n, 8, 1).NormalizedWithSelfLoops();
+  Rng rng(2);
+  Tensor x = RandomNormal(n, 48, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adj.MultiplyTransposedNaive(x));
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz());
+}
+BENCHMARK(BM_SpmmTransposedNaive)->Arg(4000)->Arg(16000);
+
+void BM_SpmmTransposed(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int prev_threads = NumThreads();
+  SetNumThreads(static_cast<int>(state.range(1)));
+  SparseMatrix adj = RandomAdj(n, 8, 1).NormalizedWithSelfLoops();
+  adj.EnsureTransposedIndex();  // steady-state cost: index built once
+  Rng rng(2);
+  Tensor x = RandomNormal(n, 48, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adj.MultiplyTransposed(x));
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz());
+  SetNumThreads(prev_threads);
+}
+BENCHMARK(BM_SpmmTransposed)
+    ->Args({4000, 1})
+    ->Args({16000, 1})
+    ->Args({16000, 4})
+    ->UseRealTime();
+
+// One full training step (forward + backward + Adam) of a 2-layer GCN
+// autoencoder on the arena tape, with Tape::Reset() between steps — the
+// shape of every hot loop in the library. Counters report the allocator
+// traffic the arena removes: fresh tensor bytes and new slabs per step
+// (both ~0 in steady state with the arena on, arg=1; every step reallocates
+// with it off, arg=0).
+void BM_TapeTrainStep(benchmark::State& state) {
+  const bool arena = state.range(0) != 0;
+  const bool prev_arena = ArenaEnabled();
+  SetArenaEnabled(arena);
+  const int n = 4000;
+  const int f = 32;
+  auto adj = std::make_shared<const SparseMatrix>(
+      RandomAdj(n, 8, 11).NormalizedWithSelfLoops());
+  Rng rng(12);
+  Tensor x = RandomNormal(n, f, 0, 1, &rng);
+  nn::GcnConv enc(f, 48, nn::Activation::kRelu, &rng);
+  nn::SgcConv dec(48, f, 1, nn::Activation::kNone, &rng);
+  std::vector<ag::VarPtr> params = enc.Parameters();
+  for (auto& p : dec.Parameters()) params.push_back(p);
+  nn::Adam opt(params, 1e-3f);
+
+  // Warm the pool/slabs so the counters report steady state.
+  for (int i = 0; i < 2; ++i) {
+    ag::Tape::Global().Reset();
+    opt.ZeroGrad();
+    ag::VarPtr recon = dec.Forward(adj, enc.Forward(adj, ag::Constant(x)));
+    ag::Backward(ag::MseLoss(recon, x));
+    opt.Step();
+  }
+  const int64_t fresh0 = TensorPool::Global().stats().fresh_bytes;
+  const int64_t slabs0 = ag::Tape::Global().stats().node_slabs;
+  for (auto _ : state) {
+    ag::Tape::Global().Reset();
+    opt.ZeroGrad();
+    ag::VarPtr recon = dec.Forward(adj, enc.Forward(adj, ag::Constant(x)));
+    ag::Backward(ag::MseLoss(recon, x));
+    opt.Step();
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["fresh_MB/step"] =
+      static_cast<double>(TensorPool::Global().stats().fresh_bytes - fresh0) /
+      (1024.0 * 1024.0) / iters;
+  state.counters["new_slabs/step"] =
+      static_cast<double>(ag::Tape::Global().stats().node_slabs - slabs0) /
+      iters;
+  ag::Tape::Global().Reset();
+  SetArenaEnabled(prev_arena);
+}
+BENCHMARK(BM_TapeTrainStep)->Arg(0)->Arg(1)->UseRealTime();
 
 void BM_RwrSampling(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

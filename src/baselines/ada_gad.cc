@@ -35,6 +35,7 @@ class AdaGad : public BaselineBase {
       ag::VarPtr recon;
       const int stage1_epochs = kBaselineEpochs / 3;
       for (int epoch = 0; epoch < stage1_epochs; ++epoch) {
+        ag::Tape::Global().Reset();  // reuse last epoch's slabs + buffers
         opt.ZeroGrad();
         recon = dec.Forward(view.norm,
                             enc.Forward(view.norm, ag::Constant(x)));
@@ -65,6 +66,7 @@ class AdaGad : public BaselineBase {
     for (auto& p : dec.Parameters()) params.push_back(p);
     nn::Adam opt(params, kBaselineLr);
     for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      ag::Tape::Global().Reset();  // reuse last epoch's slabs + buffers
       opt.ZeroGrad();
       ag::VarPtr recon = dec.Forward(
           denoised_norm, enc.Forward(denoised_norm, ag::Constant(x)));

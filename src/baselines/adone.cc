@@ -40,6 +40,7 @@ class Adone : public BaselineBase {
     ag::VarPtr attr_recon;
     ag::VarPtr struct_recon;
     for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      ag::Tape::Global().Reset();  // reuse last epoch's slabs + buffers
       opt.ZeroGrad();
       za = ag::Relu(attr_enc.Forward(ag::Constant(x)));
       zs = ag::Relu(struct_enc.Forward(ag::Constant(structure_signal)));

@@ -47,6 +47,7 @@ class AnomalyDae : public BaselineBase {
     ag::VarPtr h;
     ag::VarPtr recon;
     for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      ag::Tape::Global().Reset();  // reuse last epoch's slabs + buffers
       opt.ZeroGrad();
       h = struct_enc.Forward(view.norm, ag::Constant(x));
       recon = attr_dec.Forward(ag::Relu(attr_enc.Forward(ag::Constant(x))));

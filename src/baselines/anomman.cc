@@ -50,6 +50,7 @@ class AnomMan : public BaselineBase {
     ag::VarPtr fused;
     std::vector<ag::VarPtr> embeddings(r_count);
     for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      ag::Tape::Global().Reset();  // reuse last epoch's slabs + buffers
       opt.ZeroGrad();
       std::vector<ag::VarPtr> recons;
       for (int r = 0; r < r_count; ++r) {

@@ -57,6 +57,7 @@ class Arise : public BaselineBase {
     nn::Adam opt(enc.Parameters(), kBaselineLr);
     constexpr int kBatch = 384;
     for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      ag::Tape::Global().Reset();  // reuse last epoch's slabs + buffers
       opt.ZeroGrad();
       std::vector<int> batch = SampleBatch(view.n, kBatch, &rng_);
       ag::VarPtr h = enc.Forward(view.norm, ag::Constant(x));

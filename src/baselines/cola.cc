@@ -26,6 +26,7 @@ class CoLa : public BaselineBase {
     constexpr int kContextSize = 4;
 
     for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      ag::Tape::Global().Reset();  // reuse last epoch's slabs + buffers
       opt.ZeroGrad();
       std::vector<int> batch = SampleBatch(view.n, kBatch, &rng_);
       auto ctx_op = BuildContextOperator(

@@ -77,6 +77,7 @@ class ComGa : public BaselineBase {
     nn::Adam opt(params, kBaselineLr);
     ag::VarPtr recon;
     for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      ag::Tape::Global().Reset();  // reuse last epoch's slabs + buffers
       opt.ZeroGrad();
       recon = dec.Forward(view.norm, enc.Forward(view.norm,
                                                  ag::Constant(x)));

@@ -30,6 +30,12 @@ class BaselineBase : public Detector {
     rng_ = Rng(seed_);
     epochs_run_ = 0;
     Status status = FitImpl(graph);
+    // FitImpl has copied everything it needs out of the autograd graph
+    // (scores_ etc.); rewind the tape so the next detector starts from an
+    // empty transient arena. Training loops inside FitImpl additionally
+    // Reset() at the top of every epoch so steady-state epochs reuse the
+    // previous step's node slabs and tensor buffers.
+    ag::Tape::Global().Reset();
     fit_seconds_ = timer.ElapsedSeconds();
     epoch_seconds_ =
         epochs_run_ > 0 ? fit_seconds_ / static_cast<double>(epochs_run_)

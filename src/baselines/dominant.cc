@@ -40,6 +40,7 @@ class Dominant : public BaselineBase {
     ag::VarPtr recon;
     constexpr int kEdgeBatch = 1024;
     for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      ag::Tape::Global().Reset();  // reuse last epoch's slabs + buffers
       opt.ZeroGrad();
       h = enc.Forward(view.norm, ag::Constant(x));
       recon = dec.Forward(view.norm, h);

@@ -60,6 +60,7 @@ class DualGad : public BaselineBase {
     nn::Adam opt(params, kBaselineLr);
 
     for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      ag::Tape::Global().Reset();  // reuse last epoch's slabs + buffers
       opt.ZeroGrad();
       std::vector<ag::VarPtr> terms;
       for (int r = 0; r < r_count; ++r) {

@@ -45,6 +45,7 @@ class GadNr : public BaselineBase {
     ag::VarPtr degree_recon;
     ag::VarPtr nbr_recon;
     for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      ag::Tape::Global().Reset();  // reuse last epoch's slabs + buffers
       opt.ZeroGrad();
       ag::VarPtr h = enc.Forward(view.norm, ag::Constant(x));
       self_recon = self_dec.Forward(h);

@@ -43,17 +43,19 @@ class Gadam : public BaselineBase {
     nn::Adam opt(enc.Parameters(), kBaselineLr);
     Tensor avg(1, view.n);
     avg.Fill(1.0f / static_cast<float>(view.n));
-    ag::VarPtr avg_const = ag::Constant(avg);
     Tensor zeros_n(view.n, kBaselineHidden);
     std::vector<int> shuffle = rng_.Permutation(view.n);
     Tensor x_corrupt = GatherRows(gated, shuffle);
 
     for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      ag::Tape::Global().Reset();  // reuse last epoch's slabs + buffers
       opt.ZeroGrad();
       ag::VarPtr h = enc.Forward(view.norm, ag::Constant(gated));
       ag::VarPtr h_bad = enc.Forward(view.norm, ag::Constant(x_corrupt));
       ag::VarPtr ctx_rows = ag::AddRowBroadcast(
-          ag::Constant(zeros_n), ag::MatMul(avg_const, h));
+          ag::Constant(zeros_n),
+          // Per-epoch: tape constants do not survive the epoch Reset().
+          ag::MatMul(ag::Constant(avg), h));
       ag::VarPtr loss = ag::Add(
           ag::PairDotBceLoss(h, ctx_rows,
                              std::vector<float>(view.n, 1.0f)),

@@ -27,13 +27,15 @@ class Gccad : public BaselineBase {
     // 1 x n averaging operator: global readout c = mean_i h_i.
     Tensor avg(1, view.n);
     avg.Fill(1.0f / static_cast<float>(view.n));
-    ag::VarPtr avg_const = ag::Constant(avg);
     Tensor zeros_n(view.n, kBaselineHidden);
 
     for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      ag::Tape::Global().Reset();  // reuse last epoch's slabs + buffers
       opt.ZeroGrad();
       ag::VarPtr h = enc.Forward(view.norm, ag::Constant(x));
       ag::VarPtr h_bad = enc.Forward(view.norm, ag::Constant(x_corrupt));
+      // Per-epoch: tape constants do not survive the epoch Reset().
+      ag::VarPtr avg_const = ag::Constant(avg);
       ag::VarPtr context = ag::MatMul(avg_const, h);  // 1 x d
       // Broadcast the context to every row so PairDotBceLoss applies.
       ag::VarPtr context_rows =

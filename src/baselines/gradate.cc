@@ -30,6 +30,7 @@ class Gradate : public BaselineBase {
     constexpr int kContextSize = 4;
 
     for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      ag::Tape::Global().Reset();  // reuse last epoch's slabs + buffers
       opt.ZeroGrad();
       std::vector<int> batch = SampleBatch(view.n, kBatch, &rng_);
       ag::VarPtr h1 = enc.Forward(view.norm, ag::Constant(x));

@@ -67,6 +67,7 @@ class RandDetector : public BaselineBase {
     nn::Adam opt(params, kBaselineLr);
     ag::VarPtr recon;
     for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      ag::Tape::Global().Reset();  // reuse last epoch's slabs + buffers
       opt.ZeroGrad();
       recon = dec.Forward(reliable_norm,
                           enc.Forward(reliable_norm, ag::Constant(x)));

@@ -50,6 +50,7 @@ class Vgod : public BaselineBase {
     nn::Adam opt(params, kBaselineLr);
     ag::VarPtr recon;
     for (int epoch = 0; epoch < kBaselineEpochs; ++epoch) {
+      ag::Tape::Global().Reset();  // reuse last epoch's slabs + buffers
       opt.ZeroGrad();
       recon = dec.Forward(ag::Relu(enc.Forward(ag::Constant(x))));
       ag::Backward(ag::MseLoss(recon, x));

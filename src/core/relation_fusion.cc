@@ -13,7 +13,8 @@ RelationFusion::RelationFusion(int num_relations, bool learnable, Rng* rng)
     logits_ = RegisterParameter(
         RandomNormal(1, num_relations, 0.0, 0.1, rng));
   } else {
-    logits_ = ag::Constant(Tensor(1, num_relations));  // uniform softmax
+    // Held across training steps, so it must survive Tape::Reset().
+    logits_ = ag::PersistentConstant(Tensor(1, num_relations));  // 1/R each
   }
 }
 

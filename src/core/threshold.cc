@@ -2,10 +2,70 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "common/check.h"
 
 namespace umgad {
+
+namespace {
+
+/// Exact descending sort of anomaly scores, ~5x faster than std::sort at
+/// the 100k-score scale (see docs/PERFORMANCE.md §7).
+///
+/// SelectThresholdInflection consumes the *whole* sorted curve — the
+/// sliding-window smoothing, the curvature scan and the two-segment change
+/// point all run over its full length — so a top-w partial sort cannot
+/// preserve the output. What can: an LSD radix sort on the order-preserving
+/// key map for IEEE-754 doubles (flip all bits of negatives, flip the sign
+/// bit of non-negatives), which produces exactly the value sequence
+/// std::sort(greater<>) produces. Inputs with NaNs (never produced by the
+/// scorers, and comparator UB for std::sort anyway) and small inputs fall
+/// back to std::sort.
+void SortScoresDescending(std::vector<double>* scores) {
+  const size_t n = scores->size();
+  constexpr size_t kRadixCutover = 2048;
+  bool has_nan = false;
+  for (double s : *scores) has_nan = has_nan || std::isnan(s);
+  if (n < kRadixCutover || has_nan) {
+    std::sort(scores->begin(), scores->end(), std::greater<double>());
+    return;
+  }
+
+  std::vector<uint64_t> keys(n);
+  std::vector<uint64_t> scratch(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t bits;
+    std::memcpy(&bits, &(*scores)[i], sizeof(bits));
+    // Descending order == ascending order of the complemented key.
+    bits = (bits & (uint64_t{1} << 63)) ? bits ^ ~uint64_t{0}
+                                        : bits ^ (uint64_t{1} << 63);
+    keys[i] = ~bits;
+  }
+  for (int shift = 0; shift < 64; shift += 8) {
+    size_t count[257] = {0};
+    for (size_t i = 0; i < n; ++i) {
+      ++count[((keys[i] >> shift) & 0xff) + 1];
+    }
+    for (int b = 0; b < 256; ++b) count[b + 1] += count[b];
+    for (size_t i = 0; i < n; ++i) {
+      scratch[count[(keys[i] >> shift) & 0xff]++] = keys[i];
+    }
+    keys.swap(scratch);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t bits = ~keys[i];
+    // Inverse map: MSB set means the original was non-negative (its sign
+    // bit was flipped on); MSB clear means it was negative (all bits were
+    // flipped).
+    bits = (bits & (uint64_t{1} << 63)) ? bits ^ (uint64_t{1} << 63)
+                                        : ~bits;
+    std::memcpy(&(*scores)[i], &bits, sizeof(bits));
+  }
+}
+
+}  // namespace
 
 int TwoSegmentChangePoint(const std::vector<double>& y) {
   const int n = static_cast<int>(y.size());
@@ -54,7 +114,7 @@ ThresholdResult SelectThresholdInflection(const std::vector<double>& scores,
   UMGAD_CHECK_GT(n, 0);
 
   std::vector<double> sorted = scores;
-  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  SortScoresDescending(&sorted);
 
   // Eq. 20: w = max(floor(1e-4 * |V|), 5), clamped to the sequence length.
   int w = window > 0 ? window

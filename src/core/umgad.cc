@@ -89,10 +89,17 @@ Status UmgadModel::Fit(const MultiplexGraph& graph) {
   const int active_count = static_cast<int>(active_views.size());
 
   loss_history_.clear();
+  first_epoch_fresh_bytes_ = 0;
+  steady_state_fresh_bytes_ = 0;
   WallTimer epoch_timer;
   double epoch_time_acc = 0.0;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     epoch_timer.Restart();
+    // Rewind the tape: last epoch's graph nodes die, their tensors return
+    // to the pool, and this epoch's identically-shaped graph reuses them —
+    // steady-state epochs perform zero tensor mallocs (tracked below).
+    ag::Tape::Global().Reset();
+    const int64_t fresh_before = TensorPool::Global().stats().fresh_bytes;
     optimizer.ZeroGrad();
 
     std::vector<Rng> view_rngs;
@@ -169,6 +176,13 @@ Status UmgadModel::Fit(const MultiplexGraph& graph) {
 
     ag::Backward(loss);
     optimizer.Step();
+    const int64_t fresh_delta =
+        TensorPool::Global().stats().fresh_bytes - fresh_before;
+    if (epoch == 0) {
+      first_epoch_fresh_bytes_ = fresh_delta;
+    } else {
+      steady_state_fresh_bytes_ += fresh_delta;
+    }
     epoch_time_acc += epoch_timer.ElapsedSeconds();
   }
   epoch_seconds_ = loss_history_.empty()
@@ -186,6 +200,8 @@ Status UmgadModel::Fit(const MultiplexGraph& graph) {
   scores_ = ComputeAnomalyScores(graph, scorings, config_.epsilon,
                                  config_.num_score_negatives, &rng);
   threshold_ = SelectThresholdInflection(scores_);
+  // Drop the scoring-pass graph (every step-local VarPtr is out of scope).
+  ag::Tape::Global().Reset();
   fit_seconds_ = total_timer.ElapsedSeconds();
   return Status::OK();
 }

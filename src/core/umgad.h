@@ -48,6 +48,16 @@ class UmgadModel : public Detector {
 
   const UmgadConfig& config() const { return config_; }
 
+  /// Allocator accounting from the last Fit: fresh tensor-buffer bytes the
+  /// TensorPool had to heap-allocate during the first epoch vs. the sum
+  /// over all later epochs. With the arena on, warm shapes recycle and the
+  /// steady-state figure is zero (asserted in tests; recorded in
+  /// docs/PERFORMANCE.md).
+  int64_t first_epoch_fresh_bytes() const { return first_epoch_fresh_bytes_; }
+  int64_t steady_state_fresh_bytes() const {
+    return steady_state_fresh_bytes_;
+  }
+
  private:
   UmgadConfig config_;
   std::unique_ptr<ReconstructionView> original_;
@@ -58,6 +68,8 @@ class UmgadModel : public Detector {
   ThresholdResult threshold_;
   double fit_seconds_ = 0.0;
   double epoch_seconds_ = 0.0;
+  int64_t first_epoch_fresh_bytes_ = 0;
+  int64_t steady_state_fresh_bytes_ = 0;
 };
 
 }  // namespace umgad

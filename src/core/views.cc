@@ -41,11 +41,12 @@ ag::VarPtr SumLosses(const std::vector<ag::VarPtr>& losses) {
   return ag::AddN(losses);
 }
 
-/// One relation's pre-drawn structure-branch randomness. The per-relation
-/// loops below are split into two phases so the fan-out stays deterministic:
-/// phase 1 walks the shared Rng *sequentially* (mask/negative sampling),
-/// phase 2 does the heavy, RNG-free work (re-normalising the perturbed
-/// operator, GMAE encode, edge loss) in parallel across relations.
+/// One relation's pre-drawn structure-branch randomness. Every Forward*
+/// below is split into two phases so the fan-out stays deterministic:
+/// phase 1 walks the shared Rng *sequentially* (mask/negative sampling for
+/// all K repeats, in the serial loop's order), phase 2 does the heavy,
+/// RNG-free work (re-normalising the perturbed operator, GMAE encode, edge
+/// loss) in parallel across all K repeats x R relations.
 struct StructDraw {
   bool active = false;      // false -> contribute a constant-zero loss
   bool perturbed = false;   // true -> normalise `remaining`, else full op
@@ -117,41 +118,25 @@ ViewForward ReconstructionView::ForwardOriginal(
   const Tensor& x = graph.attributes();
   const int n = graph.num_nodes();
   const int r_count = graph.num_relations();
+  const int repeats = config_.mask_repeats;
 
-  std::vector<ag::VarPtr> attr_losses;
-  std::vector<ag::VarPtr> struct_losses;
-  ag::VarPtr last_fused;
-
-  for (int k = 0; k < config_.mask_repeats; ++k) {
-    if (config_.use_attribute_recon) {
-      // Eq. 1-4: token-mask nodes, reconstruct over the full edge set. The
-      // mask is drawn once (sequentially); the R per-relation GMAE passes
-      // are independent and fan out across the pool.
-      std::vector<int> masked =
-          config_.use_masking
-              ? SampleMaskedNodes(n, config_.mask_ratio, rng)
-              : std::vector<int>{};
-      std::vector<ag::VarPtr> recons(r_count);
-      ParallelFor(r_count, 1, [&](int64_t b, int64_t e) {
-        for (int r = static_cast<int>(b); r < e; ++r) {
-          recons[r] = attr_gmae_[r]->ReconstructAttributes(norm_adjs[r], x,
-                                                           masked);
-        }
-      });
-      ag::VarPtr fused = fusion_a_->FuseTensors(recons);
-      const std::vector<int>& loss_idx =
-          config_.use_masking ? masked : AllNodes(n);
-      attr_losses.push_back(
-          ag::ScaledCosineLoss(fused, x, loss_idx, config_.eta));
-      last_fused = fused;
+  // The K masking repeats are independent given their pre-drawn masks, so
+  // the whole pass is two-phase: phase 1 walks the Rng *sequentially* in
+  // the exact per-repeat order of the serial loop (attr mask first, then
+  // the structure draws per relation), phase 2 fans the K x R RNG-free
+  // branch constructions (Eq. 1-4 GMAE passes, Eq. 5-8 re-normalisation /
+  // embedding / edge loss) out across the pool. Identical draws + an
+  // identical graph make the result bit-identical to the serial loop.
+  std::vector<std::vector<int>> attr_masks(repeats);
+  std::vector<std::vector<StructDraw>> draws(repeats);
+  for (int k = 0; k < repeats; ++k) {
+    if (config_.use_attribute_recon && config_.use_masking) {
+      attr_masks[k] = SampleMaskedNodes(n, config_.mask_ratio, rng);
     }
-
     if (config_.use_structure_recon) {
-      // Eq. 5-8: mask edges, re-normalise, predict the masked edges.
-      // Phase 1 — all Rng draws, in relation order.
-      std::vector<StructDraw> draws(r_count);
+      draws[k].resize(r_count);
       for (int r = 0; r < r_count; ++r) {
-        StructDraw& draw = draws[r];
+        StructDraw& draw = draws[k][r];
         std::vector<Edge> targets;
         if (config_.use_masking) {
           EdgeMask mask =
@@ -168,23 +153,53 @@ ViewForward ReconstructionView::ForwardOriginal(
         draw.cands = nn::BuildEdgeCandidates(targets, graph.layer(r),
                                              config_.num_negatives, rng);
       }
-      // Phase 2 — re-normalisation, embedding, and edge loss per relation.
-      std::vector<ag::VarPtr> per_relation(r_count);
-      ParallelFor(r_count, 1, [&](int64_t b, int64_t e) {
-        for (int r = static_cast<int>(b); r < e; ++r) {
-          StructDraw& draw = draws[r];
-          if (!draw.active) {
-            per_relation[r] = ag::Constant(Tensor(1, 1));
-            continue;
-          }
+    }
+  }
+
+  std::vector<std::vector<ag::VarPtr>> recons(
+      repeats, std::vector<ag::VarPtr>(r_count));
+  std::vector<std::vector<ag::VarPtr>> per_relation(
+      repeats, std::vector<ag::VarPtr>(r_count));
+  ParallelFor(static_cast<int64_t>(repeats) * r_count, 1,
+              [&](int64_t b, int64_t e) {
+    for (int64_t t = b; t < e; ++t) {
+      const int k = static_cast<int>(t / r_count);
+      const int r = static_cast<int>(t % r_count);
+      if (config_.use_attribute_recon) {
+        recons[k][r] = attr_gmae_[r]->ReconstructAttributes(norm_adjs[r], x,
+                                                            attr_masks[k]);
+      }
+      if (config_.use_structure_recon) {
+        StructDraw& draw = draws[k][r];
+        if (!draw.active) {
+          per_relation[k][r] = ag::Constant(Tensor(1, 1));
+        } else {
           std::shared_ptr<const SparseMatrix> op =
               draw.perturbed ? NormShared(draw.remaining) : norm_adjs[r];
           ag::VarPtr z = struct_gmae_[r]->Embed(op, x);
-          per_relation[r] =
+          per_relation[k][r] =
               ag::MaskedEdgeSoftmaxCE(z, std::move(draw.cands));
         }
-      });
-      struct_losses.push_back(fusion_b_->FuseLosses(per_relation));
+      }
+    }
+  });
+
+  // Fusion and the per-repeat losses are cheap; run them sequentially in
+  // repeat order so the loss-term order matches the serial loop.
+  std::vector<ag::VarPtr> attr_losses;
+  std::vector<ag::VarPtr> struct_losses;
+  ag::VarPtr last_fused;
+  for (int k = 0; k < repeats; ++k) {
+    if (config_.use_attribute_recon) {
+      ag::VarPtr fused = fusion_a_->FuseTensors(recons[k]);
+      const std::vector<int>& loss_idx =
+          config_.use_masking ? attr_masks[k] : AllNodes(n);
+      attr_losses.push_back(
+          ag::ScaledCosineLoss(fused, x, loss_idx, config_.eta));
+      last_fused = fused;
+    }
+    if (config_.use_structure_recon) {
+      struct_losses.push_back(fusion_b_->FuseLosses(per_relation[k]));
     }
   }
 
@@ -207,25 +222,37 @@ ViewForward ReconstructionView::ForwardAttrAugmented(
   const Tensor& x = graph.attributes();
   const int r_count = graph.num_relations();
 
+  const int repeats = config_.mask_repeats;
+
+  // Phase 1 — draw every repeat's swap (Eq. 10) sequentially.
+  std::vector<AttributeSwap> swaps;
+  swaps.reserve(repeats);
+  for (int k = 0; k < repeats; ++k) {
+    swaps.push_back(MakeAttributeSwap(x, config_.attr_swap_ratio, rng));
+  }
+
+  // Phase 2 — the K x R GMAE passes (Eq. 11) fan out across the pool.
+  std::vector<std::vector<ag::VarPtr>> recons(
+      repeats, std::vector<ag::VarPtr>(r_count));
+  static const std::vector<int> kNoMask;
+  ParallelFor(static_cast<int64_t>(repeats) * r_count, 1,
+              [&](int64_t b, int64_t e) {
+    for (int64_t t = b; t < e; ++t) {
+      const int k = static_cast<int>(t / r_count);
+      const int r = static_cast<int>(t % r_count);
+      recons[k][r] = attr_gmae_[r]->ReconstructAttributes(
+          norm_adjs[r], swaps[k].augmented,
+          config_.use_masking ? swaps[k].swapped_nodes : kNoMask);
+    }
+  });
+
   std::vector<ag::VarPtr> losses;
   ag::VarPtr last_fused;
-  for (int k = 0; k < config_.mask_repeats; ++k) {
-    // Eq. 10: swap attributes; Eq. 11: mask exactly the swapped set.
-    AttributeSwap swap =
-        MakeAttributeSwap(x, config_.attr_swap_ratio, rng);
-    const std::vector<int> masked =
-        config_.use_masking ? swap.swapped_nodes : std::vector<int>{};
-    std::vector<ag::VarPtr> recons(r_count);
-    ParallelFor(r_count, 1, [&](int64_t b, int64_t e) {
-      for (int r = static_cast<int>(b); r < e; ++r) {
-        recons[r] = attr_gmae_[r]->ReconstructAttributes(
-            norm_adjs[r], swap.augmented, masked);
-      }
-    });
-    ag::VarPtr fused = fusion_a_->FuseTensors(recons);
+  for (int k = 0; k < repeats; ++k) {
+    ag::VarPtr fused = fusion_a_->FuseTensors(recons[k]);
     // Eq. 13: the target is the *original* attribute matrix.
-    losses.push_back(
-        ag::ScaledCosineLoss(fused, x, swap.swapped_nodes, config_.eta));
+    losses.push_back(ag::ScaledCosineLoss(fused, x, swaps[k].swapped_nodes,
+                                          config_.eta));
     last_fused = fused;
   }
 
@@ -243,25 +270,27 @@ ViewForward ReconstructionView::ForwardSubgraphAugmented(
   const Tensor& x = graph.attributes();
   const int r_count = graph.num_relations();
 
-  std::vector<ag::VarPtr> attr_losses;
-  std::vector<ag::VarPtr> struct_losses;
-  ag::VarPtr last_fused;
+  const int repeats = config_.mask_repeats;
 
-  for (int k = 0; k < config_.mask_repeats; ++k) {
-    // Phase 1 — all Rng draws, in relation order: RWR subgraph masks, the
-    // edge-target cap, and negative candidates.
-    std::vector<SubgraphMask> masks(r_count);
-    std::vector<StructDraw> draws(r_count);
-    std::unordered_set<int> union_masked;
+  // Phase 1 — all Rng draws for all K repeats, in the serial order (per
+  // repeat, per relation: RWR subgraph mask, edge-target cap, negative
+  // candidates).
+  std::vector<std::vector<SubgraphMask>> masks(repeats);
+  std::vector<std::vector<StructDraw>> draws(repeats);
+  std::vector<std::vector<int>> union_masked(repeats);
+  for (int k = 0; k < repeats; ++k) {
+    masks[k].resize(r_count);
+    draws[k].resize(r_count);
+    std::unordered_set<int> masked_set;
     for (int r = 0; r < r_count; ++r) {
-      masks[r] = MakeSubgraphMask(
+      masks[k][r] = MakeSubgraphMask(
           graph.layer(r), config_.num_subgraphs, config_.subgraph_size,
           config_.rwr_restart, rng);
-      union_masked.insert(masks[r].masked_nodes.begin(),
-                          masks[r].masked_nodes.end());
+      masked_set.insert(masks[k][r].masked_nodes.begin(),
+                        masks[k][r].masked_nodes.end());
       if (!config_.use_structure_recon) continue;
-      std::vector<Edge> targets =
-          CapEdges(std::move(masks[r].removed_edges), kMaxEdgeTargets, rng);
+      std::vector<Edge> targets = CapEdges(
+          std::move(masks[k][r].removed_edges), kMaxEdgeTargets, rng);
       // Self loops can appear among incident edges; drop them (a node
       // cannot be its own softmax candidate in Eq. 7).
       targets.erase(std::remove_if(targets.begin(), targets.end(),
@@ -270,50 +299,60 @@ ViewForward ReconstructionView::ForwardSubgraphAugmented(
                                    }),
                     targets.end());
       if (targets.empty()) continue;
-      draws[r].active = true;
-      draws[r].cands = nn::BuildEdgeCandidates(targets, graph.layer(r),
-                                               config_.num_negatives, rng);
+      draws[k][r].active = true;
+      draws[k][r].cands = nn::BuildEdgeCandidates(
+          targets, graph.layer(r), config_.num_negatives, rng);
     }
+    union_masked[k].assign(masked_set.begin(), masked_set.end());
+    std::sort(union_masked[k].begin(), union_masked[k].end());
+  }
 
-    // Phase 2 — per relation: normalise the perturbed operator once, then
-    // attribute reconstruction and/or the structure loss; independent
-    // across relations, so fan out.
-    std::vector<ag::VarPtr> recons(r_count);
-    std::vector<ag::VarPtr> per_relation_struct(r_count);
-    ParallelFor(r_count, 1, [&](int64_t b, int64_t e) {
-      for (int r = static_cast<int>(b); r < e; ++r) {
-        std::shared_ptr<const SparseMatrix> op =
-            NormShared(masks[r].remaining);
-        if (config_.use_attribute_recon) {
-          recons[r] = attr_gmae_[r]->ReconstructAttributes(
-              op, x,
-              config_.use_masking ? masks[r].masked_nodes
-                                  : std::vector<int>{});
-        }
-        if (config_.use_structure_recon) {
-          if (!draws[r].active) {
-            per_relation_struct[r] = ag::Constant(Tensor(1, 1));
-          } else {
-            ag::VarPtr z = attr_gmae_[r]->Embed(op, x);
-            per_relation_struct[r] =
-                ag::MaskedEdgeSoftmaxCE(z, std::move(draws[r].cands));
-          }
+  // Phase 2 — fan the K x R branches out: normalise the perturbed operator
+  // once per (repeat, relation), then attribute reconstruction and/or the
+  // structure loss.
+  std::vector<std::vector<ag::VarPtr>> recons(
+      repeats, std::vector<ag::VarPtr>(r_count));
+  std::vector<std::vector<ag::VarPtr>> per_relation_struct(
+      repeats, std::vector<ag::VarPtr>(r_count));
+  static const std::vector<int> kNoMask;
+  ParallelFor(static_cast<int64_t>(repeats) * r_count, 1,
+              [&](int64_t b, int64_t e) {
+    for (int64_t t = b; t < e; ++t) {
+      const int k = static_cast<int>(t / r_count);
+      const int r = static_cast<int>(t % r_count);
+      std::shared_ptr<const SparseMatrix> op =
+          NormShared(masks[k][r].remaining);
+      if (config_.use_attribute_recon) {
+        recons[k][r] = attr_gmae_[r]->ReconstructAttributes(
+            op, x,
+            config_.use_masking ? masks[k][r].masked_nodes : kNoMask);
+      }
+      if (config_.use_structure_recon) {
+        if (!draws[k][r].active) {
+          per_relation_struct[k][r] = ag::Constant(Tensor(1, 1));
+        } else {
+          ag::VarPtr z = attr_gmae_[r]->Embed(op, x);
+          per_relation_struct[k][r] =
+              ag::MaskedEdgeSoftmaxCE(z, std::move(draws[k][r].cands));
         }
       }
-    });
+    }
+  });
 
+  std::vector<ag::VarPtr> attr_losses;
+  std::vector<ag::VarPtr> struct_losses;
+  ag::VarPtr last_fused;
+  for (int k = 0; k < repeats; ++k) {
     if (config_.use_attribute_recon && r_count > 0) {
-      ag::VarPtr fused = fusion_a_->FuseTensors(recons);
-      std::vector<int> loss_idx(union_masked.begin(), union_masked.end());
-      std::sort(loss_idx.begin(), loss_idx.end());
-      if (!loss_idx.empty()) {
+      ag::VarPtr fused = fusion_a_->FuseTensors(recons[k]);
+      if (!union_masked[k].empty()) {
         attr_losses.push_back(
-            ag::ScaledCosineLoss(fused, x, loss_idx, config_.eta));
+            ag::ScaledCosineLoss(fused, x, union_masked[k], config_.eta));
       }
       last_fused = fused;
     }
     if (config_.use_structure_recon && r_count > 0) {
-      struct_losses.push_back(fusion_b_->FuseLosses(per_relation_struct));
+      struct_losses.push_back(fusion_b_->FuseLosses(per_relation_struct[k]));
     }
   }
 

@@ -10,7 +10,8 @@ namespace umgad {
 namespace nn {
 
 /// Base class for parameterised layers/models. A Module owns trainable
-/// leaves (ag::Leaf) and can register child modules; Parameters() flattens
+/// leaves (ag::Leaf — *persistent* tape nodes, which survive the per-step
+/// ag::Tape::Reset()) and can register child modules; Parameters() flattens
 /// the tree for the optimiser.
 class Module {
  public:

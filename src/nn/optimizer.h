@@ -9,7 +9,10 @@ namespace umgad {
 namespace nn {
 
 /// Optimiser interface over a fixed parameter set. The usage pattern per
-/// training step is: ZeroGrad() -> build graph -> ag::Backward -> Step().
+/// training step is: ag::Tape::Global().Reset() -> ZeroGrad() -> build
+/// graph -> ag::Backward -> Step(). Parameters are persistent tape leaves,
+/// so they (and their gradient accumulators, and the m/v state here)
+/// survive the per-step tape rewind.
 class Optimizer {
  public:
   explicit Optimizer(std::vector<ag::VarPtr> params)

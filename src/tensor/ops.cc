@@ -15,16 +15,35 @@ namespace {
 constexpr int64_t kElemGrain = kParallelElemGrain;
 constexpr int64_t kRowGrain = kParallelRowGrain;
 
-/// All ops funnel through this helper: the node requires a gradient iff any
-/// input does, and the backward closure is only attached in that case.
-VarPtr MakeNode(Tensor value, std::vector<VarPtr> inputs, const char* op,
-                std::function<void(Node*)> backward) {
+/// All ops funnel through this helper: the node is drawn from the global
+/// tape (transient — reclaimed by Tape::Reset()), requires a gradient iff
+/// any input does, and the backward closure is only attached in that case.
+VarPtr MakeNode(Tensor value, const VarPtr* inputs, uint32_t n,
+                const char* op, std::function<void(Node*)>&& backward) {
   bool needs_grad = false;
-  for (const auto& in : inputs) needs_grad = needs_grad || in->requires_grad();
-  auto node = std::make_shared<Node>(std::move(value), needs_grad, op);
-  node->set_inputs(std::move(inputs));
+  for (uint32_t i = 0; i < n; ++i) {
+    needs_grad = needs_grad || inputs[i]->requires_grad();
+  }
+  Tape& tape = Tape::Global();
+  Node* node = tape.NewNode(std::move(value), needs_grad, op,
+                            /*persistent=*/false);
+  node->set_inputs(tape.CopyInputs(inputs, n), n);
   if (needs_grad) node->set_backward(std::move(backward));
-  return node;
+  return VarPtr(node);
+}
+
+VarPtr MakeNode(Tensor value, std::initializer_list<VarPtr> inputs,
+                const char* op, std::function<void(Node*)> backward) {
+  return MakeNode(std::move(value), inputs.begin(),
+                  static_cast<uint32_t>(inputs.size()), op,
+                  std::move(backward));
+}
+
+VarPtr MakeNode(Tensor value, const std::vector<VarPtr>& inputs,
+                const char* op, std::function<void(Node*)> backward) {
+  return MakeNode(std::move(value), inputs.data(),
+                  static_cast<uint32_t>(inputs.size()), op,
+                  std::move(backward));
 }
 
 bool Wants(const VarPtr& v) { return v->requires_grad(); }

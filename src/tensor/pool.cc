@@ -1,0 +1,108 @@
+#include "tensor/pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace umgad {
+
+namespace {
+
+std::atomic<bool>& ArenaFlag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("UMGAD_ARENA");
+    return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+  }();
+  return flag;
+}
+
+}  // namespace
+
+bool ArenaEnabled() { return ArenaFlag().load(std::memory_order_relaxed); }
+
+void SetArenaEnabled(bool enabled) {
+  ArenaFlag().store(enabled, std::memory_order_relaxed);
+}
+
+struct TensorPool::Impl {
+  std::mutex mu;
+  // Size-class buckets keyed by exact element count. Shapes repeat exactly
+  // across steps, so exact keying maximises reuse and wastes no memory on
+  // rounding.
+  std::unordered_map<size_t, std::vector<float*>> buckets;
+  Stats stats;
+};
+
+TensorPool& TensorPool::Global() {
+  // Intentionally leaked: tensors owned by other never-destroyed singletons
+  // (the tape) release buffers during process teardown, which must not race
+  // with pool destruction.
+  static TensorPool* pool = new TensorPool();
+  return *pool;
+}
+
+TensorPool::TensorPool() : impl_(new Impl()) {}
+
+TensorPool::~TensorPool() {
+  Trim();
+  delete impl_;
+}
+
+float* TensorPool::AcquireUninit(size_t n) {
+  if (n == 0) return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (ArenaEnabled()) {
+      auto it = impl_->buckets.find(n);
+      if (it != impl_->buckets.end() && !it->second.empty()) {
+        float* p = it->second.back();
+        it->second.pop_back();
+        impl_->stats.reused_buffers += 1;
+        impl_->stats.cached_buffers -= 1;
+        impl_->stats.cached_bytes -= static_cast<int64_t>(n * sizeof(float));
+        return p;
+      }
+    }
+    impl_->stats.fresh_buffers += 1;
+    impl_->stats.fresh_bytes += static_cast<int64_t>(n * sizeof(float));
+  }
+  return new float[n];
+}
+
+float* TensorPool::Acquire(size_t n) {
+  float* p = AcquireUninit(n);
+  for (size_t i = 0; i < n; ++i) p[i] = 0.0f;
+  return p;
+}
+
+void TensorPool::Release(float* p, size_t n) {
+  if (p == nullptr) return;
+  if (ArenaEnabled()) {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->buckets[n].push_back(p);
+    impl_->stats.cached_buffers += 1;
+    impl_->stats.cached_bytes += static_cast<int64_t>(n * sizeof(float));
+    return;
+  }
+  delete[] p;
+}
+
+void TensorPool::Trim() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [n, bucket] : impl_->buckets) {
+    (void)n;
+    for (float* p : bucket) delete[] p;
+  }
+  impl_->buckets.clear();
+  impl_->stats.cached_buffers = 0;
+  impl_->stats.cached_bytes = 0;
+}
+
+TensorPool::Stats TensorPool::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->stats;
+}
+
+}  // namespace umgad

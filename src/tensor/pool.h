@@ -1,0 +1,100 @@
+#ifndef UMGAD_TENSOR_POOL_H_
+#define UMGAD_TENSOR_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace umgad {
+
+/// Process-wide recycling allocator for tensor buffers.
+///
+/// Every `Tensor` (and the matmul pack buffers) draws its float storage from
+/// this pool. Buffers are bucketed by their exact element count — tensor
+/// shapes repeat exactly across training steps, so after the first step of a
+/// run every Acquire is served from a retired buffer of the same size and
+/// steady-state epochs perform zero tensor mallocs (asserted in tests; see
+/// docs/PERFORMANCE.md for measured traffic).
+///
+/// The pool has two modes, switched by `SetArenaEnabled` (default: on,
+/// overridable with the `UMGAD_ARENA` environment variable):
+///  - enabled:  Release caches the buffer in its size bucket; Acquire pops
+///    from the bucket when possible and only falls back to `new`.
+///  - disabled: every Acquire is a fresh `new float[]` and every Release a
+///    `delete[]` — the seed allocator behaviour, kept as the reference mode
+///    for the arena-on/off bit-identity tests.
+/// Mode changes only affect future calls; buffers from either mode are
+/// interchangeable (all storage ultimately comes from `new float[]`).
+///
+/// Thread-safe: a single mutex guards the buckets. Acquire/Release happen at
+/// op granularity (one lock per tensor, not per element), so contention is
+/// negligible next to the kernels.
+class TensorPool {
+ public:
+  struct Stats {
+    /// Buffers/bytes handed out that required a fresh heap allocation
+    /// (cumulative). Flat across steady-state epochs when the arena is on.
+    int64_t fresh_buffers = 0;
+    int64_t fresh_bytes = 0;
+    /// Acquires served from a recycled buffer (cumulative).
+    int64_t reused_buffers = 0;
+    /// Currently cached (idle) buffers/bytes.
+    int64_t cached_buffers = 0;
+    int64_t cached_bytes = 0;
+  };
+
+  /// The process-wide pool. Never destroyed (avoids static-destruction
+  /// races with late-destroyed tensors); the pointer keeps it reachable so
+  /// LeakSanitizer stays quiet.
+  static TensorPool& Global();
+
+  /// A zero-initialised buffer of `n` floats.
+  float* Acquire(size_t n);
+  /// An uninitialised buffer of `n` floats (for callers that overwrite the
+  /// whole buffer, e.g. full copies and the matmul pack buffers).
+  float* AcquireUninit(size_t n);
+  /// Return a buffer obtained from Acquire*(n) for reuse.
+  void Release(float* p, size_t n);
+
+  /// Free all cached buffers (stats keep their cumulative counters).
+  void Trim();
+
+  Stats stats() const;
+
+  TensorPool(const TensorPool&) = delete;
+  TensorPool& operator=(const TensorPool&) = delete;
+
+ private:
+  TensorPool();
+  ~TensorPool();
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Whether the arena machinery (tensor-buffer recycling in TensorPool and
+/// slab allocation in ag::Tape) is active. Reads `UMGAD_ARENA` on first use:
+/// unset / "1" / anything but "0" means on.
+bool ArenaEnabled();
+
+/// Toggle the arena machinery at runtime (tests and benchmarks). Affects
+/// future allocations only; outstanding buffers and nodes remain valid.
+void SetArenaEnabled(bool enabled);
+
+/// RAII scratch buffer drawn from the global pool (uninitialised).
+class PooledBuffer {
+ public:
+  explicit PooledBuffer(size_t n)
+      : n_(n), data_(TensorPool::Global().AcquireUninit(n)) {}
+  ~PooledBuffer() { TensorPool::Global().Release(data_, n_); }
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+  float* get() { return data_; }
+
+ private:
+  size_t n_;
+  float* data_;
+};
+
+}  // namespace umgad
+
+#endif  // UMGAD_TENSOR_POOL_H_

@@ -2,6 +2,7 @@
 #define UMGAD_TENSOR_SPARSE_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -64,7 +65,23 @@ class SparseMatrix {
   Tensor Multiply(const Tensor& x) const;
 
   /// Dense Y = S^T * X. Shapes: (m,n)^T x (m,d) -> (n,d).
+  ///
+  /// Row-parallel like Multiply(): the first call builds (and caches) a
+  /// transposed CSR index so each *output* row is owned by one thread, with
+  /// contributions accumulated in ascending original-row order — exactly
+  /// the serial scatter order, so results are bit-identical to
+  /// MultiplyTransposedNaive for any UMGAD_THREADS. This is the Spmm
+  /// backward kernel (see ops.cc).
   Tensor MultiplyTransposed(const Tensor& x) const;
+
+  /// The seed's serial scatter loop, kept as the cross-check oracle for
+  /// tests and benches.
+  Tensor MultiplyTransposedNaive(const Tensor& x) const;
+
+  /// Build the cached transposed index now (otherwise built lazily on the
+  /// first MultiplyTransposed call; concurrent first calls may duplicate
+  /// the build, the first publication wins).
+  void EnsureTransposedIndex() const;
 
   /// Row sums (weighted degrees) as a length-m vector.
   std::vector<double> RowSums() const;
@@ -83,12 +100,43 @@ class SparseMatrix {
   /// Dense copy (tests and small-graph scoring only).
   Tensor ToDense() const;
 
+  SparseMatrix(const SparseMatrix& o)
+      : rows_(o.rows_), cols_(o.cols_), row_ptr_(o.row_ptr_),
+        col_idx_(o.col_idx_), values_(o.values_) {}  // cache not copied
+  SparseMatrix& operator=(const SparseMatrix& o) {
+    if (this != &o) {
+      rows_ = o.rows_;
+      cols_ = o.cols_;
+      row_ptr_ = o.row_ptr_;
+      col_idx_ = o.col_idx_;
+      values_ = o.values_;
+      transposed_.reset();
+    }
+    return *this;
+  }
+  SparseMatrix(SparseMatrix&&) = default;
+  SparseMatrix& operator=(SparseMatrix&&) = default;
+
  private:
+  /// CSR of S^T: per original column, the (row, value) entries in ascending
+  /// row order. Built lazily by EnsureTransposedIndex().
+  struct TransposedIndex {
+    std::vector<int64_t> col_ptr;  // size cols_ + 1
+    std::vector<int> row_idx;      // size nnz
+    std::vector<float> values;     // size nnz
+  };
+
   int rows_;
   int cols_;
   std::vector<int64_t> row_ptr_;
   std::vector<int> col_idx_;
   std::vector<float> values_;
+  // Mutable cache: logically const (derived from the CSR arrays, which are
+  // immutable after construction). Concurrent lazy builds use the
+  // shared_ptr atomic free functions (acquire load + CAS publication);
+  // mutation (assignment) must not race with use, like the CSR arrays
+  // themselves.
+  mutable std::shared_ptr<const TransposedIndex> transposed_;
 };
 
 }  // namespace umgad

@@ -33,11 +33,11 @@ Tensor Tensor::Identity(int n) {
 
 Tensor Tensor::RowVector(std::vector<float> values) {
   int n = static_cast<int>(values.size());
-  return Tensor(1, n, std::move(values));
+  return Tensor(1, n, values);
 }
 
 void Tensor::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(data_.data(), data_.data() + data_.size(), value);
 }
 
 void Tensor::AddInPlace(const Tensor& other) {
@@ -67,29 +67,32 @@ void Tensor::ScaleInPlace(float alpha) {
 
 double Tensor::SquaredNorm() const {
   double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v) * v;
+  const float* d = data_.data();
+  for (size_t i = 0; i < data_.size(); ++i) acc += static_cast<double>(d[i]) * d[i];
   return acc;
 }
 
 double Tensor::Sum() const {
   double acc = 0.0;
-  for (float v : data_) acc += v;
+  const float* d = data_.data();
+  for (size_t i = 0; i < data_.size(); ++i) acc += d[i];
   return acc;
 }
 
 double Tensor::Max() const {
   UMGAD_CHECK(!data_.empty());
-  return *std::max_element(data_.begin(), data_.end());
+  return *std::max_element(data_.data(), data_.data() + data_.size());
 }
 
 double Tensor::Min() const {
   UMGAD_CHECK(!data_.empty());
-  return *std::min_element(data_.begin(), data_.end());
+  return *std::min_element(data_.data(), data_.data() + data_.size());
 }
 
 bool Tensor::AllFinite() const {
-  for (float v : data_) {
-    if (!std::isfinite(v)) return false;
+  const float* d = data_.data();
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (!std::isfinite(d[i])) return false;
   }
   return true;
 }
@@ -269,11 +272,11 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   // Pack B once into zero-padded panels: panel t holds columns
   // [t*kPanelCols, t*kPanelCols + w) contiguously per k-row, so the
   // micro-kernel streams it with unit stride and needs no column tail logic.
-  // new[] instead of std::vector: the buffer is fully overwritten below, so
-  // value-initialisation would be a wasted pass over up to O(k*n) memory.
+  // Pooled + uninitialised: the buffer is fully overwritten below and the
+  // same pack shape recurs every step, so steady state pays neither a malloc
+  // nor a value-initialisation pass over up to O(k*n) memory.
   const int panels = (n + kPanelCols - 1) / kPanelCols;
-  std::unique_ptr<float[]> packed(
-      new float[static_cast<size_t>(panels) * k * kPanelCols]);
+  PooledBuffer packed(static_cast<size_t>(panels) * k * kPanelCols);
   for (int t = 0; t < panels; ++t) {
     const int j0 = t * kPanelCols;
     const int w = std::min(kPanelCols, n - j0);

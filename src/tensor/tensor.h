@@ -2,31 +2,91 @@
 #define UMGAD_TENSOR_TENSOR_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "tensor/pool.h"
 
 namespace umgad {
+
+/// Value-semantic float storage backed by the global TensorPool: buffers are
+/// recycled through size buckets instead of hitting the heap on every
+/// construction (see pool.h). Fresh buffers are zero-initialised, matching
+/// the std::vector<float> storage this replaces.
+class TensorBuffer {
+ public:
+  TensorBuffer() noexcept = default;
+  explicit TensorBuffer(size_t n)
+      : data_(TensorPool::Global().Acquire(n)), size_(n) {}
+  /// Uninitialised variant for full overwrites (copies).
+  struct Uninit {};
+  TensorBuffer(size_t n, Uninit)
+      : data_(TensorPool::Global().AcquireUninit(n)), size_(n) {}
+  TensorBuffer(const TensorBuffer& o) : TensorBuffer(o.size_, Uninit{}) {
+    if (size_ > 0) std::memcpy(data_, o.data_, size_ * sizeof(float));
+  }
+  TensorBuffer(TensorBuffer&& o) noexcept
+      : data_(o.data_), size_(o.size_) {
+    o.data_ = nullptr;
+    o.size_ = 0;
+  }
+  TensorBuffer& operator=(const TensorBuffer& o) {
+    if (this == &o) return *this;
+    if (size_ != o.size_) {
+      TensorPool::Global().Release(data_, size_);
+      size_ = o.size_;
+      data_ = TensorPool::Global().AcquireUninit(size_);
+    }
+    if (size_ > 0) std::memcpy(data_, o.data_, size_ * sizeof(float));
+    return *this;
+  }
+  TensorBuffer& operator=(TensorBuffer&& o) noexcept {
+    if (this == &o) return *this;
+    std::swap(data_, o.data_);
+    std::swap(size_, o.size_);
+    return *this;
+  }
+  ~TensorBuffer() { TensorPool::Global().Release(data_, size_); }
+
+  float* data() noexcept { return data_; }
+  const float* data() const noexcept { return data_; }
+  float& operator[](size_t i) noexcept { return data_[i]; }
+  float operator[](size_t i) const noexcept { return data_[i]; }
+  size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+ private:
+  float* data_ = nullptr;
+  size_t size_ = 0;
+};
 
 /// Dense row-major float32 matrix. This is the single dense container used
 /// across the library; vectors are represented as 1xN or Nx1 tensors.
 ///
 /// The class is a plain value type (copyable, movable). All shape errors are
-/// programmer errors and fail fast via UMGAD_CHECK.
+/// programmer errors and fail fast via UMGAD_CHECK. Storage is recycled
+/// through the global TensorPool.
 class Tensor {
  public:
   Tensor() : rows_(0), cols_(0) {}
   Tensor(int rows, int cols)
       : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0f) {
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols)) {
     UMGAD_CHECK_GE(rows, 0);
     UMGAD_CHECK_GE(cols, 0);
   }
-  Tensor(int rows, int cols, std::vector<float> data)
-      : rows_(rows), cols_(cols), data_(std::move(data)) {
-    UMGAD_CHECK_EQ(data_.size(),
+  Tensor(int rows, int cols, const std::vector<float>& data)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols),
+              TensorBuffer::Uninit{}) {
+    UMGAD_CHECK_EQ(data.size(),
                    static_cast<size_t>(rows) * static_cast<size_t>(cols));
+    if (!data.empty()) {
+      std::memcpy(data_.data(), data.data(), data.size() * sizeof(float));
+    }
   }
 
   static Tensor Zeros(int rows, int cols) { return Tensor(rows, cols); }
@@ -93,7 +153,7 @@ class Tensor {
  private:
   int rows_;
   int cols_;
-  std::vector<float> data_;
+  TensorBuffer data_;
 };
 
 /// C = A * B. Shapes: (m,k) x (k,n) -> (m,n).

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "tensor/init.h"
 #include "tensor/sparse.h"
 
@@ -143,6 +144,76 @@ TEST(SparseTest, EmptyMatrix) {
   Tensor x = Tensor::Full(4, 2, 1.0f);
   Tensor y = m.Multiply(x);
   EXPECT_DOUBLE_EQ(y.Sum(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// MultiplyTransposed shape/threads sweep (mirrors the MatMulVsNaive sweep in
+// tensor_test.cc): the transposed-index parallel kernel — the Spmm backward
+// — must reproduce the seed's serial scatter loop bit-for-bit at every
+// shape and thread count, including rectangular operators.
+// ---------------------------------------------------------------------------
+
+struct SpmmTShape {
+  int rows;
+  int cols;
+  int nnz;
+  int d;
+};
+
+SparseMatrix RandomRect(const SpmmTShape& s, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> r;
+  std::vector<int> c;
+  std::vector<float> v;
+  for (int k = 0; k < s.nnz; ++k) {
+    r.push_back(static_cast<int>(rng.UniformInt(s.rows)));
+    c.push_back(static_cast<int>(rng.UniformInt(s.cols)));
+    v.push_back(static_cast<float>(rng.Normal(0.0, 1.0)));
+  }
+  return SparseMatrix::FromCoo(s.rows, s.cols, r, c, v);
+}
+
+class SpmmTransposedVsNaive : public ::testing::TestWithParam<SpmmTShape> {};
+
+TEST_P(SpmmTransposedVsNaive, BitIdenticalAcrossThreadCounts) {
+  const SpmmTShape shape = GetParam();
+  SparseMatrix s = RandomRect(shape, 41);
+  Rng rng(43);
+  Tensor x = RandomNormal(shape.rows, shape.d, 0, 1, &rng);
+  Tensor reference = s.MultiplyTransposedNaive(x);
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    EXPECT_EQ(MaxAbsDiff(s.MultiplyTransposed(x), reference), 0.0)
+        << "threads=" << threads;
+  }
+  SetNumThreads(1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpmmTransposedVsNaive,
+    ::testing::Values(SpmmTShape{1, 1, 1, 1},        // degenerate
+                      SpmmTShape{7, 7, 20, 3},       // small square
+                      SpmmTShape{64, 64, 500, 48},   // grain boundary
+                      SpmmTShape{300, 120, 2000, 5}, // wide, rectangular
+                      SpmmTShape{120, 300, 2000, 48},// tall, rectangular
+                      SpmmTShape{1000, 1000, 8000, 48},  // GMAE-ish
+                      SpmmTShape{500, 500, 0, 4},    // empty pattern
+                      SpmmTShape{2000, 50, 4000, 16})); // skewed columns
+
+TEST(SparseTest, MultiplyTransposedAfterCopyAndAssign) {
+  // Copies drop the cached transposed index; results must stay exact.
+  SparseMatrix s = RandomSparse(30, 120, 53);
+  Tensor x(30, 4);
+  for (int64_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(i % 7) - 3.0f;
+  }
+  Tensor reference = s.MultiplyTransposedNaive(x);
+  EXPECT_EQ(MaxAbsDiff(s.MultiplyTransposed(x), reference), 0.0);
+  SparseMatrix copy = s;  // cache not copied; rebuilt lazily
+  EXPECT_EQ(MaxAbsDiff(copy.MultiplyTransposed(x), reference), 0.0);
+  SparseMatrix assigned;
+  assigned = s;
+  EXPECT_EQ(MaxAbsDiff(assigned.MultiplyTransposed(x), reference), 0.0);
 }
 
 }  // namespace

@@ -143,5 +143,46 @@ TEST(ThresholdTest, InflectionIndexMatchesThresholdValue) {
   EXPECT_DOUBLE_EQ(r.threshold, r.smoothed[r.inflection_index]);
 }
 
+// The radix-sorted selection path (engaged above 2048 scores) must produce
+// exactly what the std::sort path produced: the smoothed curve is a direct
+// window-mean of the descending-sorted scores, so recomputing it from
+// std::sort in the test pins the internal sort bit-for-bit — including
+// ties, negatives, zeros and denormals.
+TEST(ThresholdTest, RadixSortedSelectionMatchesStdSortExactly) {
+  Rng rng(333);
+  for (int variant = 0; variant < 3; ++variant) {
+    const int n = 6000;
+    std::vector<double> scores(n);
+    for (int i = 0; i < n; ++i) {
+      switch (variant) {
+        case 0:  // smooth anomaly curve, positive and negative values
+          scores[i] = (i % 17 == 0 ? 2.0 : -0.3) + rng.Normal(0, 0.4);
+          break;
+        case 1:  // heavy ties
+          scores[i] = static_cast<double>(rng.UniformInt(7));
+          break;
+        default:  // tiny magnitudes incl. denormals and zeros
+          scores[i] = rng.Bernoulli(0.1)
+                          ? 0.0
+                          : rng.Normal(0, 1.0) * 1e-308;
+          break;
+      }
+    }
+    ThresholdResult r = SelectThresholdInflection(scores);
+    std::vector<double> sorted = scores;
+    std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+    const int w = r.window;
+    ASSERT_EQ(r.smoothed.size(), sorted.size() - w + 1);
+    double acc = 0.0;
+    for (int i = 0; i < w; ++i) acc += sorted[i];
+    EXPECT_EQ(r.smoothed[0], acc / w) << "variant " << variant;
+    for (size_t i = 1; i < r.smoothed.size(); ++i) {
+      acc += sorted[i + w - 1] - sorted[i - 1];
+      ASSERT_EQ(r.smoothed[i], acc / w)
+          << "variant " << variant << " index " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace umgad
