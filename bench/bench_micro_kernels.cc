@@ -16,6 +16,7 @@
 #include "eval/metrics.h"
 #include "graph/random_walk.h"
 #include "nn/gcn.h"
+#include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
@@ -222,6 +223,156 @@ void BM_TapeTrainStep(benchmark::State& state) {
   SetArenaEnabled(prev_arena);
 }
 BENCHMARK(BM_TapeTrainStep)->Arg(0)->Arg(1)->UseRealTime();
+
+// The edge-softmax backward kernel (the GAT attention gradient): the
+// seed's serial scatter vs the incoming-index owner-partitioned rewrite
+// (bit-identical; see tests/ops_oracle_test.cc). Forward state is computed
+// once; the timing loop runs only the backward kernel, accumulating into
+// reused buffers exactly as the tape closure does.
+void BM_EdgeSoftmaxBackwardNaive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SparseMatrix adj = RandomAdj(n, 8, 21).NormalizedWithSelfLoops();
+  Rng rng(22);
+  Tensor h = RandomNormal(n, 48, 0, 0.5, &rng);
+  Tensor a_src = RandomNormal(1, 48, 0, 0.5, &rng);
+  Tensor a_dst = RandomNormal(1, 48, 0, 0.5, &rng);
+  Tensor g = RandomNormal(n, 48, 0, 1, &rng);
+  Tensor out;
+  std::vector<float> alpha;
+  std::vector<char> pos;
+  ag::EdgeSoftmaxForward(adj, 0.2f, h, a_src, a_dst, &out, &alpha, &pos);
+  Tensor dh(n, 48);
+  Tensor das(1, 48);
+  Tensor dad(1, 48);
+  ag::EdgeSoftmaxGrads io;
+  io.g = &g;
+  io.h = &h;
+  io.a_src = &a_src;
+  io.a_dst = &a_dst;
+  io.dh = &dh;
+  io.da_src = &das;
+  io.da_dst = &dad;
+  for (auto _ : state) {
+    ag::EdgeSoftmaxBackwardNaive(adj, 0.2f, alpha, pos, io);
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz());
+}
+BENCHMARK(BM_EdgeSoftmaxBackwardNaive)->Arg(4000)->Arg(16000);
+
+void BM_EdgeSoftmaxBackward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int prev_threads = NumThreads();
+  SetNumThreads(static_cast<int>(state.range(1)));
+  SparseMatrix adj = RandomAdj(n, 8, 21).NormalizedWithSelfLoops();
+  adj.EnsureIncomingIndex();  // steady-state cost: index built once
+  Rng rng(22);
+  Tensor h = RandomNormal(n, 48, 0, 0.5, &rng);
+  Tensor a_src = RandomNormal(1, 48, 0, 0.5, &rng);
+  Tensor a_dst = RandomNormal(1, 48, 0, 0.5, &rng);
+  Tensor g = RandomNormal(n, 48, 0, 1, &rng);
+  Tensor out;
+  std::vector<float> alpha;
+  std::vector<char> pos;
+  ag::EdgeSoftmaxForward(adj, 0.2f, h, a_src, a_dst, &out, &alpha, &pos);
+  Tensor dh(n, 48);
+  Tensor das(1, 48);
+  Tensor dad(1, 48);
+  ag::EdgeSoftmaxGrads io;
+  io.g = &g;
+  io.h = &h;
+  io.a_src = &a_src;
+  io.a_dst = &a_dst;
+  io.dh = &dh;
+  io.da_src = &das;
+  io.da_dst = &dad;
+  for (auto _ : state) {
+    ag::EdgeSoftmaxBackward(adj, 0.2f, alpha, pos, io);
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz());
+  SetNumThreads(prev_threads);
+}
+BENCHMARK(BM_EdgeSoftmaxBackward)
+    ->Args({4000, 1})
+    ->Args({16000, 1})
+    ->Args({16000, 4})
+    ->UseRealTime();
+
+// Per-loss forward+backward steps on the arena tape (Tape::Reset between
+// steps), with the allocator-traffic counter from BM_TapeTrainStep. Args
+// are {lanes, naive}: naive=1 runs the kept-serial oracle op (the seed's
+// loops) for the before/after comparison. These are the three closures
+// ROADMAP item 2 called out as the last serial hot paths.
+template <typename MakeLoss, typename MakeLossNaive>
+void LossStepBench(benchmark::State& state, std::vector<ag::VarPtr> leaves,
+                   const MakeLoss& make_loss,
+                   const MakeLossNaive& make_loss_naive) {
+  const bool naive = state.range(1) != 0;
+  const int prev_threads = NumThreads();
+  SetNumThreads(static_cast<int>(state.range(0)));
+  auto step = [&] {
+    ag::Tape::Global().Reset();
+    for (auto& leaf : leaves) leaf->ZeroGrad();
+    ag::Backward(naive ? make_loss_naive() : make_loss());
+  };
+  for (int i = 0; i < 2; ++i) step();  // warm the pool/slabs
+  const int64_t fresh0 = TensorPool::Global().stats().fresh_bytes;
+  for (auto _ : state) step();
+  state.counters["fresh_MB/step"] =
+      static_cast<double>(TensorPool::Global().stats().fresh_bytes - fresh0) /
+      (1024.0 * 1024.0) / static_cast<double>(state.iterations());
+  ag::Tape::Global().Reset();
+  SetNumThreads(prev_threads);
+}
+
+void BM_ScaledCosineLossStep(benchmark::State& state) {
+  const int n = 16000;
+  Rng rng(31);
+  ag::VarPtr recon = ag::Leaf(RandomNormal(n, 48, 0, 1, &rng));
+  Tensor target = RandomNormal(n, 48, 0, 1, &rng);
+  std::vector<int> idx;
+  for (int i = 0; i < n; i += 3) idx.push_back(i);  // ~mask_ratio 0.3
+  LossStepBench(
+      state, {recon},
+      [&] { return ag::ScaledCosineLoss(recon, target, idx, 2.0f); },
+      [&] { return ag::ScaledCosineLossNaive(recon, target, idx, 2.0f); });
+}
+BENCHMARK(BM_ScaledCosineLossStep)
+    ->Args({1, 1})
+    ->Args({1, 0})
+    ->Args({4, 0})
+    ->UseRealTime();
+
+void BM_MaskedEdgeSoftmaxCeStep(benchmark::State& state) {
+  const int n = 16000;
+  Rng rng(32);
+  ag::VarPtr z = ag::Leaf(RandomNormal(n, 48, 0, 0.5, &rng));
+  std::vector<ag::EdgeCandidateSet> sets =
+      nn::RandomEdgeCandidates(n, 2048, 4, &rng);
+  LossStepBench(
+      state, {z}, [&] { return ag::MaskedEdgeSoftmaxCE(z, sets); },
+      [&] { return ag::MaskedEdgeSoftmaxCENaive(z, sets); });
+}
+BENCHMARK(BM_MaskedEdgeSoftmaxCeStep)
+    ->Args({1, 1})
+    ->Args({1, 0})
+    ->Args({4, 0})
+    ->UseRealTime();
+
+void BM_DualContrastiveLossStep(benchmark::State& state) {
+  const int n = 16000;
+  Rng rng(33);
+  ag::VarPtr zo = ag::Leaf(RandomNormal(n, 48, 0, 0.4, &rng));
+  ag::VarPtr za = ag::Leaf(RandomNormal(n, 48, 0, 0.4, &rng));
+  std::vector<int> neg = nn::SampleContrastiveNegatives(n, &rng);
+  LossStepBench(
+      state, {zo, za}, [&] { return ag::DualContrastiveLoss(zo, za, neg); },
+      [&] { return ag::DualContrastiveLossNaive(zo, za, neg); });
+}
+BENCHMARK(BM_DualContrastiveLossStep)
+    ->Args({1, 1})
+    ->Args({1, 0})
+    ->Args({4, 0})
+    ->UseRealTime();
 
 void BM_RwrSampling(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

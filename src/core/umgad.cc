@@ -64,6 +64,20 @@ Status UmgadModel::Fit(const MultiplexGraph& graph) {
     norm_adjs.push_back(std::make_shared<const SparseMatrix>(
         graph.layer(r).NormalizedWithSelfLoops()));
   }
+  // Prewarm the backward ownership indexes these operators will need on
+  // every epoch (cached per matrix): the transposed CSR for the Spmm
+  // backward and — for GAT encoders — the incoming-edge index for the
+  // edge-softmax backward. Building them here, fanned across relations,
+  // keeps the duplicate-build race of concurrent lazy first calls out of
+  // epoch 1's backward entirely.
+  ParallelFor(r_count, 1, [&](int64_t b, int64_t e) {
+    for (int r = static_cast<int>(b); r < e; ++r) {
+      norm_adjs[r]->EnsureTransposedIndex();
+      if (config_.encoder == EncoderKind::kGat) {
+        norm_adjs[r]->EnsureIncomingIndex();
+      }
+    }
+  });
 
   std::vector<ag::VarPtr> params;
   for (ReconstructionView* view :

@@ -184,8 +184,10 @@ ViewForward ReconstructionView::ForwardOriginal(
     }
   });
 
-  // Fusion and the per-repeat losses are cheap; run them sequentially in
-  // repeat order so the loss-term order matches the serial loop.
+  // Fusion and the per-repeat loss *nodes* are built sequentially in repeat
+  // order so the loss-term order matches the serial loop. The loss forwards
+  // themselves are row-parallel inside (ops.cc), so running this loop on
+  // one thread costs only the node bookkeeping.
   std::vector<ag::VarPtr> attr_losses;
   std::vector<ag::VarPtr> struct_losses;
   ag::VarPtr last_fused;

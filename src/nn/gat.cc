@@ -21,5 +21,13 @@ ag::VarPtr GatConv::Forward(std::shared_ptr<const SparseMatrix> adj,
   return Activate(out, act_);
 }
 
+ag::VarPtr GatConv::ForwardNaive(std::shared_ptr<const SparseMatrix> adj,
+                                 const ag::VarPtr& x) const {
+  ag::VarPtr h = ag::MatMul(x, weight_);
+  ag::VarPtr out =
+      ag::GatAttentionNaive(h, attn_src_, attn_dst_, std::move(adj), slope_);
+  return Activate(out, act_);
+}
+
 }  // namespace nn
 }  // namespace umgad

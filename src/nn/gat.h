@@ -26,6 +26,12 @@ class GatConv : public Module {
   ag::VarPtr Forward(std::shared_ptr<const SparseMatrix> adj,
                      const ag::VarPtr& x) const;
 
+  /// Same layer through the kept-serial attention oracle
+  /// (ag::GatAttentionNaive) — differential tests pin Forward against this
+  /// bit-for-bit across thread counts (tests/oracle_harness.h).
+  ag::VarPtr ForwardNaive(std::shared_ptr<const SparseMatrix> adj,
+                          const ag::VarPtr& x) const;
+
  private:
   Activation act_;
   float slope_;

@@ -22,6 +22,23 @@ std::vector<ag::EdgeCandidateSet> BuildEdgeCandidates(
   return sets;
 }
 
+std::vector<ag::EdgeCandidateSet> RandomEdgeCandidates(int n, int count,
+                                                       int num_negatives,
+                                                       Rng* rng) {
+  UMGAD_CHECK_GT(n, 1);
+  std::vector<ag::EdgeCandidateSet> sets(count);
+  for (ag::EdgeCandidateSet& set : sets) {
+    set.src = static_cast<int>(rng->UniformInt(n));
+    set.cands.resize(1 + num_negatives);
+    for (int& c : set.cands) {
+      int v = static_cast<int>(rng->UniformInt(n - 1));
+      if (v >= set.src) ++v;  // uniform over [0, n) \ {src}
+      c = v;
+    }
+  }
+  return sets;
+}
+
 std::vector<int> SampleContrastiveNegatives(int n, Rng* rng) {
   UMGAD_CHECK_GT(n, 1);
   std::vector<int> neg(n);

@@ -21,6 +21,16 @@ std::vector<ag::EdgeCandidateSet> BuildEdgeCandidates(
 /// loss (Eq. 17).
 std::vector<int> SampleContrastiveNegatives(int n, Rng* rng);
 
+/// `count` synthetic candidate sets over `n` nodes, each with a random
+/// source and 1 + num_negatives random candidates (self excluded, repeats
+/// and cross-set aliasing allowed — the worst case for the edge-loss
+/// backward's shared-row scatter). Used by the differential-oracle tests
+/// and the loss microbenchmarks; training code builds its sets from real
+/// masked edges via BuildEdgeCandidates.
+std::vector<ag::EdgeCandidateSet> RandomEdgeCandidates(int n, int count,
+                                                       int num_negatives,
+                                                       Rng* rng);
+
 /// Convex combination of two scalar losses: alpha*a + (1-alpha)*b
 /// (Eq. 9 / Eq. 16).
 ag::VarPtr ConvexCombine(const ag::VarPtr& a, const ag::VarPtr& b,

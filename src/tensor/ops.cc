@@ -48,6 +48,20 @@ VarPtr MakeNode(Tensor value, const std::vector<VarPtr>& inputs,
 
 bool Wants(const VarPtr& v) { return v->requires_grad(); }
 
+/// Grain for fan-outs over edge-candidate sets (each set is an O(nc * d)
+/// softmax, heavier than one row).
+constexpr int64_t kSetGrain = 16;
+
+/// True if `idx` names any row twice. The parallel ScaledCosine backward
+/// needs exclusive row ownership; duplicate targets fall back to the
+/// serial scatter (they do not occur on the trained paths, where masks are
+/// drawn without replacement).
+bool HasDuplicateRows(const std::vector<int>& idx) {
+  std::vector<int> sorted = idx;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end();
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -441,6 +455,89 @@ VarPtr ScaledCosineLoss(const VarPtr& recon, const Tensor& target,
   std::vector<double> cos(m, 0.0);
   std::vector<double> rnorm(m, 0.0);
   std::vector<double> tnorm(m, 0.0);
+  std::vector<double> term(m, 0.0);
+  // Phase 1 — per-row cosines and loss terms in parallel (slot k is owned
+  // by the thread that processes it; every term is computed exactly as the
+  // serial loop computes it).
+  ParallelFor(m, kRowGrain, [&](int64_t b, int64_t e) {
+    for (int k = static_cast<int>(b); k < e; ++k) {
+      const int i = idx[k];
+      rnorm[k] = r.RowNorm(i);
+      tnorm[k] = target.RowNorm(i);
+      if (rnorm[k] < kEps || tnorm[k] < kEps) {
+        cos[k] = 0.0;
+      } else {
+        cos[k] = r.RowDot(i, target, i) / (rnorm[k] * tnorm[k]);
+        cos[k] = std::clamp(cos[k], -1.0, 1.0);
+      }
+      term[k] = std::pow(1.0 - cos[k], static_cast<double>(eta));
+    }
+  });
+  // Phase 2 — scalar sum in index order: the serial loop's accumulation.
+  double loss = 0.0;
+  for (int k = 0; k < m; ++k) loss += term[k];
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(loss / m);
+
+  VarPtr node = MakeNode(
+      std::move(out), {recon}, "scaled_cosine_loss",
+      [idx = std::move(idx), target, eta, cos = std::move(cos),
+       rnorm = std::move(rnorm), tnorm = std::move(tnorm)](Node* self) {
+        const auto& in = self->inputs();
+        if (!Wants(in[0])) return;
+        const double gv = self->grad().scalar();
+        const Tensor& r = in[0]->value();
+        Tensor& dr = in[0]->grad();
+        const int m = static_cast<int>(idx.size());
+        const int d = r.cols();
+        auto row_grad = [&](int k) {
+          if (rnorm[k] < kEps || tnorm[k] < kEps) return;
+          const int i = idx[k];
+          // dL/dcos = -(eta/m) * (1 - cos)^(eta-1)
+          const double dldc =
+              -gv * (static_cast<double>(eta) / m) *
+              std::pow(std::max(0.0, 1.0 - cos[k]),
+                       static_cast<double>(eta) - 1.0);
+          const double inv_rt = 1.0 / (rnorm[k] * tnorm[k]);
+          const double c_over_r2 = cos[k] / (rnorm[k] * rnorm[k]);
+          const float* rrow = r.row(i);
+          const float* trow = target.row(i);
+          float* drrow = dr.row(i);
+          for (int j = 0; j < d; ++j) {
+            drrow[j] += static_cast<float>(
+                dldc * (trow[j] * inv_rt - c_over_r2 * rrow[j]));
+          }
+        };
+        // Serial when it would run on one thread anyway (no point paying
+        // the duplicate scan) or when idx aliases rows; otherwise each k
+        // writes only dr.row(idx[k]), which it owns exclusively.
+        if (NumThreads() == 1 || ThreadPool::InParallelRegion() ||
+            HasDuplicateRows(idx)) {
+          for (int k = 0; k < m; ++k) row_grad(k);
+        } else {
+          ParallelFor(m, kRowGrain, [&](int64_t b, int64_t e) {
+            for (int k = static_cast<int>(b); k < e; ++k) row_grad(k);
+          });
+        }
+      });
+  node->set_wide_backward(true);
+  return node;
+}
+
+VarPtr ScaledCosineLossNaive(const VarPtr& recon, const Tensor& target,
+                             std::vector<int> idx, float eta) {
+  UMGAD_CHECK(recon->value().SameShape(target));
+  UMGAD_CHECK(!idx.empty());
+  UMGAD_CHECK_GE(eta, 1.0f);
+  constexpr double kEps = 1e-12;
+
+  // The seed's serial loops, kept verbatim as the differential oracle for
+  // the row-partitioned kernel above.
+  const Tensor& r = recon->value();
+  const int m = static_cast<int>(idx.size());
+  std::vector<double> cos(m, 0.0);
+  std::vector<double> rnorm(m, 0.0);
+  std::vector<double> tnorm(m, 0.0);
   double loss = 0.0;
   for (int k = 0; k < m; ++k) {
     const int i = idx[k];
@@ -458,7 +555,7 @@ VarPtr ScaledCosineLoss(const VarPtr& recon, const Tensor& target,
   out.at(0, 0) = static_cast<float>(loss / m);
 
   return MakeNode(
-      std::move(out), {recon}, "scaled_cosine_loss",
+      std::move(out), {recon}, "scaled_cosine_loss_naive",
       [idx = std::move(idx), target, eta, cos = std::move(cos),
        rnorm = std::move(rnorm), tnorm = std::move(tnorm)](Node* self) {
         const auto& in = self->inputs();
@@ -537,6 +634,128 @@ VarPtr MaskedEdgeSoftmaxCE(const VarPtr& z,
   const Tensor& zv = z->value();
   const int m = static_cast<int>(sets.size());
   std::vector<std::vector<float>> probs(m);
+  std::vector<double> term(m, 0.0);
+  // Phase 1 — per-set softmaxes fan out (slot e owned by its thread).
+  ParallelFor(m, kSetGrain, [&](int64_t b, int64_t e_end) {
+    for (int e = static_cast<int>(b); e < e_end; ++e) {
+      const auto& set = sets[e];
+      UMGAD_CHECK(!set.cands.empty());
+      const int nc = static_cast<int>(set.cands.size());
+      std::vector<double> scores(nc);
+      double mx = -1e300;
+      for (int c = 0; c < nc; ++c) {
+        scores[c] = zv.RowDot(set.src, zv, set.cands[c]);
+        mx = std::max(mx, scores[c]);
+      }
+      double denom = 0.0;
+      for (int c = 0; c < nc; ++c) {
+        scores[c] = std::exp(scores[c] - mx);
+        denom += scores[c];
+      }
+      probs[e].resize(nc);
+      for (int c = 0; c < nc; ++c) {
+        probs[e][c] = static_cast<float>(scores[c] / denom);
+      }
+      term[e] = -std::log(std::max(static_cast<double>(probs[e][0]), 1e-30));
+    }
+  });
+  // Phase 2 — scalar sum in set order (the serial accumulation).
+  double loss = 0.0;
+  for (int e = 0; e < m; ++e) loss += term[e];
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(loss / m);
+
+  VarPtr node = MakeNode(
+      std::move(out), {z}, "masked_edge_softmax_ce",
+      [sets = std::move(sets), probs = std::move(probs)](Node* self) {
+        const auto& in = self->inputs();
+        if (!Wants(in[0])) return;
+        const double gv = self->grad().scalar();
+        const Tensor& zv = in[0]->value();
+        Tensor& dz = in[0]->grad();
+        const int d = zv.cols();
+        const int n = zv.rows();
+        const double coef = gv / static_cast<double>(sets.size());
+        if (NumThreads() == 1 || ThreadPool::InParallelRegion()) {
+          // One lane (or inlined inside an outer fan-out): the ownership
+          // buckets below would cost an O(C + N) build with nothing to
+          // gain, so run the serial scatter directly — bit-identical by
+          // the oracle contract, just cheaper.
+          for (size_t e = 0; e < sets.size(); ++e) {
+            const auto& set = sets[e];
+            const float* zsrc = zv.row(set.src);
+            float* dzsrc = dz.row(set.src);
+            for (size_t c = 0; c < set.cands.size(); ++c) {
+              const double delta =
+                  coef * (probs[e][c] - (c == 0 ? 1.0 : 0.0));
+              const float* zc = zv.row(set.cands[c]);
+              float* dzc = dz.row(set.cands[c]);
+              for (int j = 0; j < d; ++j) {
+                dzsrc[j] += static_cast<float>(delta * zc[j]);
+                dzc[j] += static_cast<float>(delta * zsrc[j]);
+              }
+            }
+          }
+          return;
+        }
+        // Sources and candidates alias freely across sets, so the serial
+        // scatter cannot be partitioned by set. Two-phase ownership trick:
+        // every (set, candidate) pair contributes delta * z.row(cand) to
+        // dz.row(src) and delta * z.row(src) to dz.row(cand) — bucket both
+        // contributions by *destination* row in the serial
+        // (set, candidate, src-before-cand) order, then scatter with each
+        // destination row owned by exactly one thread. Per element, the
+        // additions land in the serial loop's order, so the result is
+        // bit-identical for any UMGAD_THREADS.
+        std::vector<int64_t> ptr(n + 1, 0);
+        for (const auto& set : sets) {
+          for (int c : set.cands) {
+            ++ptr[set.src + 1];
+            ++ptr[c + 1];
+          }
+        }
+        for (int v = 0; v < n; ++v) ptr[v + 1] += ptr[v];
+        std::vector<int> other(static_cast<size_t>(ptr[n]));
+        std::vector<double> delta(static_cast<size_t>(ptr[n]));
+        std::vector<int64_t> fill(ptr.begin(), ptr.end() - 1);
+        for (size_t e = 0; e < sets.size(); ++e) {
+          const auto& set = sets[e];
+          for (size_t c = 0; c < set.cands.size(); ++c) {
+            const double dl = coef * (probs[e][c] - (c == 0 ? 1.0 : 0.0));
+            const int cand = set.cands[c];
+            int64_t slot = fill[set.src]++;
+            other[slot] = cand;
+            delta[slot] = dl;
+            slot = fill[cand]++;
+            other[slot] = set.src;
+            delta[slot] = dl;
+          }
+        }
+        ParallelFor(n, kRowGrain, [&](int64_t r0, int64_t r1) {
+          for (int v = static_cast<int>(r0); v < r1; ++v) {
+            if (ptr[v] == ptr[v + 1]) continue;
+            float* dzrow = dz.row(v);
+            for (int64_t p = ptr[v]; p < ptr[v + 1]; ++p) {
+              const float* zrow = zv.row(other[p]);
+              const double dl = delta[p];
+              for (int j = 0; j < d; ++j) {
+                dzrow[j] += static_cast<float>(dl * zrow[j]);
+              }
+            }
+          }
+        });
+      });
+  node->set_wide_backward(true);
+  return node;
+}
+
+VarPtr MaskedEdgeSoftmaxCENaive(const VarPtr& z,
+                                std::vector<EdgeCandidateSet> sets) {
+  UMGAD_CHECK(!sets.empty());
+  // The seed's serial loops, kept as the differential oracle.
+  const Tensor& zv = z->value();
+  const int m = static_cast<int>(sets.size());
+  std::vector<std::vector<float>> probs(m);
   double loss = 0.0;
   for (int e = 0; e < m; ++e) {
     const auto& set = sets[e];
@@ -563,7 +782,7 @@ VarPtr MaskedEdgeSoftmaxCE(const VarPtr& z,
   out.at(0, 0) = static_cast<float>(loss / m);
 
   return MakeNode(
-      std::move(out), {z}, "masked_edge_softmax_ce",
+      std::move(out), {z}, "masked_edge_softmax_ce_naive",
       [sets = std::move(sets), probs = std::move(probs)](Node* self) {
         const auto& in = self->inputs();
         if (!Wants(in[0])) return;
@@ -645,6 +864,138 @@ VarPtr DualContrastiveLoss(const VarPtr& zo, const VarPtr& za,
   UMGAD_CHECK(o.SameShape(a));
   UMGAD_CHECK_EQ(static_cast<size_t>(o.rows()), neg_idx.size());
   const int n = o.rows();
+  std::vector<double> term(n, 0.0);
+  std::vector<float> sig1(n);
+  std::vector<float> sig2(n);
+  // Phase 1 — per-row dot products / log-sum-exp in parallel.
+  ParallelFor(n, kRowGrain, [&](int64_t b, int64_t e) {
+    for (int i = static_cast<int>(b); i < e; ++i) {
+      const int j = neg_idx[i];
+      const double sp = o.RowDot(i, a, i);
+      const double s1 = o.RowDot(i, o, j);
+      const double s2 = o.RowDot(i, a, j);
+      const double mx = std::max(s1, s2);
+      const double lse = mx + std::log(std::exp(s1 - mx) + std::exp(s2 - mx));
+      term[i] = -sp + lse;
+      sig1[i] = static_cast<float>(std::exp(s1 - lse));
+      sig2[i] = static_cast<float>(std::exp(s2 - lse));
+    }
+  });
+  // Phase 2 — scalar sum in row order.
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) loss += term[i];
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(loss / n);
+  VarPtr node = MakeNode(
+      std::move(out), {zo, za}, "dual_contrastive",
+      [neg_idx = std::move(neg_idx), sig1 = std::move(sig1),
+       sig2 = std::move(sig2)](Node* self) {
+        const auto& in = self->inputs();
+        const double gv = self->grad().scalar();
+        const Tensor& o = in[0]->value();
+        const Tensor& a = in[1]->value();
+        const int n = o.rows();
+        const int d = o.cols();
+        const double coef = gv / n;
+        const bool wo = Wants(in[0]);
+        const bool wa = Wants(in[1]);
+        if (!wo && !wa) return;
+        // Negatives are shared (many i can draw the same j), so the serial
+        // scatter cannot be partitioned by i. Ownership trick: each
+        // destination row v receives its own term (i == v) plus one term
+        // per incoming negative (neg_idx[i] == v); bucket the incoming i's
+        // by v (counting sort, stable, so each bucket is ascending in i)
+        // and apply every row's contributions in ascending-i order — the
+        // serial order — with the row owned by one thread.
+        std::vector<int64_t> ptr(n + 1, 0);
+        for (int i = 0; i < n; ++i) ++ptr[neg_idx[i] + 1];
+        for (int v = 0; v < n; ++v) ptr[v + 1] += ptr[v];
+        std::vector<int> inc(n);
+        {
+          std::vector<int64_t> fill(ptr.begin(), ptr.end() - 1);
+          for (int i = 0; i < n; ++i) inc[fill[neg_idx[i]]++] = i;
+        }
+        if (wo) {
+          Tensor& dzo = in[0]->grad();
+          ParallelFor(n, kRowGrain, [&](int64_t r0, int64_t r1) {
+            for (int v = static_cast<int>(r0); v < r1; ++v) {
+              float* dv = dzo.row(v);
+              int64_t p = ptr[v];
+              const int64_t end = ptr[v + 1];
+              // Incoming negatives with i < v land before row v's own
+              // term, the rest after. A self-negative (neg_idx[v] == v,
+              // excluded by the samplers but harmless) ties at i == v and
+              // lands after the own term — the serial doi-before-doj order.
+              for (; p < end && inc[p] < v; ++p) {
+                const int i = inc[p];
+                const float* oi = o.row(i);
+                for (int k = 0; k < d; ++k) {
+                  dv[k] += static_cast<float>(coef * sig1[i] * oi[k]);
+                }
+              }
+              {
+                const int j = neg_idx[v];
+                const float* av = a.row(v);
+                const float* oj = o.row(j);
+                const float* aj = a.row(j);
+                for (int k = 0; k < d; ++k) {
+                  dv[k] += static_cast<float>(
+                      coef * (-av[k] + sig1[v] * oj[k] + sig2[v] * aj[k]));
+                }
+              }
+              for (; p < end; ++p) {
+                const int i = inc[p];
+                const float* oi = o.row(i);
+                for (int k = 0; k < d; ++k) {
+                  dv[k] += static_cast<float>(coef * sig1[i] * oi[k]);
+                }
+              }
+            }
+          });
+        }
+        if (wa) {
+          Tensor& dza = in[1]->grad();
+          ParallelFor(n, kRowGrain, [&](int64_t r0, int64_t r1) {
+            for (int v = static_cast<int>(r0); v < r1; ++v) {
+              float* dv = dza.row(v);
+              int64_t p = ptr[v];
+              const int64_t end = ptr[v + 1];
+              for (; p < end && inc[p] < v; ++p) {
+                const int i = inc[p];
+                const float* oi = o.row(i);
+                for (int k = 0; k < d; ++k) {
+                  dv[k] += static_cast<float>(coef * sig2[i] * oi[k]);
+                }
+              }
+              {
+                const float* ov = o.row(v);
+                for (int k = 0; k < d; ++k) {
+                  dv[k] += static_cast<float>(-coef * ov[k]);
+                }
+              }
+              for (; p < end; ++p) {
+                const int i = inc[p];
+                const float* oi = o.row(i);
+                for (int k = 0; k < d; ++k) {
+                  dv[k] += static_cast<float>(coef * sig2[i] * oi[k]);
+                }
+              }
+            }
+          });
+        }
+      });
+  node->set_wide_backward(true);
+  return node;
+}
+
+VarPtr DualContrastiveLossNaive(const VarPtr& zo, const VarPtr& za,
+                                std::vector<int> neg_idx) {
+  // The seed's serial loops, kept as the differential oracle.
+  const Tensor& o = zo->value();
+  const Tensor& a = za->value();
+  UMGAD_CHECK(o.SameShape(a));
+  UMGAD_CHECK_EQ(static_cast<size_t>(o.rows()), neg_idx.size());
+  const int n = o.rows();
   double loss = 0.0;
   std::vector<float> sig1(n);
   std::vector<float> sig2(n);
@@ -662,7 +1013,7 @@ VarPtr DualContrastiveLoss(const VarPtr& zo, const VarPtr& za,
   Tensor out(1, 1);
   out.at(0, 0) = static_cast<float>(loss / n);
   return MakeNode(
-      std::move(out), {zo, za}, "dual_contrastive",
+      std::move(out), {zo, za}, "dual_contrastive_naive",
       [neg_idx = std::move(neg_idx), sig1 = std::move(sig1),
        sig2 = std::move(sig2)](Node* self) {
         const auto& in = self->inputs();
@@ -705,24 +1056,20 @@ VarPtr DualContrastiveLoss(const VarPtr& zo, const VarPtr& za,
 // Graph attention
 // ---------------------------------------------------------------------------
 
-VarPtr GatAttention(const VarPtr& h, const VarPtr& a_src, const VarPtr& a_dst,
-                    std::shared_ptr<const SparseMatrix> adj, float slope) {
-  UMGAD_CHECK(adj != nullptr);
-  const Tensor& hv = h->value();
-  const int n = hv.rows();
-  const int d = hv.cols();
-  UMGAD_CHECK_EQ(adj->rows(), n);
-  UMGAD_CHECK_EQ(a_src->value().cols(), d);
-  UMGAD_CHECK_EQ(a_dst->value().cols(), d);
+void EdgeSoftmaxForward(const SparseMatrix& adj, float slope, const Tensor& h,
+                        const Tensor& a_src, const Tensor& a_dst, Tensor* out,
+                        std::vector<float>* alpha, std::vector<char>* pos) {
+  const int n = h.rows();
+  const int d = h.cols();
 
   // Per-node projections s_i = <a_src, h_i>, t_i = <a_dst, h_i>.
   std::vector<double> s(n, 0.0);
   std::vector<double> t(n, 0.0);
-  const float* asv = a_src->value().data();
-  const float* adv = a_dst->value().data();
+  const float* asv = a_src.data();
+  const float* adv = a_dst.data();
   ParallelFor(n, kRowGrain, [&](int64_t r0, int64_t r1) {
     for (int i = static_cast<int>(r0); i < r1; ++i) {
-      const float* hr = hv.row(i);
+      const float* hr = h.row(i);
       double ss = 0.0;
       double tt = 0.0;
       for (int j = 0; j < d; ++j) {
@@ -734,11 +1081,13 @@ VarPtr GatAttention(const VarPtr& h, const VarPtr& a_src, const VarPtr& a_dst,
     }
   });
 
-  const auto& row_ptr = adj->row_ptr();
-  const auto& cols = adj->col_idx();
-  std::vector<float> alpha(adj->nnz(), 0.0f);
-  std::vector<char> pos(adj->nnz(), 0);  // pre-activation sign per edge
-  Tensor out(n, d);
+  const auto& row_ptr = adj.row_ptr();
+  const auto& cols = adj.col_idx();
+  alpha->assign(adj.nnz(), 0.0f);
+  pos->assign(adj.nnz(), 0);  // pre-activation sign per edge
+  *out = Tensor(n, d);
+  std::vector<float>& al = *alpha;
+  std::vector<char>& sg = *pos;
   // Row-partitioned: node i owns its edge slice [row_ptr[i], row_ptr[i+1])
   // of alpha/pos and its output row, so the parallel sweep is race-free and
   // thread-count invariant.
@@ -750,105 +1099,348 @@ VarPtr GatAttention(const VarPtr& h, const VarPtr& a_src, const VarPtr& a_dst,
       double mx = -1e300;
       for (int64_t k = begin; k < end; ++k) {
         const double zraw = s[i] + t[cols[k]];
-        pos[k] = zraw > 0.0 ? 1 : 0;
+        sg[k] = zraw > 0.0 ? 1 : 0;
         const double e = zraw > 0.0 ? zraw : slope * zraw;
-        alpha[k] = static_cast<float>(e);
+        al[k] = static_cast<float>(e);
         mx = std::max(mx, e);
       }
       double denom = 0.0;
       for (int64_t k = begin; k < end; ++k) {
-        alpha[k] = static_cast<float>(std::exp(alpha[k] - mx));
-        denom += alpha[k];
+        al[k] = static_cast<float>(std::exp(al[k] - mx));
+        denom += al[k];
       }
-      float* orow = out.row(i);
+      float* orow = out->row(i);
       for (int64_t k = begin; k < end; ++k) {
-        alpha[k] = static_cast<float>(alpha[k] / denom);
-        const float* hj = hv.row(cols[k]);
-        for (int j = 0; j < d; ++j) orow[j] += alpha[k] * hj[j];
+        al[k] = static_cast<float>(al[k] / denom);
+        const float* hj = h.row(cols[k]);
+        for (int j = 0; j < d; ++j) orow[j] += al[k] * hj[j];
       }
     }
   });
+}
 
-  return MakeNode(
-      std::move(out), {h, a_src, a_dst}, "gat_attention",
-      [adj, slope, alpha = std::move(alpha),
+void EdgeSoftmaxForwardNaive(const SparseMatrix& adj, float slope,
+                             const Tensor& h, const Tensor& a_src,
+                             const Tensor& a_dst, Tensor* out,
+                             std::vector<float>* alpha,
+                             std::vector<char>* pos) {
+  const int n = h.rows();
+  const int d = h.cols();
+  std::vector<double> s(n, 0.0);
+  std::vector<double> t(n, 0.0);
+  const float* asv = a_src.data();
+  const float* adv = a_dst.data();
+  for (int i = 0; i < n; ++i) {
+    const float* hr = h.row(i);
+    double ss = 0.0;
+    double tt = 0.0;
+    for (int j = 0; j < d; ++j) {
+      ss += static_cast<double>(asv[j]) * hr[j];
+      tt += static_cast<double>(adv[j]) * hr[j];
+    }
+    s[i] = ss;
+    t[i] = tt;
+  }
+
+  const auto& row_ptr = adj.row_ptr();
+  const auto& cols = adj.col_idx();
+  alpha->assign(adj.nnz(), 0.0f);
+  pos->assign(adj.nnz(), 0);
+  *out = Tensor(n, d);
+  std::vector<float>& al = *alpha;
+  std::vector<char>& sg = *pos;
+  for (int i = 0; i < n; ++i) {
+    const int64_t begin = row_ptr[i];
+    const int64_t end = row_ptr[i + 1];
+    if (begin == end) continue;
+    double mx = -1e300;
+    for (int64_t k = begin; k < end; ++k) {
+      const double zraw = s[i] + t[cols[k]];
+      sg[k] = zraw > 0.0 ? 1 : 0;
+      const double e = zraw > 0.0 ? zraw : slope * zraw;
+      al[k] = static_cast<float>(e);
+      mx = std::max(mx, e);
+    }
+    double denom = 0.0;
+    for (int64_t k = begin; k < end; ++k) {
+      al[k] = static_cast<float>(std::exp(al[k] - mx));
+      denom += al[k];
+    }
+    float* orow = out->row(i);
+    for (int64_t k = begin; k < end; ++k) {
+      al[k] = static_cast<float>(al[k] / denom);
+      const float* hj = h.row(cols[k]);
+      for (int j = 0; j < d; ++j) orow[j] += al[k] * hj[j];
+    }
+  }
+}
+
+void EdgeSoftmaxBackward(const SparseMatrix& adj, float slope,
+                         const std::vector<float>& alpha,
+                         const std::vector<char>& pos,
+                         const EdgeSoftmaxGrads& io) {
+  const Tensor& g = *io.g;
+  const Tensor& hv = *io.h;
+  const int n = hv.rows();
+  const int d = hv.cols();
+  const auto& row_ptr = adj.row_ptr();
+  const auto& cols = adj.col_idx();
+  const bool wh = io.dh != nullptr;
+
+  std::vector<double> ds(n, 0.0);
+  std::vector<double> dt(n, 0.0);
+  std::vector<double> dz(static_cast<size_t>(adj.nnz()), 0.0);
+
+  // Phase 1 — per-edge pre-activation gradients, owned by the source row
+  // (node i owns its edge slice of dz, plus ds[i]). Arithmetic per edge is
+  // the serial loop's, including the ascending-k `weighted` and ds sums.
+  ParallelFor(n, kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int i = static_cast<int>(r0); i < r1; ++i) {
+      const int64_t begin = row_ptr[i];
+      const int64_t end = row_ptr[i + 1];
+      if (begin == end) continue;
+      const float* grow = g.row(i);
+      // dalpha_k = <g_i, h_{j_k}>, then softmax backward.
+      double weighted = 0.0;
+      for (int64_t k = begin; k < end; ++k) {
+        const float* hj = hv.row(cols[k]);
+        double acc = 0.0;
+        for (int j = 0; j < d; ++j) {
+          acc += static_cast<double>(grow[j]) * hj[j];
+        }
+        dz[k] = acc;
+        weighted += alpha[k] * acc;
+      }
+      double dsi = 0.0;
+      for (int64_t k = begin; k < end; ++k) {
+        const double de = alpha[k] * (dz[k] - weighted);
+        const double z = pos[k] ? de : slope * de;
+        dz[k] = z;
+        dsi += z;
+      }
+      ds[i] = dsi;
+    }
+  });
+
+  // Phase 2 — the dt / dh scatter, partitioned by *destination* node via
+  // the cached incoming-edge index: every dt[v] / dh row v is written by
+  // exactly one thread, and its contributions apply in ascending CSR
+  // position — the order the serial all-rows scatter touches node v — so
+  // the floats match the naive loop bit-for-bit.
+  const std::shared_ptr<const SparseMatrix::IncomingIndex> inc =
+      adj.incoming_index();
+  ParallelFor(n, kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int v = static_cast<int>(r0); v < r1; ++v) {
+      const int64_t begin = inc->node_ptr[v];
+      const int64_t end = inc->node_ptr[v + 1];
+      double acc = 0.0;
+      float* dhv = wh ? io.dh->row(v) : nullptr;
+      for (int64_t p = begin; p < end; ++p) {
+        const int64_t k = inc->edge[p];
+        acc += dz[k];
+        if (wh) {
+          // Aggregation term: dH_v += alpha * g_i for each incoming i.
+          const float* grow = g.row(inc->src[p]);
+          for (int j = 0; j < d; ++j) {
+            dhv[j] += alpha[k] * grow[j];
+          }
+        }
+      }
+      dt[v] = acc;
+    }
+  });
+
+  const float* asv = io.a_src->data();
+  const float* adv = io.a_dst->data();
+  // Phase 3 — per-row a_src/a_dst terms into dh (row-owned).
+  if (wh) {
+    Tensor& dh = *io.dh;
+    ParallelFor(n, kRowGrain, [&](int64_t r0, int64_t r1) {
+      for (int i = static_cast<int>(r0); i < r1; ++i) {
+        float* dhr = dh.row(i);
+        for (int j = 0; j < d; ++j) {
+          dhr[j] += static_cast<float>(ds[i] * asv[j] + dt[i] * adv[j]);
+        }
+      }
+    });
+  }
+  // Phase 4 — the 1 x d attention-vector reductions stay serial: they
+  // accumulate across *all* rows into one output row, and any chunked
+  // combine would change the float summation order away from the oracle's.
+  if (io.da_src != nullptr) {
+    float* das = io.da_src->data();
+    for (int i = 0; i < n; ++i) {
+      if (ds[i] == 0.0) continue;
+      const float* hr = hv.row(i);
+      for (int j = 0; j < d; ++j) {
+        das[j] += static_cast<float>(ds[i] * hr[j]);
+      }
+    }
+  }
+  if (io.da_dst != nullptr) {
+    float* dad = io.da_dst->data();
+    for (int i = 0; i < n; ++i) {
+      if (dt[i] == 0.0) continue;
+      const float* hr = hv.row(i);
+      for (int j = 0; j < d; ++j) {
+        dad[j] += static_cast<float>(dt[i] * hr[j]);
+      }
+    }
+  }
+}
+
+void EdgeSoftmaxBackwardNaive(const SparseMatrix& adj, float slope,
+                              const std::vector<float>& alpha,
+                              const std::vector<char>& pos,
+                              const EdgeSoftmaxGrads& io) {
+  // The seed's serial scatter, kept as the differential oracle.
+  const Tensor& g = *io.g;
+  const Tensor& hv = *io.h;
+  const int n = hv.rows();
+  const int d = hv.cols();
+  const auto& row_ptr = adj.row_ptr();
+  const auto& cols = adj.col_idx();
+
+  std::vector<double> ds(n, 0.0);
+  std::vector<double> dt(n, 0.0);
+  const bool wh = io.dh != nullptr;
+
+  for (int i = 0; i < n; ++i) {
+    const int64_t begin = row_ptr[i];
+    const int64_t end = row_ptr[i + 1];
+    if (begin == end) continue;
+    const float* grow = g.row(i);
+    // dalpha_k = <g_i, h_{j_k}>, then softmax backward.
+    double weighted = 0.0;
+    std::vector<double> dalpha(end - begin);
+    for (int64_t k = begin; k < end; ++k) {
+      const float* hj = hv.row(cols[k]);
+      double acc = 0.0;
+      for (int j = 0; j < d; ++j) {
+        acc += static_cast<double>(grow[j]) * hj[j];
+      }
+      dalpha[k - begin] = acc;
+      weighted += alpha[k] * acc;
+    }
+    for (int64_t k = begin; k < end; ++k) {
+      const double de = alpha[k] * (dalpha[k - begin] - weighted);
+      const double dzk = pos[k] ? de : slope * de;
+      ds[i] += dzk;
+      dt[cols[k]] += dzk;
+      if (wh) {
+        // Aggregation term: dH_j += alpha * g_i.
+        float* dhj = io.dh->row(cols[k]);
+        for (int j = 0; j < d; ++j) {
+          dhj[j] += alpha[k] * grow[j];
+        }
+      }
+    }
+  }
+
+  const float* asv = io.a_src->data();
+  const float* adv = io.a_dst->data();
+  if (wh) {
+    Tensor& dh = *io.dh;
+    for (int i = 0; i < n; ++i) {
+      float* dhr = dh.row(i);
+      for (int j = 0; j < d; ++j) {
+        dhr[j] += static_cast<float>(ds[i] * asv[j] + dt[i] * adv[j]);
+      }
+    }
+  }
+  if (io.da_src != nullptr) {
+    float* das = io.da_src->data();
+    for (int i = 0; i < n; ++i) {
+      if (ds[i] == 0.0) continue;
+      const float* hr = hv.row(i);
+      for (int j = 0; j < d; ++j) {
+        das[j] += static_cast<float>(ds[i] * hr[j]);
+      }
+    }
+  }
+  if (io.da_dst != nullptr) {
+    float* dad = io.da_dst->data();
+    for (int i = 0; i < n; ++i) {
+      if (dt[i] == 0.0) continue;
+      const float* hr = hv.row(i);
+      for (int j = 0; j < d; ++j) {
+        dad[j] += static_cast<float>(dt[i] * hr[j]);
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Shared body of GatAttention / GatAttentionNaive: forward kernel + tape
+/// node whose closure routes to the matching backward kernel.
+VarPtr MakeGatAttention(const VarPtr& h, const VarPtr& a_src,
+                        const VarPtr& a_dst,
+                        std::shared_ptr<const SparseMatrix> adj, float slope,
+                        bool naive) {
+  UMGAD_CHECK(adj != nullptr);
+  const Tensor& hv = h->value();
+  const int n = hv.rows();
+  const int d = hv.cols();
+  UMGAD_CHECK_EQ(adj->rows(), n);
+  UMGAD_CHECK_EQ(a_src->value().cols(), d);
+  UMGAD_CHECK_EQ(a_dst->value().cols(), d);
+
+  Tensor out;
+  std::vector<float> alpha;
+  std::vector<char> pos;
+  if (naive) {
+    EdgeSoftmaxForwardNaive(*adj, slope, hv, a_src->value(), a_dst->value(),
+                            &out, &alpha, &pos);
+  } else {
+    EdgeSoftmaxForward(*adj, slope, hv, a_src->value(), a_dst->value(), &out,
+                       &alpha, &pos);
+    if (h->requires_grad() || a_src->requires_grad() ||
+        a_dst->requires_grad()) {
+      // Build the ownership index during forward (often already inside the
+      // K x R fan-out) rather than lazily inside the first backward batch.
+      adj->EnsureIncomingIndex();
+    }
+  }
+
+  VarPtr node = MakeNode(
+      std::move(out), {h, a_src, a_dst},
+      naive ? "gat_attention_naive" : "gat_attention",
+      [adj, slope, naive, alpha = std::move(alpha),
        pos = std::move(pos)](Node* self) {
         const auto& in = self->inputs();
-        const Tensor& g = self->grad();
-        const Tensor& hv = in[0]->value();
-        const int n = hv.rows();
-        const int d = hv.cols();
-        const auto& row_ptr = adj->row_ptr();
-        const auto& cols = adj->col_idx();
-
-        std::vector<double> ds(n, 0.0);
-        std::vector<double> dt(n, 0.0);
-        const bool wh = Wants(in[0]);
-
-        for (int i = 0; i < n; ++i) {
-          const int64_t begin = row_ptr[i];
-          const int64_t end = row_ptr[i + 1];
-          if (begin == end) continue;
-          const float* grow = g.row(i);
-          // dalpha_k = <g_i, h_{j_k}>, then softmax backward.
-          double weighted = 0.0;
-          std::vector<double> dalpha(end - begin);
-          for (int64_t k = begin; k < end; ++k) {
-            const float* hj = hv.row(cols[k]);
-            double acc = 0.0;
-            for (int j = 0; j < d; ++j) {
-              acc += static_cast<double>(grow[j]) * hj[j];
-            }
-            dalpha[k - begin] = acc;
-            weighted += alpha[k] * acc;
-          }
-          for (int64_t k = begin; k < end; ++k) {
-            const double de = alpha[k] * (dalpha[k - begin] - weighted);
-            const double dz = pos[k] ? de : slope * de;
-            ds[i] += dz;
-            dt[cols[k]] += dz;
-            if (wh) {
-              // Aggregation term: dH_j += alpha * g_i.
-              float* dhj = in[0]->grad().row(cols[k]);
-              for (int j = 0; j < d; ++j) {
-                dhj[j] += alpha[k] * grow[j];
-              }
-            }
-          }
-        }
-
-        const float* asv = in[1]->value().data();
-        const float* adv = in[2]->value().data();
-        if (wh) {
-          Tensor& dh = in[0]->grad();
-          for (int i = 0; i < n; ++i) {
-            float* dhr = dh.row(i);
-            for (int j = 0; j < d; ++j) {
-              dhr[j] += static_cast<float>(ds[i] * asv[j] + dt[i] * adv[j]);
-            }
-          }
-        }
-        if (Wants(in[1])) {
-          float* das = in[1]->grad().data();
-          for (int i = 0; i < n; ++i) {
-            if (ds[i] == 0.0) continue;
-            const float* hr = hv.row(i);
-            for (int j = 0; j < d; ++j) {
-              das[j] += static_cast<float>(ds[i] * hr[j]);
-            }
-          }
-        }
-        if (Wants(in[2])) {
-          float* dad = in[2]->grad().data();
-          for (int i = 0; i < n; ++i) {
-            if (dt[i] == 0.0) continue;
-            const float* hr = hv.row(i);
-            for (int j = 0; j < d; ++j) {
-              dad[j] += static_cast<float>(dt[i] * hr[j]);
-            }
-          }
+        EdgeSoftmaxGrads io;
+        io.g = &self->grad();
+        io.h = &in[0]->value();
+        io.a_src = &in[1]->value();
+        io.a_dst = &in[2]->value();
+        if (Wants(in[0])) io.dh = &in[0]->grad();
+        if (Wants(in[1])) io.da_src = &in[1]->grad();
+        if (Wants(in[2])) io.da_dst = &in[2]->grad();
+        if (naive) {
+          EdgeSoftmaxBackwardNaive(*adj, slope, alpha, pos, io);
+        } else {
+          EdgeSoftmaxBackward(*adj, slope, alpha, pos, io);
         }
       });
+  node->set_wide_backward(!naive);
+  return node;
+}
+
+}  // namespace
+
+VarPtr GatAttention(const VarPtr& h, const VarPtr& a_src, const VarPtr& a_dst,
+                    std::shared_ptr<const SparseMatrix> adj, float slope) {
+  return MakeGatAttention(h, a_src, a_dst, std::move(adj), slope,
+                          /*naive=*/false);
+}
+
+VarPtr GatAttentionNaive(const VarPtr& h, const VarPtr& a_src,
+                         const VarPtr& a_dst,
+                         std::shared_ptr<const SparseMatrix> adj,
+                         float slope) {
+  return MakeGatAttention(h, a_src, a_dst, std::move(adj), slope,
+                          /*naive=*/true);
 }
 
 }  // namespace ag

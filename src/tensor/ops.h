@@ -76,8 +76,18 @@ VarPtr Mean(const VarPtr& a);
 /// Scaled cosine reconstruction error over a row subset (Eq. 4 / Eq. 13):
 ///   L = (1/|idx|) * sum_{i in idx} (1 - cos(recon_i, target_i))^eta.
 /// `target` carries no gradient.
+///
+/// Forward and backward are row-partitioned over the pool (per-row terms in
+/// parallel, the scalar sum serial in index order), bit-identical to the
+/// kept-serial ScaledCosineLossNaive for any UMGAD_THREADS. When `idx`
+/// contains duplicate rows the backward falls back to the serial scatter.
 VarPtr ScaledCosineLoss(const VarPtr& recon, const Tensor& target,
                         std::vector<int> idx, float eta);
+
+/// The seed's fully serial forward+backward loops, kept as the
+/// differential-testing oracle (tests/oracle_harness.h).
+VarPtr ScaledCosineLossNaive(const VarPtr& recon, const Tensor& target,
+                             std::vector<int> idx, float eta);
 
 /// Mean squared error over all entries (or a row subset if idx not empty).
 VarPtr MseLoss(const VarPtr& recon, const Tensor& target,
@@ -92,8 +102,19 @@ struct EdgeCandidateSet {
 
 /// Masked-edge reconstruction loss (Eq. 7): mean over sets of
 ///   -log softmax_c(z_src . z_cand)[0].
+///
+/// Forward fans the per-set softmaxes out across the pool; backward uses
+/// the two-phase ownership trick — per-(set, candidate) coefficients from
+/// the saved probabilities, then a scatter partitioned by *destination*
+/// row of dz (sources and candidates alias freely across sets), with each
+/// row's contributions applied in the serial loop's (set, candidate)
+/// order. Bit-identical to MaskedEdgeSoftmaxCENaive for any UMGAD_THREADS.
 VarPtr MaskedEdgeSoftmaxCE(const VarPtr& z,
                            std::vector<EdgeCandidateSet> sets);
+
+/// Kept-serial oracle of MaskedEdgeSoftmaxCE.
+VarPtr MaskedEdgeSoftmaxCENaive(const VarPtr& z,
+                                std::vector<EdgeCandidateSet> sets);
 
 /// Pairwise dot-product BCE: mean_i BCE(sigmoid(a_i . b_i), labels_i).
 /// The discriminator loss used by the contrastive baselines.
@@ -104,8 +125,17 @@ VarPtr PairDotBceLoss(const VarPtr& a, const VarPtr& b,
 /// augmented-view rows `za`, with per-node negatives `neg_idx`:
 ///   L = mean_i [ -zo_i . za_i + log(e^{zo_i . zo_j} + e^{zo_i . za_j}) ],
 /// j = neg_idx[i]. Inputs should be row-normalised for numeric stability.
+///
+/// Forward is row-parallel (serial sum of per-row terms); backward
+/// partitions by destination row, merging each row's own (i == v) and
+/// incoming-negative (neg_idx[i] == v) contributions in ascending-i order
+/// — the serial order. Bit-identical to DualContrastiveLossNaive.
 VarPtr DualContrastiveLoss(const VarPtr& zo, const VarPtr& za,
                            std::vector<int> neg_idx);
+
+/// Kept-serial oracle of DualContrastiveLoss.
+VarPtr DualContrastiveLossNaive(const VarPtr& zo, const VarPtr& za,
+                                std::vector<int> neg_idx);
 
 // ---------------------------------------------------------------------------
 // Graph attention
@@ -117,9 +147,60 @@ VarPtr DualContrastiveLoss(const VarPtr& zo, const VarPtr& za,
 ///   alpha  = softmax_j(e_ij),
 ///   out_i  = sum_j alpha_ij h_j.
 /// The adjacency must contain self-loops if self-attention is desired (the
-/// callers add them). Backward differentiates through the edge softmax.
+/// callers add them). Backward differentiates through the edge softmax via
+/// EdgeSoftmaxBackward (parallel; bit-identical to GatAttentionNaive).
 VarPtr GatAttention(const VarPtr& h, const VarPtr& a_src, const VarPtr& a_dst,
                     std::shared_ptr<const SparseMatrix> adj, float slope);
+
+/// Kept-serial oracle of GatAttention: serial forward loops and
+/// EdgeSoftmaxBackwardNaive in the closure.
+VarPtr GatAttentionNaive(const VarPtr& h, const VarPtr& a_src,
+                         const VarPtr& a_dst,
+                         std::shared_ptr<const SparseMatrix> adj,
+                         float slope);
+
+// --- Raw edge-softmax kernels (exposed for tests and benches) ---
+
+/// Gradient inputs/accumulators of the edge-softmax backward. Non-null
+/// accumulator pointers are += targets, matching the tape closure's
+/// accumulate-into-grad semantics.
+struct EdgeSoftmaxGrads {
+  const Tensor* g = nullptr;      // upstream gradient, n x d
+  const Tensor* h = nullptr;      // forward features, n x d
+  const Tensor* a_src = nullptr;  // 1 x d
+  const Tensor* a_dst = nullptr;  // 1 x d
+  Tensor* dh = nullptr;
+  Tensor* da_src = nullptr;
+  Tensor* da_dst = nullptr;
+};
+
+/// The GAT attention forward kernel: fills `out` (n x d, overwritten) and
+/// the per-edge softmax state (`alpha` weights, `pos` pre-activation
+/// signs) consumed by the backward. Row-parallel; the *Naive variant is
+/// the same arithmetic in plain serial loops.
+void EdgeSoftmaxForward(const SparseMatrix& adj, float slope, const Tensor& h,
+                        const Tensor& a_src, const Tensor& a_dst, Tensor* out,
+                        std::vector<float>* alpha, std::vector<char>* pos);
+void EdgeSoftmaxForwardNaive(const SparseMatrix& adj, float slope,
+                             const Tensor& h, const Tensor& a_src,
+                             const Tensor& a_dst, Tensor* out,
+                             std::vector<float>* alpha,
+                             std::vector<char>* pos);
+
+/// Edge-softmax backward. The parallel kernel runs in three row-partitioned
+/// phases — per-edge softmax gradients by source row, the dh/dt scatter by
+/// *destination* node via the adjacency's cached incoming-edge index
+/// (SparseMatrix::incoming_index()), then the per-row a_src/a_dst terms —
+/// and is bit-identical to the kept-serial scatter loop
+/// (EdgeSoftmaxBackwardNaive) for any UMGAD_THREADS.
+void EdgeSoftmaxBackward(const SparseMatrix& adj, float slope,
+                         const std::vector<float>& alpha,
+                         const std::vector<char>& pos,
+                         const EdgeSoftmaxGrads& io);
+void EdgeSoftmaxBackwardNaive(const SparseMatrix& adj, float slope,
+                              const std::vector<float>& alpha,
+                              const std::vector<char>& pos,
+                              const EdgeSoftmaxGrads& io);
 
 }  // namespace ag
 }  // namespace umgad

@@ -175,6 +175,41 @@ void SparseMatrix::EnsureTransposedIndex() const {
                                           std::move(t)));
 }
 
+void SparseMatrix::EnsureIncomingIndex() const {
+  // Same lock-free publication scheme as EnsureTransposedIndex(). The
+  // counting-sort over ascending rows keeps each node's incoming bucket in
+  // ascending source-row order — equivalently ascending CSR position, the
+  // order a serial all-rows sweep scatters into that node.
+  if (std::atomic_load_explicit(&incoming_, std::memory_order_acquire)) {
+    return;
+  }
+  auto t = std::make_shared<IncomingIndex>();
+  t->node_ptr.assign(cols_ + 1, 0);
+  const int64_t nz = nnz();
+  for (int64_t k = 0; k < nz; ++k) t->node_ptr[col_idx_[k] + 1] += 1;
+  for (int c = 0; c < cols_; ++c) t->node_ptr[c + 1] += t->node_ptr[c];
+  t->src.resize(nz);
+  t->edge.resize(nz);
+  std::vector<int64_t> fill(t->node_ptr.begin(), t->node_ptr.end() - 1);
+  for (int i = 0; i < rows_; ++i) {
+    for (int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const int64_t dst = fill[col_idx_[k]]++;
+      t->src[dst] = i;
+      t->edge[dst] = k;
+    }
+  }
+  std::shared_ptr<const IncomingIndex> expected;
+  std::atomic_compare_exchange_strong(
+      &incoming_, &expected,
+      std::shared_ptr<const IncomingIndex>(std::move(t)));
+}
+
+std::shared_ptr<const SparseMatrix::IncomingIndex>
+SparseMatrix::incoming_index() const {
+  EnsureIncomingIndex();
+  return std::atomic_load_explicit(&incoming_, std::memory_order_acquire);
+}
+
 Tensor SparseMatrix::MultiplyTransposed(const Tensor& x) const {
   UMGAD_CHECK_EQ(rows_, x.rows());
   EnsureTransposedIndex();

@@ -83,6 +83,31 @@ class SparseMatrix {
   /// the build, the first publication wins).
   void EnsureTransposedIndex() const;
 
+  /// Per-node incoming-edge index: for each node j, the stored entries
+  /// (i -> j) in ascending source-row order, with each entry's position in
+  /// the CSR arrays (`col_idx()`/`values()` order). Because the CSR itself
+  /// is sorted by (row, col), ascending source order per node is exactly
+  /// ascending CSR position — the order in which a serial sweep over all
+  /// rows touches that node.
+  ///
+  /// This is the write-ownership map for backward kernels whose serial form
+  /// scatters into per-destination rows (the GAT edge-softmax backward in
+  /// tensor/ops.cc): partitioning by destination node makes every write
+  /// exclusive to one thread while the ascending-source order reproduces
+  /// the serial accumulation bit-for-bit.
+  struct IncomingIndex {
+    std::vector<int64_t> node_ptr;  // size cols() + 1
+    std::vector<int> src;           // size nnz: source row per incoming edge
+    std::vector<int64_t> edge;      // size nnz: CSR position of the edge
+  };
+
+  /// Build the cached incoming-edge index now (same lazy/concurrent
+  /// publication contract as EnsureTransposedIndex()).
+  void EnsureIncomingIndex() const;
+
+  /// The incoming-edge index, building it on first use.
+  std::shared_ptr<const IncomingIndex> incoming_index() const;
+
   /// Row sums (weighted degrees) as a length-m vector.
   std::vector<double> RowSums() const;
 
@@ -111,6 +136,7 @@ class SparseMatrix {
       col_idx_ = o.col_idx_;
       values_ = o.values_;
       transposed_.reset();
+      incoming_.reset();
     }
     return *this;
   }
@@ -131,12 +157,13 @@ class SparseMatrix {
   std::vector<int64_t> row_ptr_;
   std::vector<int> col_idx_;
   std::vector<float> values_;
-  // Mutable cache: logically const (derived from the CSR arrays, which are
+  // Mutable caches: logically const (derived from the CSR arrays, which are
   // immutable after construction). Concurrent lazy builds use the
   // shared_ptr atomic free functions (acquire load + CAS publication);
   // mutation (assignment) must not race with use, like the CSR arrays
   // themselves.
   mutable std::shared_ptr<const TransposedIndex> transposed_;
+  mutable std::shared_ptr<const IncomingIndex> incoming_;
 };
 
 }  // namespace umgad

@@ -1,0 +1,68 @@
+#ifndef UMGAD_TESTS_GOLDEN_SCORES_COMMON_H_
+#define UMGAD_TESTS_GOLDEN_SCORES_COMMON_H_
+
+// Shared setup of the golden-score regression fixture: one deterministic
+// graph + config, scored by UMGAD (GAT encoder — the edge-softmax backward
+// path) and the AnomMAN baseline. The generator
+// (tests/golden_scores_gen.cc) serialises the first kGoldenScoreCount
+// scores of each as raw double bit patterns into
+// tests/golden_scores_fixture.h; golden_scores_test.cc asserts
+// bit-equality against them across thread counts and arena modes. Change
+// anything here and the fixture must be regenerated:
+//
+//   cmake --build build --target golden_scores_gen
+//   ./build/tests/golden_scores_gen > tests/golden_scores_fixture.h
+
+#include <memory>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "common/check.h"
+#include "core/umgad.h"
+#include "graph/datasets.h"
+
+namespace umgad {
+namespace testing {
+
+inline constexpr uint64_t kGoldenGraphSeed = 123;
+inline constexpr uint64_t kGoldenDetectorSeed = 7;
+inline constexpr int kGoldenScoreCount = 32;  // per detector
+
+inline UmgadConfig GoldenUmgadConfig() {
+  UmgadConfig config;
+  // Small but complete: GAT encoder (default), all three views, both
+  // reconstruction branches, contrastive refinement — every parallel loss
+  // and the edge-softmax backward sit on this path.
+  config.epochs = 8;
+  config.hidden_dim = 16;
+  config.mask_repeats = 2;
+  config.num_subgraphs = 2;
+  config.subgraph_size = 6;
+  config.seed = kGoldenDetectorSeed;
+  return config;
+}
+
+inline std::vector<double> GoldenUmgadScores() {
+  MultiplexGraph graph = MakeTiny(kGoldenGraphSeed);
+  UmgadModel model(GoldenUmgadConfig());
+  UMGAD_CHECK(model.Fit(graph).ok());
+  std::vector<double> scores = model.scores();
+  scores.resize(kGoldenScoreCount);
+  return scores;
+}
+
+inline std::vector<double> GoldenAnomManScores() {
+  MultiplexGraph graph = MakeTiny(kGoldenGraphSeed);
+  Result<std::unique_ptr<Detector>> detector =
+      MakeDetector("AnomMAN", kGoldenDetectorSeed);
+  UMGAD_CHECK(detector.ok());
+  UMGAD_CHECK((*detector)->Fit(graph).ok());
+  std::vector<double> scores = (*detector)->scores();
+  scores.resize(kGoldenScoreCount);
+  return scores;
+}
+
+}  // namespace testing
+}  // namespace umgad
+
+#endif  // UMGAD_TESTS_GOLDEN_SCORES_COMMON_H_

@@ -1,11 +1,16 @@
+#include <cmath>
+#include <functional>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "nn/gat.h"
 #include "nn/gcn.h"
 #include "nn/linear.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "oracle_harness.h"
 #include "tensor/init.h"
 
 namespace umgad {
@@ -206,6 +211,108 @@ TEST(LossTest, ConvexCombineInterpolates) {
   ag::VarPtr a = ag::Constant(Tensor::Full(1, 1, 2.0f));
   ag::VarPtr b = ag::Constant(Tensor::Full(1, 1, 10.0f));
   EXPECT_NEAR(nn::ConvexCombine(a, b, 0.25f)->value().scalar(), 8.0f, 1e-5);
+}
+
+// -------------------- loss-gradient finite differences ---------------------
+// Per-element central-difference checks of the three training losses'
+// row-partitioned tape backward, run at both thread counts. float32
+// arithmetic bounds the achievable agreement, hence the loose tolerances.
+
+using LossBuildFn =
+    std::function<ag::VarPtr(const std::vector<ag::VarPtr>& leaves)>;
+
+void CheckLossGradients(const std::vector<Tensor>& inputs,
+                        const LossBuildFn& build, double eps = 5e-3,
+                        double rel_tol = 5e-2, double abs_tol = 2e-3) {
+  auto eval = [&](const std::vector<Tensor>& xs) -> double {
+    std::vector<ag::VarPtr> ls;
+    ls.reserve(xs.size());
+    for (const Tensor& t : xs) ls.push_back(ag::Leaf(t));
+    return build(ls)->value().scalar();
+  };
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    std::vector<ag::VarPtr> leaves;
+    leaves.reserve(inputs.size());
+    for (const Tensor& t : inputs) leaves.push_back(ag::Leaf(t));
+    ag::VarPtr loss = build(leaves);
+    ASSERT_EQ(loss->value().size(), 1);
+    ag::Backward(loss);
+    for (size_t p = 0; p < inputs.size(); ++p) {
+      for (int64_t i = 0; i < inputs[p].size(); ++i) {
+        std::vector<Tensor> plus = inputs;
+        std::vector<Tensor> minus = inputs;
+        plus[p].data()[i] += static_cast<float>(eps);
+        minus[p].data()[i] -= static_cast<float>(eps);
+        const double numeric = (eval(plus) - eval(minus)) / (2.0 * eps);
+        const double exact = leaves[p]->grad().data()[i];
+        const double err = std::abs(numeric - exact);
+        const double scale = std::max(std::abs(numeric), std::abs(exact));
+        EXPECT_LE(err, abs_tol + rel_tol * scale)
+            << "threads " << threads << " param " << p << " element " << i
+            << ": numeric=" << numeric << " analytic=" << exact;
+      }
+    }
+  }
+  SetNumThreads(1);
+}
+
+TEST(LossGradientTest, ScaledCosineCentralDifferences) {
+  Rng rng(21);
+  Tensor recon = RandomNormal(6, 4, 0, 1, &rng);
+  Tensor target = RandomNormal(6, 4, 0, 1, &rng);
+  CheckLossGradients({recon}, [&](const auto& v) {
+    return ag::ScaledCosineLoss(v[0], target, {0, 2, 3, 5}, 2.0f);
+  });
+}
+
+TEST(LossGradientTest, MaskedEdgeSoftmaxCeCentralDifferences) {
+  Rng rng(22);
+  // Candidate sets built the way training builds them: from masked edges of
+  // a real graph, negatives sampled among non-neighbours.
+  SparseMatrix adj = SparseMatrix::FromEdges(
+      8, {Edge{0, 1}, Edge{2, 3}, Edge{4, 5}, Edge{1, 6}}, true);
+  std::vector<ag::EdgeCandidateSet> sets = nn::BuildEdgeCandidates(
+      {Edge{0, 1}, Edge{2, 3}, Edge{1, 6}}, adj, 3, &rng);
+  Tensor z = RandomNormal(8, 3, 0, 0.5, &rng);
+  CheckLossGradients({z}, [&](const auto& v) {
+    return ag::MaskedEdgeSoftmaxCE(v[0], sets);
+  });
+}
+
+TEST(LossGradientTest, DualContrastiveCentralDifferences) {
+  Rng rng(23);
+  std::vector<int> neg = nn::SampleContrastiveNegatives(5, &rng);
+  Tensor zo = RandomNormal(5, 4, 0, 0.4, &rng);
+  Tensor za = RandomNormal(5, 4, 0, 0.4, &rng);
+  CheckLossGradients({zo, za}, [&](const auto& v) {
+    return ag::DualContrastiveLoss(v[0], v[1], neg);
+  });
+}
+
+// ------------------- GAT layer vs kept-serial oracle -----------------------
+
+TEST(GatTest, ForwardMatchesNaiveOracleBitIdentically) {
+  // Module-level differential: the full layer (projection + parallel
+  // edge-softmax attention + activation) against ForwardNaive, forward and
+  // backward, across thread counts and arena modes.
+  Rng rng(24);
+  auto adj = RingGraph(40);
+  nn::GatConv conv(5, 6, nn::Activation::kElu, &rng);
+  Tensor x = RandomNormal(40, 5, 0, 1, &rng);
+  Tensor probe = RandomNormal(40, 6, 0, 1, &rng);
+  auto run = [&](bool naive) {
+    return [&, naive]() -> umgad::testing::Tensors {
+      ag::VarPtr out = naive ? conv.ForwardNaive(adj, ag::Constant(x))
+                             : conv.Forward(adj, ag::Constant(x));
+      for (const auto& p : conv.Parameters()) p->ZeroGrad();
+      ag::Backward(ag::Sum(ag::Hadamard(out, ag::Constant(probe))));
+      umgad::testing::Tensors result{out->value()};
+      for (const auto& p : conv.Parameters()) result.push_back(p->grad());
+      return result;
+    };
+  };
+  umgad::testing::ExpectBitIdentical("gat_conv", run(false), run(true));
 }
 
 }  // namespace

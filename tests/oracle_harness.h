@@ -1,0 +1,88 @@
+#ifndef UMGAD_TESTS_ORACLE_HARNESS_H_
+#define UMGAD_TESTS_ORACLE_HARNESS_H_
+
+// Differential-oracle harness: every parallel kernel in this repo ships
+// with a kept-serial naive twin (MatMulNaive, MultiplyTransposedNaive,
+// GatAttentionNaive, *LossNaive, ...), and its contract is "same floats,
+// any UMGAD_THREADS, any UMGAD_ARENA mode". This header turns the
+// previously copy-pasted sweep loops into one helper:
+//
+//   ExpectBitIdentical("matmul 129x65x200",
+//                      [&] { return Tensors{MatMul(a, b)}; },
+//                      [&] { return Tensors{MatMulNaive(a, b)}; });
+//
+// The naive callable runs once at 1 thread / arena on to produce the
+// reference; then *both* callables re-run under every thread-count x
+// arena-mode combination and every output tensor is compared against the
+// reference with MaxAbsDiff (== 0 by default; a nonzero `tolerance` is for
+// kernels that document a changed accumulation precision, e.g.
+// MatMulTransB's float vs the naive double).
+//
+// Callables must rebuild their computation from scratch on every
+// invocation: the harness rewinds the global tape before each call, so
+// tape-based kernels (ops that run forward + Backward and return the loss
+// and leaf gradients) get a fresh transient arena each time. Shape sweeps
+// stay with the caller (gtest TEST_P), thread/arena sweeps live here.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "tensor/autograd.h"
+#include "tensor/pool.h"
+#include "tensor/tensor.h"
+
+namespace umgad {
+namespace testing {
+
+/// The sweep grid (and tolerance) ExpectBitIdentical runs.
+struct OracleSweep {
+  std::vector<int> thread_counts = {1, 4};
+  std::vector<bool> arena_modes = {true, false};
+  /// MaxAbsDiff bound per output tensor; 0 = bit-identical.
+  double tolerance = 0.0;
+};
+
+using Tensors = std::vector<Tensor>;
+using TensorsFn = std::function<Tensors()>;
+
+inline void ExpectBitIdentical(const std::string& label,
+                               const TensorsFn& kernel, const TensorsFn& naive,
+                               const OracleSweep& sweep = {}) {
+  const bool prev_arena = ArenaEnabled();
+  SetNumThreads(1);
+  SetArenaEnabled(true);
+  ag::Tape::Global().Reset();
+  const Tensors reference = naive();
+  ASSERT_FALSE(reference.empty()) << label << ": oracle produced no outputs";
+
+  for (bool arena : sweep.arena_modes) {
+    for (int threads : sweep.thread_counts) {
+      SetArenaEnabled(arena);
+      SetNumThreads(threads);
+      for (int variant = 0; variant < 2; ++variant) {
+        ag::Tape::Global().Reset();
+        const Tensors got = variant == 0 ? kernel() : naive();
+        ASSERT_EQ(got.size(), reference.size())
+            << label << ": output-count mismatch";
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_LE(MaxAbsDiff(got[i], reference[i]), sweep.tolerance)
+              << label << " [" << (variant == 0 ? "kernel" : "naive")
+              << "] output " << i << " threads=" << threads
+              << " arena=" << (arena ? 1 : 0);
+        }
+      }
+    }
+  }
+  ag::Tape::Global().Reset();
+  SetNumThreads(1);
+  SetArenaEnabled(prev_arena);
+}
+
+}  // namespace testing
+}  // namespace umgad
+
+#endif  // UMGAD_TESTS_ORACLE_HARNESS_H_

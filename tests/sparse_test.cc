@@ -2,6 +2,7 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "oracle_harness.h"
 #include "tensor/init.h"
 #include "tensor/sparse.h"
 
@@ -147,10 +148,10 @@ TEST(SparseTest, EmptyMatrix) {
 }
 
 // ---------------------------------------------------------------------------
-// MultiplyTransposed shape/threads sweep (mirrors the MatMulVsNaive sweep in
-// tensor_test.cc): the transposed-index parallel kernel — the Spmm backward
-// — must reproduce the seed's serial scatter loop bit-for-bit at every
-// shape and thread count, including rectangular operators.
+// MultiplyTransposed shape sweep through the shared differential-oracle
+// harness (thread counts x arena modes live there): the transposed-index
+// parallel kernel — the Spmm backward — must reproduce the seed's serial
+// scatter loop bit-for-bit at every shape, including rectangular operators.
 // ---------------------------------------------------------------------------
 
 struct SpmmTShape {
@@ -180,13 +181,10 @@ TEST_P(SpmmTransposedVsNaive, BitIdenticalAcrossThreadCounts) {
   SparseMatrix s = RandomRect(shape, 41);
   Rng rng(43);
   Tensor x = RandomNormal(shape.rows, shape.d, 0, 1, &rng);
-  Tensor reference = s.MultiplyTransposedNaive(x);
-  for (int threads : {1, 4}) {
-    SetNumThreads(threads);
-    EXPECT_EQ(MaxAbsDiff(s.MultiplyTransposed(x), reference), 0.0)
-        << "threads=" << threads;
-  }
-  SetNumThreads(1);
+  umgad::testing::ExpectBitIdentical(
+      "spmm_transposed",
+      [&] { return umgad::testing::Tensors{s.MultiplyTransposed(x)}; },
+      [&] { return umgad::testing::Tensors{s.MultiplyTransposedNaive(x)}; });
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -199,6 +197,39 @@ INSTANTIATE_TEST_SUITE_P(
                       SpmmTShape{1000, 1000, 8000, 48},  // GMAE-ish
                       SpmmTShape{500, 500, 0, 4},    // empty pattern
                       SpmmTShape{2000, 50, 4000, 16})); // skewed columns
+
+TEST(SparseTest, IncomingIndexMatchesScatterOrder) {
+  // The GAT-backward ownership map: every CSR entry must appear exactly
+  // once, in its destination node's bucket, in ascending CSR-position
+  // order — the order the serial all-rows scatter touches that node.
+  SparseMatrix s = RandomSparse(25, 80, 59);
+  auto inc = s.incoming_index();
+  ASSERT_EQ(static_cast<int64_t>(inc->src.size()), s.nnz());
+  ASSERT_EQ(static_cast<int>(inc->node_ptr.size()), s.cols() + 1);
+  std::vector<char> seen(s.nnz(), 0);
+  const auto& cols = s.col_idx();
+  const auto& row_ptr = s.row_ptr();
+  for (int v = 0; v < s.cols(); ++v) {
+    int64_t prev = -1;
+    for (int64_t p = inc->node_ptr[v]; p < inc->node_ptr[v + 1]; ++p) {
+      const int64_t k = inc->edge[p];
+      EXPECT_GT(k, prev) << "bucket " << v << " not in scatter order";
+      prev = k;
+      EXPECT_EQ(cols[k], v);
+      EXPECT_TRUE(row_ptr[inc->src[p]] <= k && k < row_ptr[inc->src[p] + 1])
+          << "src does not own CSR position " << k;
+      EXPECT_FALSE(seen[k]);
+      seen[k] = 1;
+    }
+  }
+  for (char c : seen) EXPECT_TRUE(c);
+  // Copies drop the cache and rebuild an identical index lazily.
+  SparseMatrix copy = s;
+  auto inc_copy = copy.incoming_index();
+  EXPECT_EQ(inc_copy->node_ptr, inc->node_ptr);
+  EXPECT_EQ(inc_copy->src, inc->src);
+  EXPECT_EQ(inc_copy->edge, inc->edge);
+}
 
 TEST(SparseTest, MultiplyTransposedAfterCopyAndAssign) {
   // Copies drop the cached transposed index; results must stay exact.

@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "oracle_harness.h"
 #include "tensor/init.h"
 #include "tensor/tensor.h"
 
@@ -120,34 +121,46 @@ INSTANTIATE_TEST_SUITE_P(Shapes, MatMulProperty,
                                            MatShapes{16, 5, 11}));
 
 // Cross-checks of the blocked/parallel kernels against the naive reference
-// loops on shapes that exercise every edge of the tiling: non-square,
-// odd-size, single row/column, panel-width (64) boundaries, and micro-kernel
-// row (8) boundaries. MatMul and MatMulTransA preserve the reference
-// kernels' ascending-k float accumulation, so they must agree bit-exactly;
-// MatMulTransB replaces the reference's double accumulation with float, so
-// it gets a small tolerance scaled by depth.
+// loops — through the shared differential-oracle harness, so every shape
+// also sweeps UMGAD_THREADS x UMGAD_ARENA — on shapes that exercise every
+// edge of the tiling: non-square, odd-size, single row/column, panel-width
+// (64) boundaries, and micro-kernel row (8) boundaries. MatMul and
+// MatMulTransA preserve the reference kernels' ascending-k float
+// accumulation, so they must agree bit-exactly; MatMulTransB replaces the
+// reference's double accumulation with float, so it gets a small tolerance
+// scaled by depth.
 class MatMulVsNaive : public ::testing::TestWithParam<MatShapes> {};
 
 TEST_P(MatMulVsNaive, BlockedMatchesNaive) {
-  const auto [m, k, n] = GetParam();
-  Tensor a = RandomTensor(m, k, 101);
-  Tensor b = RandomTensor(k, n, 103);
-  EXPECT_EQ(MaxAbsDiff(MatMul(a, b), MatMulNaive(a, b)), 0.0);
+  const MatShapes shape = GetParam();
+  Tensor a = RandomTensor(shape.m, shape.k, 101);
+  Tensor b = RandomTensor(shape.k, shape.n, 103);
+  umgad::testing::ExpectBitIdentical(
+      "matmul", [&] { return umgad::testing::Tensors{MatMul(a, b)}; },
+      [&] { return umgad::testing::Tensors{MatMulNaive(a, b)}; });
 }
 
 TEST_P(MatMulVsNaive, TransAMatchesNaive) {
-  const auto [m, k, n] = GetParam();
-  Tensor a = RandomTensor(k, m, 107);  // (k,m): A^T is (m,k)
-  Tensor b = RandomTensor(k, n, 109);
-  EXPECT_EQ(MaxAbsDiff(MatMulTransA(a, b), MatMulTransANaive(a, b)), 0.0);
+  const MatShapes shape = GetParam();
+  Tensor a = RandomTensor(shape.k, shape.m, 107);  // (k,m): A^T is (m,k)
+  Tensor b = RandomTensor(shape.k, shape.n, 109);
+  umgad::testing::ExpectBitIdentical(
+      "matmul_trans_a",
+      [&] { return umgad::testing::Tensors{MatMulTransA(a, b)}; },
+      [&] { return umgad::testing::Tensors{MatMulTransANaive(a, b)}; });
 }
 
 TEST_P(MatMulVsNaive, TransBMatchesNaiveWithinFloatAccumulation) {
-  const auto [m, k, n] = GetParam();
-  Tensor a = RandomTensor(m, k, 113);
-  Tensor b = RandomTensor(n, k, 127);  // (n,k): B^T is (k,n)
-  const double tol = 1e-6 * k * 8.0 + 1e-6;
-  EXPECT_LT(MaxAbsDiff(MatMulTransB(a, b), MatMulTransBNaive(a, b)), tol);
+  const MatShapes shape = GetParam();
+  Tensor a = RandomTensor(shape.m, shape.k, 113);
+  Tensor b = RandomTensor(shape.n, shape.k, 127);  // (n,k): B^T is (k,n)
+  umgad::testing::OracleSweep sweep;
+  sweep.tolerance = 1e-6 * shape.k * 8.0 + 1e-6;
+  umgad::testing::ExpectBitIdentical(
+      "matmul_trans_b",
+      [&] { return umgad::testing::Tensors{MatMulTransB(a, b)}; },
+      [&] { return umgad::testing::Tensors{MatMulTransBNaive(a, b)}; },
+      sweep);
 }
 
 INSTANTIATE_TEST_SUITE_P(
