@@ -29,17 +29,17 @@ int Main() {
 
   for (const Group& group : groups) {
     for (const std::string& dataset : group.datasets) {
-      auto graph = MakeDataset(dataset, seed, group.scale);
-      UMGAD_CHECK(graph.ok());
+      MultiplexGraph graph =
+          bench::LoadBenchDataset(dataset, seed, group.scale);
       std::cout << "\n-- " << dataset
-                << " (true anomalies: " << graph->num_anomalies() << ") --\n";
+                << " (true anomalies: " << graph.num_anomalies() << ") --\n";
       TablePrinter table;
       table.SetHeader({"Method", "Curve (sorted scores)", "Detected",
                        "True", "AUC"});
       for (const std::string& method : group.methods) {
         auto detector = MakeDetector(method, seed);
         UMGAD_CHECK(detector.ok());
-        Status status = (*detector)->Fit(*graph);
+        Status status = (*detector)->Fit(graph);
         if (!status.ok()) continue;
         const auto& scores = (*detector)->scores();
         ThresholdResult threshold = SelectThresholdInflection(scores);
@@ -47,8 +47,8 @@ int Main() {
         std::sort(sorted.begin(), sorted.end(), std::greater<double>());
         table.AddRow({method, bench::Sparkline(sorted, 48),
                       StrFormat("%d", threshold.num_predicted),
-                      StrFormat("%d", graph->num_anomalies()),
-                      FormatFloat(RocAuc(scores, graph->labels()), 3)});
+                      StrFormat("%d", graph.num_anomalies()),
+                      FormatFloat(RocAuc(scores, graph.labels()), 3)});
         std::cerr << "  done: " << dataset << " / " << method << "\n";
       }
       table.Print(std::cout);

@@ -20,8 +20,7 @@ int Main() {
   // Two representative datasets (one injected, one organic) keep the
   // sweep laptop-sized; pass UMGAD_SCALE/UMGAD_EPOCHS for denser runs.
   for (const std::string& dataset : {std::string("Retail"), std::string("Amazon")}) {
-    auto graph = MakeDataset(dataset, seed, scale);
-    UMGAD_CHECK(graph.ok());
+    MultiplexGraph graph = bench::LoadBenchDataset(dataset, seed, scale);
     TablePrinter table(dataset);
     std::vector<std::string> header = {"lambda \\ mu"};
     for (float mu : grid) header.push_back(FormatFloat(mu, 1));
@@ -33,10 +32,10 @@ int Main() {
         config.lambda = lambda;
         config.mu = mu;
         UmgadModel model(config);
-        Status status = model.Fit(*graph);
+        Status status = model.Fit(graph);
         UMGAD_CHECK_MSG(status.ok(), status.ToString().c_str());
         row.push_back(
-            FormatFloat(RocAuc(model.scores(), graph->labels()), 3));
+            FormatFloat(RocAuc(model.scores(), graph.labels()), 3));
       }
       table.AddRow(row);
       std::cerr << "  done: " << dataset << " lambda="

@@ -20,8 +20,7 @@ int Main() {
   const std::vector<int> sizes = {4, 12};
 
   for (const std::string& dataset : {std::string("Retail"), std::string("Amazon")}) {
-    auto graph = MakeDataset(dataset, seed, scale);
-    UMGAD_CHECK(graph.ok());
+    MultiplexGraph graph = bench::LoadBenchDataset(dataset, seed, scale);
     TablePrinter table(dataset);
     std::vector<std::string> header = {"|V_m| \\ r_m"};
     for (double rm : ratios) {
@@ -35,10 +34,10 @@ int Main() {
         config.mask_ratio = rm;
         config.subgraph_size = vm;
         UmgadModel model(config);
-        Status status = model.Fit(*graph);
+        Status status = model.Fit(graph);
         UMGAD_CHECK_MSG(status.ok(), status.ToString().c_str());
         row.push_back(
-            FormatFloat(RocAuc(model.scores(), graph->labels()), 3));
+            FormatFloat(RocAuc(model.scores(), graph.labels()), 3));
       }
       table.AddRow(row);
       std::cerr << "  done: " << dataset << " |V_m|=" << vm << "\n";

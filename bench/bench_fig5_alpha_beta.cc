@@ -24,8 +24,7 @@ int Main() {
     for (float v : values) header.push_back(FormatFloat(v, 1));
     table.SetHeader(header);
     for (const std::string& dataset : {std::string("Retail"), std::string("Amazon")}) {
-      auto graph = MakeDataset(dataset, seed, scale);
-      UMGAD_CHECK(graph.ok());
+      MultiplexGraph graph = bench::LoadBenchDataset(dataset, seed, scale);
       std::vector<std::string> row = {dataset};
       for (float v : values) {
         UmgadConfig config = bench::BenchUmgadConfig(seed, epochs);
@@ -35,10 +34,10 @@ int Main() {
           config.beta = v;
         }
         UmgadModel model(config);
-        Status status = model.Fit(*graph);
+        Status status = model.Fit(graph);
         UMGAD_CHECK_MSG(status.ok(), status.ToString().c_str());
         row.push_back(
-            FormatFloat(RocAuc(model.scores(), graph->labels()), 3));
+            FormatFloat(RocAuc(model.scores(), graph.labels()), 3));
       }
       table.AddRow(row);
       std::cerr << "  done: " << which << " / " << dataset << "\n";

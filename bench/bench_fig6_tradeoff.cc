@@ -16,11 +16,9 @@ namespace {
 /// Retail/Alibaba-like base graph with only one type of injected anomaly.
 MultiplexGraph InjectedVariant(const std::string& dataset, uint64_t seed,
                                double scale, bool attribute_only) {
-  auto graph = MakeDataset(dataset, seed, scale);
-  UMGAD_CHECK(graph.ok());
+  MultiplexGraph g = bench::LoadBenchDataset(dataset, seed, scale);
   // Strip injected labels and re-inject a single anomaly type.
-  MultiplexGraph g = *std::move(graph);
-  // Regenerate clean: MakeDataset injects both kinds, so rebuild from the
+  // Regenerate clean: the registry build injects both kinds, so rebuild from the
   // generator directly (same SBM profile, no injection).
   Rng rng(seed ^ 0xf16aULL);
   SbmMultiplexConfig config;

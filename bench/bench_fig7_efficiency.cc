@@ -15,11 +15,11 @@ int Main() {
   const uint64_t seed = BenchSeeds(1)[0];
   const std::vector<std::string> methods = {"UMGAD", "GRADATE", "GADAM",
                                             "ADA-GAD", "DualGAD"};
-  struct DatasetSpec {
+  struct BenchTarget {
     std::string name;
     double scale;
   };
-  const std::vector<DatasetSpec> datasets = {
+  const std::vector<BenchTarget> datasets = {
       {"Retail", BenchScale(0.4)},
       {"YelpChi", BenchScale(0.3)},
       {"T-Social", BenchScale(0.05)},
@@ -28,19 +28,19 @@ int Main() {
   TablePrinter table("Fig. 7a/7b — runtimes");
   table.SetHeader({"Method", "Dataset", "Epoch (s)", "Total (s)", "AUC"});
   std::vector<double> umgad_loss_curve;
-  for (const DatasetSpec& spec : datasets) {
-    auto graph = MakeDataset(spec.name, seed, spec.scale);
-    UMGAD_CHECK(graph.ok());
+  for (const BenchTarget& spec : datasets) {
+    MultiplexGraph graph =
+        bench::LoadBenchDataset(spec.name, seed, spec.scale);
     for (const std::string& method : methods) {
       auto detector = MakeDetector(method, seed);
       UMGAD_CHECK(detector.ok());
-      Status status = (*detector)->Fit(*graph);
+      Status status = (*detector)->Fit(graph);
       if (!status.ok()) continue;
       table.AddRow({method, spec.name,
                     FormatFloat((*detector)->epoch_seconds(), 4),
                     FormatFloat((*detector)->fit_seconds(), 2),
                     FormatFloat(
-                        RocAuc((*detector)->scores(), graph->labels()), 3)});
+                        RocAuc((*detector)->scores(), graph.labels()), 3)});
       if (method == "UMGAD" && spec.name == "YelpChi") {
         auto* model = dynamic_cast<UmgadModel*>(detector->get());
         UMGAD_CHECK(model != nullptr);

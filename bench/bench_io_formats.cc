@@ -1,0 +1,86 @@
+// On-disk format shootout: serialises Retail at the default bench scale in
+// both graph formats and times save + load of each. The acceptance bar for
+// the binary format (docs/FORMATS.md) is a >= 20x faster load than the
+// text path at this size; the margin in practice is far larger because the
+// binary load is a handful of bulk reads while the text load runs
+// operator>> per edge endpoint and per attribute value.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "graph/io/binary_format.h"
+#include "graph/io/text_format.h"
+
+namespace umgad {
+namespace {
+
+template <typename Fn>
+double BestOfSeconds(int reps, const Fn& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+int Main() {
+  SetLogLevel(LogLevel::kWarning);
+  bench::PrintHeader("Graph formats — save/load timings",
+                     "dataset subsystem (no paper analogue)");
+
+  const double scale = BenchScale(1.0);
+  const int reps = 3;
+  MultiplexGraph graph = bench::LoadBenchDataset("Retail", /*seed=*/1,
+                                                 scale);
+  std::cout << "Graph: " << graph.Summary() << "\n\n";
+
+  const std::string text_path = "/tmp/umgad_bench_io.txt";
+  const std::string binary_path = "/tmp/umgad_bench_io.umgb";
+
+  const double text_save = BestOfSeconds(reps, [&] {
+    UMGAD_CHECK(SaveGraph(graph, text_path).ok());
+  });
+  const double binary_save = BestOfSeconds(reps, [&] {
+    UMGAD_CHECK(SaveGraphBinary(graph, binary_path).ok());
+  });
+  const double text_load = BestOfSeconds(reps, [&] {
+    UMGAD_CHECK(LoadGraph(text_path).ok());
+  });
+  const double binary_load = BestOfSeconds(reps, [&] {
+    UMGAD_CHECK(LoadGraphBinary(binary_path).ok());
+  });
+
+  auto file_bytes = [](const std::string& path) -> long {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    UMGAD_CHECK(f != nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    return size;
+  };
+
+  TablePrinter table;
+  table.SetHeader({"Format", "File (KB)", "Save (ms)", "Load (ms)",
+                   "Load speedup"});
+  table.AddRow({"text v1", StrFormat("%ld", file_bytes(text_path) / 1024),
+                FormatFloat(text_save * 1e3, 2),
+                FormatFloat(text_load * 1e3, 2), "1.0x"});
+  table.AddRow({"binary v2",
+                StrFormat("%ld", file_bytes(binary_path) / 1024),
+                FormatFloat(binary_save * 1e3, 2),
+                FormatFloat(binary_load * 1e3, 2),
+                StrFormat("%.1fx", text_load / binary_load)});
+  table.Print(std::cout);
+
+  std::remove(text_path.c_str());
+  std::remove(binary_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace umgad
+
+int main() { return umgad::Main(); }

@@ -1,24 +1,14 @@
 // Table I: statistical information of the evaluation datasets. Prints the
 // node/anomaly/relation/edge profile of the synthetic equivalents at the
-// harness scale, next to the paper's original sizes for reference.
+// harness scale, next to the paper's original sizes carried in each
+// DatasetSpec. Rows come straight from the dataset registry, so a dataset
+// registered at runtime (or resolved from UMGAD_DATASET_DIR) shows up
+// without touching this bench.
 
 #include "bench_util.h"
 
 namespace umgad {
 namespace {
-
-struct PaperRow {
-  const char* dataset;
-  const char* nodes;
-  const char* anomalies;
-};
-
-constexpr PaperRow kPaperRows[] = {
-    {"Retail", "32,287", "300 (I)"},   {"Alibaba", "22,649", "300 (I)"},
-    {"Amazon", "11,944", "821 (R)"},   {"YelpChi", "45,954", "6,674 (R)"},
-    {"DG-Fin", "3,700,550", "15,509 (R)"},
-    {"T-Social", "5,781,065", "174,010 (R)"},
-};
 
 int Main() {
   SetLogLevel(LogLevel::kWarning);
@@ -28,22 +18,21 @@ int Main() {
   TablePrinter table;
   table.SetHeader({"Dataset", "#Nodes", "#Ano.", "Relation", "#Edges",
                    "Paper #Nodes", "Paper #Ano."});
-  const std::vector<std::string> names = {"Retail",  "Alibaba", "Amazon",
-                                          "YelpChi", "DG-Fin",  "T-Social"};
-  for (size_t d = 0; d < names.size(); ++d) {
-    const bool large = d >= 4;
+  for (const DatasetSpec& spec : DatasetRegistry::Global().specs()) {
+    if (spec.group == DatasetGroup::kTest) continue;
+    const bool large = spec.group == DatasetGroup::kLarge;
     const double scale = BenchScale(large ? 0.2 : 1.0);
-    auto graph = MakeDataset(names[d], /*seed=*/1, scale);
-    UMGAD_CHECK(graph.ok());
-    for (int r = 0; r < graph->num_relations(); ++r) {
-      table.AddRow({r == 0 ? names[d] : "",
-                    r == 0 ? StrFormat("%d", graph->num_nodes()) : "",
-                    r == 0 ? StrFormat("%d", graph->num_anomalies()) : "",
-                    graph->relation_name(r),
+    MultiplexGraph graph = bench::LoadBenchDataset(spec.name, /*seed=*/1,
+                                                   scale);
+    for (int r = 0; r < graph.num_relations(); ++r) {
+      table.AddRow({r == 0 ? spec.name : "",
+                    r == 0 ? StrFormat("%d", graph.num_nodes()) : "",
+                    r == 0 ? StrFormat("%d", graph.num_anomalies()) : "",
+                    graph.relation_name(r),
                     StrFormat("%lld",
-                              static_cast<long long>(graph->num_edges(r))),
-                    r == 0 ? kPaperRows[d].nodes : "",
-                    r == 0 ? kPaperRows[d].anomalies : ""});
+                              static_cast<long long>(graph.num_edges(r))),
+                    r == 0 ? spec.paper_nodes : "",
+                    r == 0 ? spec.paper_anomalies : ""});
     }
     table.AddSeparator();
   }

@@ -51,15 +51,15 @@ int Main() {
       std::vector<double> aucs;
       std::vector<double> f1s;
       for (uint64_t seed : seeds) {
-        auto graph = MakeDataset(dataset, seed, scale);
-        UMGAD_CHECK(graph.ok());
+        MultiplexGraph graph =
+            bench::LoadBenchDataset(dataset, seed, scale);
         UmgadConfig config = bench::BenchUmgadConfig(seed, epochs);
         variant.apply(&config);
         UmgadModel model(config);
-        Status status = model.Fit(*graph);
+        Status status = model.Fit(graph);
         UMGAD_CHECK_MSG(status.ok(), status.ToString().c_str());
         RunResult run =
-            EvaluateFitted(model, *graph, ThresholdMode::kInflection);
+            EvaluateFitted(model, graph, ThresholdMode::kInflection);
         aucs.push_back(run.auc);
         f1s.push_back(run.macro_f1);
       }

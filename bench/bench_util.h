@@ -13,7 +13,9 @@
 #include "core/umgad.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
+#include "graph/dataset_registry.h"
 #include "graph/datasets.h"
+#include "graph/io/graph_io.h"
 
 namespace umgad {
 namespace bench {
@@ -38,6 +40,20 @@ inline UmgadConfig BenchUmgadConfig(uint64_t seed, int default_epochs = 60) {
   config.seed = seed;
   config.epochs = BenchEpochs(default_epochs);
   return config;
+}
+
+/// Bench dataset resolution goes through the io layer: registered names
+/// honour UMGAD_DATASET_DIR (pre-generated corpora written by `umgad_cli
+/// gen`; seed/scale then come from the file, not the flags), and a file
+/// path loads directly in any supported format.
+inline MultiplexGraph LoadBenchDataset(const std::string& name,
+                                       uint64_t seed, double scale) {
+  LoadDatasetOptions load;
+  load.seed = seed;
+  load.scale = scale;
+  Result<MultiplexGraph> graph = LoadDataset(name, load);
+  UMGAD_CHECK_MSG(graph.ok(), graph.status().ToString().c_str());
+  return *std::move(graph);
 }
 
 inline void PrintHeader(const std::string& title,

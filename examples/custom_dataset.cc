@@ -1,60 +1,81 @@
-// Bringing your own data: builds a MultiplexGraph from raw edge lists and
-// attributes, saves it in the library's text format, loads it back, and
-// runs a detector. This is the integration path for real datasets.
+// Bringing your own data: writes the kind of files a real dataset dump
+// consists of (an edge list with a relation column, a feature table, a
+// label column), ingests them through the generic edge-list importer,
+// re-encodes the graph as binary for fast reloads, and runs a detector.
+// This is the integration path for real datasets — the same files work
+// with `umgad_cli inspect/run <edges.tsv>`.
 
+#include <fstream>
 #include <iostream>
 
 #include "core/umgad.h"
-#include "graph/datasets.h"
-#include "graph/multiplex_graph.h"
-#include "tensor/init.h"
+#include "graph/io/binary_format.h"
+#include "graph/io/edge_list.h"
+#include "graph/io/graph_io.h"
 
 int main() {
   using namespace umgad;
 
-  // --- 1. Construct a graph from raw parts. -------------------------------
-  // 8 users, 4 attributes each, two relation types. In a real pipeline the
-  // edges/attributes come from your feature store.
-  const int num_users = 8;
-  Rng rng(99);
-  Tensor attributes = RandomNormal(num_users, 4, 0.0, 1.0, &rng);
+  // --- 1. A raw dump: edges.tsv + features.tsv + labels.tsv. --------------
+  // 8 users, two relation types, 4 attributes each. In a real pipeline
+  // these files come out of your feature store / export job.
+  const std::string edges_path = "/tmp/umgad_custom_edges.tsv";
+  const std::string features_path = "/tmp/umgad_custom_features.tsv";
+  const std::string labels_path = "/tmp/umgad_custom_labels.tsv";
+  {
+    std::ofstream edges(edges_path);
+    edges << "# src\tdst\trelation\n";
+    for (const char* line :
+         {"0\t1\tfollows", "1\t2\tfollows", "2\t3\tfollows", "0\t2\tfollows",
+          "4\t5\tfollows", "0\t3\ttransacts", "4\t6\ttransacts",
+          "5\t6\ttransacts", "6\t7\ttransacts"}) {
+      edges << line << "\n";
+    }
+    std::ofstream features(features_path);
+    for (int i = 0; i < 8; ++i) {
+      // Anything numeric works; row i is node i's attribute vector.
+      features << 0.1 * i << "\t" << (i % 2) << "\t" << 1.0 - 0.05 * i
+               << "\t" << (i >= 6 ? 3.0 : 0.0) << "\n";
+    }
+    std::ofstream labels(labels_path);
+    for (int i = 0; i < 8; ++i) labels << (i == 7 ? 1 : 0) << "\n";
+  }
 
-  std::vector<Edge> follows = {{0, 1}, {1, 2}, {2, 3}, {0, 2}, {4, 5}};
-  std::vector<Edge> transacts = {{0, 3}, {4, 6}, {5, 6}, {6, 7}};
-  std::vector<SparseMatrix> layers = {
-      SparseMatrix::FromEdges(num_users, follows, /*symmetrize=*/true),
-      SparseMatrix::FromEdges(num_users, transacts, /*symmetrize=*/true),
-  };
-
-  auto graph_or = MultiplexGraph::Create(
-      "my-dataset", std::move(attributes), std::move(layers),
-      {"follows", "transacts"});
+  // --- 2. Import. ----------------------------------------------------------
+  EdgeListOptions options;
+  options.name = "my-dataset";
+  options.features_path = features_path;
+  options.labels_path = labels_path;
+  // Tip: with no labels file, set options.inject_if_unlabeled to mark up
+  // the import with Ding et al.'s injection protocol on load.
+  auto graph_or = ImportEdgeList(edges_path, options);
   if (!graph_or.ok()) {
-    // Create() validates shapes, symmetry, and labels and reports what is
-    // wrong instead of crashing.
-    std::cerr << "Graph construction failed: "
-              << graph_or.status().ToString() << "\n";
+    // The importer validates ids, field counts, and side-file shapes and
+    // reports what is wrong instead of crashing.
+    std::cerr << "Import failed: " << graph_or.status().ToString() << "\n";
     return 1;
   }
   MultiplexGraph graph = *std::move(graph_or);
-  std::cout << "Built: " << graph.Summary() << "\n";
+  std::cout << "Imported: " << graph.Summary() << "\n";
 
-  // --- 2. Persist and reload. ---------------------------------------------
-  const std::string path = "/tmp/umgad_custom_dataset.txt";
-  Status save_status = SaveGraph(graph, path);
+  // --- 3. Persist as binary and reload. ------------------------------------
+  // The binary format round-trips bit-exactly and loads ~100x faster than
+  // text at real-dataset sizes (bench_io_formats).
+  const std::string binary_path = "/tmp/umgad_custom_dataset.umgb";
+  Status save_status = SaveGraphBinary(graph, binary_path);
   if (!save_status.ok()) {
     std::cerr << save_status.ToString() << "\n";
     return 1;
   }
-  auto loaded = LoadGraph(path);
+  auto loaded = LoadDataset(binary_path);
   if (!loaded.ok()) {
     std::cerr << loaded.status().ToString() << "\n";
     return 1;
   }
-  std::cout << "Round-tripped through " << path << ": "
+  std::cout << "Round-tripped through " << binary_path << ": "
             << loaded->Summary() << "\n";
 
-  // --- 3. Score it. --------------------------------------------------------
+  // --- 4. Score it. --------------------------------------------------------
   // Real deployments have no labels; scores + the unsupervised threshold
   // are the deliverable.
   UmgadConfig config;

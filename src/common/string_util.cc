@@ -30,6 +30,11 @@ std::string Join(const std::vector<std::string>& pieces,
   return out;
 }
 
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
 std::string Trim(std::string_view text) {
   size_t begin = 0;
   size_t end = text.size();

@@ -17,6 +17,9 @@ std::string Join(const std::vector<std::string>& pieces,
 /// Strip ASCII whitespace from both ends.
 std::string Trim(std::string_view text);
 
+/// True if `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));

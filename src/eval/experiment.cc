@@ -4,7 +4,7 @@
 
 #include "common/logging.h"
 #include "core/threshold.h"
-#include "graph/datasets.h"
+#include "graph/io/graph_io.h"
 
 namespace umgad {
 
@@ -49,8 +49,22 @@ Result<AggregateResult> RunExperiment(const std::string& detector_name,
   double fit_acc = 0.0;
   double epoch_acc = 0.0;
   for (uint64_t seed : seeds) {
-    UMGAD_ASSIGN_OR_RETURN(MultiplexGraph graph,
-                           MakeDataset(dataset, seed, dataset_scale));
+    // Registered names build per seed; with UMGAD_DATASET_DIR set (or a
+    // file path as `dataset`) every seed evaluates against the same
+    // on-disk graph and only the detector seed varies.
+    LoadDatasetOptions load;
+    load.seed = seed;
+    load.scale = dataset_scale;
+    UMGAD_ASSIGN_OR_RETURN(MultiplexGraph graph, LoadDataset(dataset, load));
+    if (!graph.has_labels()) {
+      // On-disk datasets can legitimately be unlabeled (raw imports saved
+      // without --inject); metrics need ground truth, so fail as a Status
+      // instead of tripping EvaluateFitted's CHECK.
+      return Status::InvalidArgument(
+          "dataset '" + dataset +
+          "' has no ground-truth labels; experiments need a labeled graph "
+          "(import with injection, or evaluate scores directly)");
+    }
     UMGAD_ASSIGN_OR_RETURN(std::unique_ptr<Detector> detector,
                            MakeDetector(detector_name, seed));
     UMGAD_RETURN_IF_ERROR(detector->Fit(graph));

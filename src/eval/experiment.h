@@ -45,6 +45,11 @@ struct AggregateResult {
 /// Fit `detector_name` on a fresh instance of `dataset` per seed and
 /// aggregate metrics. The same seed drives both the dataset generator and
 /// the detector, so methods see identical data per seed.
+///
+/// `dataset` resolves through LoadDataset (graph/io/graph_io.h): a
+/// registered name builds from the registry — or loads a pre-generated
+/// file when UMGAD_DATASET_DIR is set — and a file path loads directly
+/// (the graph is then fixed across seeds; only detector seeds vary).
 Result<AggregateResult> RunExperiment(
     const std::string& detector_name, const std::string& dataset,
     const std::vector<uint64_t>& seeds, ThresholdMode mode,

@@ -1,397 +1,60 @@
 #include "graph/datasets.h"
 
-#include <cmath>
-#include <cstdio>
-#include <fstream>
-#include <sstream>
-
-#include "common/string_util.h"
-#include "graph/anomaly_injection.h"
-#include "graph/generators.h"
+#include "common/check.h"
+#include "graph/dataset_registry.h"
 
 namespace umgad {
 
 namespace {
 
-int ScaledNodes(int base, double scale) {
-  return std::max(64, static_cast<int>(std::lround(base * scale)));
-}
-
-int64_t ScaledEdges(int64_t base, double scale) {
-  return std::max<int64_t>(32, static_cast<int64_t>(std::llround(
-      static_cast<double>(base) * scale)));
+MultiplexGraph BuildRegistered(const char* name, uint64_t seed,
+                               double scale) {
+  const DatasetSpec* spec = DatasetRegistry::Global().Find(name);
+  UMGAD_CHECK_MSG(spec != nullptr, name);
+  return BuildDataset(*spec, seed, scale);
 }
 
 }  // namespace
 
 MultiplexGraph MakeRetail(uint64_t seed, double scale) {
-  // Paper: 32,287 nodes; View/Cart/Buy = 75,374 / 12,456 / 9,551; 300
-  // injected anomalies. Built here at 1/10 scale with the view > cart > buy
-  // funnel expressed as subset relations.
-  Rng rng(seed ^ 0x5e7a11ULL);
-  SbmMultiplexConfig config;
-  config.name = "Retail";
-  config.num_nodes = ScaledNodes(3228, scale);
-  config.feature_dim = 32;
-  config.num_communities = 10;
-  config.attribute_noise = 0.35;
-  config.relations = {
-      {.name = "View", .target_edges = ScaledEdges(7537, scale),
-       .intra_community_prob = 0.65, .noise_frac = 0.45},
-      {.name = "Cart", .target_edges = 0, .subset_of = 0,
-       .subset_frac = 0.11, .subset_intra_boost = 3.0},
-      {.name = "Buy", .target_edges = 0, .subset_of = 1,
-       .subset_frac = 0.6, .subset_intra_boost = 1.6},
-  };
-  MultiplexGraph g = GenerateSbmMultiplex(config, &rng);
-
-  InjectionConfig inj;
-  inj.clique_size = 5;
-  inj.num_cliques = std::max(1, static_cast<int>(std::lround(3 * scale)));
-  inj.num_attribute_anomalies = inj.clique_size * inj.num_cliques;
-  InjectAnomalies(&g, inj, &rng);
-  return g;
+  return BuildRegistered("Retail", seed, scale);
 }
 
 MultiplexGraph MakeAlibaba(uint64_t seed, double scale) {
-  // Paper: 22,649 nodes; View/Cart/Buy = 34,933 / 6,230 / 4,571; 300
-  // injected anomalies. Sparser funnel than Retail.
-  Rng rng(seed ^ 0xa11baba0ULL);
-  SbmMultiplexConfig config;
-  config.name = "Alibaba";
-  config.num_nodes = ScaledNodes(2265, scale);
-  config.feature_dim = 32;
-  config.num_communities = 8;
-  config.attribute_noise = 0.4;
-  config.relations = {
-      {.name = "View", .target_edges = ScaledEdges(3493, scale),
-       .intra_community_prob = 0.6, .noise_frac = 0.5},
-      {.name = "Cart", .target_edges = 0, .subset_of = 0,
-       .subset_frac = 0.12, .subset_intra_boost = 3.0},
-      {.name = "Buy", .target_edges = 0, .subset_of = 1,
-       .subset_frac = 0.58, .subset_intra_boost = 1.6},
-  };
-  MultiplexGraph g = GenerateSbmMultiplex(config, &rng);
-
-  InjectionConfig inj;
-  inj.clique_size = 5;
-  inj.num_cliques = std::max(1, static_cast<int>(std::lround(3 * scale)));
-  inj.num_attribute_anomalies = inj.clique_size * inj.num_cliques;
-  InjectAnomalies(&g, inj, &rng);
-  return g;
+  return BuildRegistered("Alibaba", seed, scale);
 }
 
 MultiplexGraph MakeAmazon(uint64_t seed, double scale) {
-  // Paper: 11,944 nodes; U-P-U/U-S-U/U-V-U = 176k / 3.57M / 1.04M; 821 real
-  // anomalies (6.9%). The star-rating layer (U-S-U) is kept two orders of
-  // magnitude denser and mostly community-agnostic — flattening it drowns
-  // the informative review layer, which is the multiplex effect UMGAD
-  // exploits.
-  Rng rng(seed ^ 0xa3a204ULL);
-  SbmMultiplexConfig config;
-  config.name = "Amazon";
-  config.num_nodes = ScaledNodes(1194, scale);
-  config.feature_dim = 32;
-  config.num_communities = 6;
-  config.attribute_noise = 0.3;
-  config.relations = {
-      {.name = "U-P-U", .target_edges = ScaledEdges(8000, scale),
-       .intra_community_prob = 0.9},
-      {.name = "U-S-U", .target_edges = ScaledEdges(70000, scale),
-       .intra_community_prob = 0.5, .noise_frac = 0.85},
-      {.name = "U-V-U", .target_edges = ScaledEdges(24000, scale),
-       .intra_community_prob = 0.7, .noise_frac = 0.3},
-  };
-  MultiplexGraph g = GenerateSbmMultiplex(config, &rng);
-
-  FraudRingConfig rings;
-  rings.ring_size = 8;
-  rings.num_rings = std::max(1, static_cast<int>(std::lround(10 * scale)));
-  rings.ring_density = 0.3;
-  rings.relation_affinity = {0.9, 0.5, 0.75};
-  rings.camouflage = 0.85;
-  rings.contact_edges = 8;
-  PlantFraudRings(&g, rings, &rng);
-  return g;
+  return BuildRegistered("Amazon", seed, scale);
 }
 
 MultiplexGraph MakeYelpChi(uint64_t seed, double scale) {
-  // Paper: 45,954 nodes; R-U-R/R-S-R/R-T-R = 49k / 3.4M / 574k; 6,674 real
-  // anomalies (14.5%). Higher anomaly rate and heavier camouflage than
-  // Amazon (paper baselines score noticeably lower Macro-F1 here).
-  Rng rng(seed ^ 0x9e19c41ULL);
-  SbmMultiplexConfig config;
-  config.name = "YelpChi";
-  config.num_nodes = ScaledNodes(4596, scale);
-  config.feature_dim = 32;
-  config.num_communities = 12;
-  config.attribute_noise = 0.45;
-  config.relations = {
-      {.name = "R-U-R", .target_edges = ScaledEdges(4900, scale),
-       .intra_community_prob = 0.9},
-      {.name = "R-S-R", .target_edges = ScaledEdges(68000, scale),
-       .intra_community_prob = 0.5, .noise_frac = 0.8},
-      {.name = "R-T-R", .target_edges = ScaledEdges(23000, scale),
-       .intra_community_prob = 0.6, .noise_frac = 0.45},
-  };
-  MultiplexGraph g = GenerateSbmMultiplex(config, &rng);
-
-  FraudRingConfig rings;
-  rings.ring_size = 10;
-  rings.num_rings = std::max(1, static_cast<int>(std::lround(66 * scale)));
-  rings.ring_density = 0.25;
-  rings.relation_affinity = {0.85, 0.45, 0.6};
-  rings.camouflage = 0.8;
-  rings.contact_edges = 6;
-  PlantFraudRings(&g, rings, &rng);
-  return g;
+  return BuildRegistered("YelpChi", seed, scale);
 }
 
 MultiplexGraph MakeDGFin(uint64_t seed, double scale) {
-  // Paper: 3.7M nodes; U-C-U/U-B-U/U-R-U = 441k / 2.47M / 1.38M; 15,509
-  // anomalies (0.4%) — the extreme-imbalance regime. Built at 1/100 scale.
-  Rng rng(seed ^ 0xd9f17ULL);
-  SbmMultiplexConfig config;
-  config.name = "DG-Fin";
-  config.num_nodes = ScaledNodes(37000, scale);
-  config.feature_dim = 32;
-  config.num_communities = 24;
-  config.attribute_noise = 0.4;
-  config.relations = {
-      {.name = "U-C-U", .target_edges = ScaledEdges(4400, scale),
-       .intra_community_prob = 0.95},
-      {.name = "U-B-U", .target_edges = ScaledEdges(24000, scale),
-       .intra_community_prob = 0.6, .noise_frac = 0.35},
-      {.name = "U-R-U", .target_edges = ScaledEdges(14000, scale),
-       .intra_community_prob = 0.8},
-  };
-  MultiplexGraph g = GenerateSbmMultiplex(config, &rng);
-
-  FraudRingConfig rings;
-  rings.ring_size = 5;
-  rings.num_rings = std::max(1, static_cast<int>(std::lround(31 * scale)));
-  rings.ring_density = 0.3;
-  rings.relation_affinity = {0.3, 0.9, 0.6};
-  rings.camouflage = 0.74;
-  rings.contact_edges = 5;
-  PlantFraudRings(&g, rings, &rng);
-  return g;
+  return BuildRegistered("DG-Fin", seed, scale);
 }
 
 MultiplexGraph MakeTSocial(uint64_t seed, double scale) {
-  // Paper: 5.78M nodes; U-R-U/U-F-U/U-G-U = 67.7M / 3.0M / 2.3M; 174k
-  // anomalies (3%). The friendship layer dominates edge volume but the
-  // fraud/gambling layers carry the anomaly signal. Built at 1/200 scale.
-  Rng rng(seed ^ 0x7500c1a1ULL);
-  SbmMultiplexConfig config;
-  config.name = "T-Social";
-  config.num_nodes = ScaledNodes(28900, scale);
-  config.feature_dim = 32;
-  config.num_communities = 20;
-  config.attribute_noise = 0.4;
-  config.relations = {
-      {.name = "U-R-U", .target_edges = ScaledEdges(340000, scale),
-       .intra_community_prob = 0.7, .noise_frac = 0.25},
-      {.name = "U-F-U", .target_edges = ScaledEdges(15000, scale),
-       .intra_community_prob = 0.85},
-      {.name = "U-G-U", .target_edges = ScaledEdges(12000, scale),
-       .intra_community_prob = 0.85},
-  };
-  MultiplexGraph g = GenerateSbmMultiplex(config, &rng);
-
-  FraudRingConfig rings;
-  rings.ring_size = 10;
-  rings.num_rings = std::max(1, static_cast<int>(std::lround(87 * scale)));
-  rings.ring_density = 0.25;
-  rings.relation_affinity = {0.4, 0.9, 0.8};
-  rings.camouflage = 0.7;
-  rings.contact_edges = 6;
-  PlantFraudRings(&g, rings, &rng);
-  return g;
+  return BuildRegistered("T-Social", seed, scale);
 }
 
 MultiplexGraph MakeTiny(uint64_t seed) {
-  Rng rng(seed ^ 0x7171717ULL);
-  SbmMultiplexConfig config;
-  config.name = "Tiny";
-  config.num_nodes = 200;
-  config.feature_dim = 16;
-  config.num_communities = 4;
-  config.attribute_noise = 0.3;
-  config.relations = {
-      {.name = "rel-a", .target_edges = 600, .intra_community_prob = 0.9},
-      {.name = "rel-b", .target_edges = 300, .intra_community_prob = 0.7},
-  };
-  MultiplexGraph g = GenerateSbmMultiplex(config, &rng);
-
-  InjectionConfig inj;
-  inj.clique_size = 5;
-  inj.num_cliques = 1;
-  inj.num_attribute_anomalies = 5;
-  inj.candidate_pool = 30;
-  InjectAnomalies(&g, inj, &rng);
-  return g;
+  return BuildRegistered("Tiny", seed, /*scale=*/1.0);
 }
 
 Result<MultiplexGraph> MakeDataset(const std::string& name, uint64_t seed,
                                    double scale) {
-  if (name == "Retail") return MakeRetail(seed, scale);
-  if (name == "Alibaba") return MakeAlibaba(seed, scale);
-  if (name == "Amazon") return MakeAmazon(seed, scale);
-  if (name == "YelpChi") return MakeYelpChi(seed, scale);
-  if (name == "DG-Fin") return MakeDGFin(seed, scale);
-  if (name == "T-Social") return MakeTSocial(seed, scale);
-  if (name == "Tiny") return MakeTiny(seed);
-  return Status::NotFound(StrFormat("unknown dataset '%s'", name.c_str()));
+  return DatasetRegistry::Global().Build(name, seed, scale);
 }
 
 std::vector<std::string> SmallDatasetNames() {
-  return {"Retail", "Alibaba", "Amazon", "YelpChi"};
+  return DatasetRegistry::Global().NamesInGroup(DatasetGroup::kSmall);
 }
 
 std::vector<std::string> LargeDatasetNames() {
-  return {"DG-Fin", "T-Social"};
-}
-
-Status SaveGraph(const MultiplexGraph& graph, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out << "umgad-graph v1\n";
-  out << "name " << graph.name() << "\n";
-  out << "nodes " << graph.num_nodes() << "\n";
-  out << "features " << graph.feature_dim() << "\n";
-  out << "relations " << graph.num_relations() << "\n";
-  out << "labeled " << (graph.has_labels() ? 1 : 0) << "\n";
-  for (int r = 0; r < graph.num_relations(); ++r) {
-    const SparseMatrix& layer = graph.layer(r);
-    // Store each undirected edge once.
-    std::vector<Edge> edges;
-    const auto& rp = layer.row_ptr();
-    const auto& ci = layer.col_idx();
-    for (int i = 0; i < layer.rows(); ++i) {
-      for (int64_t k = rp[i]; k < rp[i + 1]; ++k) {
-        if (i <= ci[k]) edges.push_back(Edge{i, ci[k]});
-      }
-    }
-    out << "relation " << graph.relation_name(r) << " " << edges.size()
-        << "\n";
-    for (const Edge& e : edges) out << e.src << " " << e.dst << "\n";
-  }
-  out << "attributes\n";
-  const Tensor& x = graph.attributes();
-  for (int i = 0; i < x.rows(); ++i) {
-    const float* row = x.row(i);
-    for (int j = 0; j < x.cols(); ++j) {
-      if (j > 0) out << ' ';
-      out << row[j];
-    }
-    out << '\n';
-  }
-  if (graph.has_labels()) {
-    out << "labels\n";
-    for (int label : graph.labels()) out << label << '\n';
-  }
-  if (!out) return Status::IoError("write to " + path + " failed");
-  return Status::OK();
-}
-
-Result<MultiplexGraph> LoadGraph(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open " + path);
-  std::string line;
-  if (!std::getline(in, line) || Trim(line) != "umgad-graph v1") {
-    return Status::InvalidArgument(path + ": not a umgad-graph v1 file");
-  }
-
-  std::string name;
-  int nodes = -1;
-  int features = -1;
-  int relations = -1;
-  int labeled = 0;
-  auto read_kv = [&](const char* key, auto* value) -> Status {
-    if (!std::getline(in, line)) {
-      return Status::InvalidArgument(StrFormat("missing '%s' header", key));
-    }
-    std::istringstream ss(line);
-    std::string k;
-    ss >> k >> *value;
-    if (k != key || ss.fail()) {
-      return Status::InvalidArgument(StrFormat("bad '%s' header: %s", key,
-                                               line.c_str()));
-    }
-    return Status::OK();
-  };
-  UMGAD_RETURN_IF_ERROR(read_kv("name", &name));
-  UMGAD_RETURN_IF_ERROR(read_kv("nodes", &nodes));
-  UMGAD_RETURN_IF_ERROR(read_kv("features", &features));
-  UMGAD_RETURN_IF_ERROR(read_kv("relations", &relations));
-  UMGAD_RETURN_IF_ERROR(read_kv("labeled", &labeled));
-  if (nodes <= 0 || features <= 0 || relations <= 0) {
-    return Status::InvalidArgument("non-positive graph dimensions");
-  }
-
-  std::vector<SparseMatrix> layers;
-  std::vector<std::string> rel_names;
-  for (int r = 0; r < relations; ++r) {
-    if (!std::getline(in, line)) {
-      return Status::InvalidArgument("missing relation header");
-    }
-    std::istringstream ss(line);
-    std::string key;
-    std::string rel_name;
-    int64_t edge_count = 0;
-    ss >> key >> rel_name >> edge_count;
-    if (key != "relation" || ss.fail()) {
-      return Status::InvalidArgument("bad relation header: " + line);
-    }
-    std::vector<Edge> edges;
-    edges.reserve(edge_count);
-    for (int64_t e = 0; e < edge_count; ++e) {
-      Edge edge;
-      if (!(in >> edge.src >> edge.dst)) {
-        return Status::InvalidArgument("truncated edge list");
-      }
-      if (edge.src < 0 || edge.src >= nodes || edge.dst < 0 ||
-          edge.dst >= nodes) {
-        return Status::OutOfRange(StrFormat("edge (%d, %d) out of range",
-                                            edge.src, edge.dst));
-      }
-      edges.push_back(edge);
-    }
-    in.ignore();  // trailing newline after operator>>
-    layers.push_back(SparseMatrix::FromEdges(nodes, edges,
-                                             /*symmetrize=*/true));
-    rel_names.push_back(rel_name);
-  }
-
-  if (!std::getline(in, line) || Trim(line) != "attributes") {
-    return Status::InvalidArgument("missing 'attributes' section");
-  }
-  Tensor x(nodes, features);
-  for (int i = 0; i < nodes; ++i) {
-    for (int j = 0; j < features; ++j) {
-      if (!(in >> x.at(i, j))) {
-        return Status::InvalidArgument("truncated attribute matrix");
-      }
-    }
-  }
-  in.ignore();
-
-  std::vector<int> labels;
-  if (labeled) {
-    if (!std::getline(in, line) || Trim(line) != "labels") {
-      return Status::InvalidArgument("missing 'labels' section");
-    }
-    labels.resize(nodes);
-    for (int i = 0; i < nodes; ++i) {
-      if (!(in >> labels[i])) {
-        return Status::InvalidArgument("truncated label list");
-      }
-    }
-  }
-
-  return MultiplexGraph::Create(name, std::move(x), std::move(layers),
-                                std::move(rel_names), std::move(labels));
+  return DatasetRegistry::Global().NamesInGroup(DatasetGroup::kLarge);
 }
 
 }  // namespace umgad

@@ -5,14 +5,19 @@
 #include <vector>
 
 #include "common/result.h"
+#include "graph/io/text_format.h"
 #include "graph/multiplex_graph.h"
 
 namespace umgad {
 
 /// Laptop-scale synthetic equivalents of the paper's six datasets (Table I).
-/// Each generator matches the original's relation names, per-layer density
-/// profile, anomaly type (injected vs organic), and anomaly rate at a
-/// reduced node count; see DESIGN.md §2 for the substitution rationale.
+/// The graphs are described declaratively in the dataset registry
+/// (dataset_registry.h) — SBM config + anomaly config + seed salt — and
+/// each generator here is a thin lookup into it, kept for call-site
+/// convenience. Every build matches the original's relation names,
+/// per-layer density profile, anomaly type (injected vs organic), and
+/// anomaly rate at a reduced node count; see DESIGN.md §2 for the
+/// substitution rationale.
 ///
 /// `scale` multiplies the node count and all edge budgets (1.0 = default
 /// bench scale; tests use smaller, the large-graph bench uses >= 1).
@@ -27,7 +32,9 @@ MultiplexGraph MakeTSocial(uint64_t seed, double scale = 1.0);
 MultiplexGraph MakeTiny(uint64_t seed);
 
 /// Lookup by paper name ("Retail", "Alibaba", "Amazon", "YelpChi",
-/// "DG-Fin", "T-Social").
+/// "DG-Fin", "T-Social"). Equivalent to DatasetRegistry::Global().Build();
+/// prefer LoadDataset (graph/io/graph_io.h) when on-disk datasets should
+/// also resolve.
 Result<MultiplexGraph> MakeDataset(const std::string& name, uint64_t seed,
                                    double scale = 1.0);
 
@@ -36,10 +43,9 @@ std::vector<std::string> SmallDatasetNames();
 /// The two large-scale datasets of Table III.
 std::vector<std::string> LargeDatasetNames();
 
-/// Plain-text single-file serialisation (header, per-relation edge lists,
-/// attribute rows, labels). Used by the custom-dataset example.
-Status SaveGraph(const MultiplexGraph& graph, const std::string& path);
-Result<MultiplexGraph> LoadGraph(const std::string& path);
+// SaveGraph/LoadGraph (the text format) moved to graph/io/text_format.h,
+// re-exported through the include above; the binary format and the
+// edge-list importer live beside it in graph/io/.
 
 }  // namespace umgad
 

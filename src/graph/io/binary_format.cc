@@ -1,0 +1,292 @@
+#include "graph/io/binary_format.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "common/string_util.h"
+#include "graph/io/io_limits.h"
+
+namespace umgad {
+
+const char kBinaryGraphExtension[] = "umgb";
+const char kTextGraphExtension[] = "txt";
+
+namespace {
+
+// "UMGB" in little-endian byte order, followed by the format version. v2
+// is the first binary version (v1 is the text format).
+constexpr uint32_t kMagic = 0x42474D55;  // 'U' 'M' 'G' 'B'
+constexpr uint32_t kTrailerMagic = 0x444E4547;  // 'G' 'E' 'N' 'D'
+constexpr uint32_t kVersion = 2;
+
+constexpr uint32_t kFlagHasLabels = 1u << 0;
+
+bool HostIsLittleEndian() {
+  const uint32_t probe = 1;
+  unsigned char byte;
+  std::memcpy(&byte, &probe, 1);
+  return byte == 1;
+}
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path)
+      : out_(path, std::ios::binary) {}
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  template <typename T>
+  void Pod(T value) {
+    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+
+  void Bytes(const void* data, size_t n) {
+    if (n > 0) out_.write(reinterpret_cast<const char*>(data), n);
+  }
+
+  void String(const std::string& s) {
+    Pod<uint32_t>(static_cast<uint32_t>(s.size()));
+    Bytes(s.data(), s.size());
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path)
+      : in_(path, std::ios::binary) {
+    if (in_) {
+      in_.seekg(0, std::ios::end);
+      file_size_ = static_cast<int64_t>(in_.tellg());
+      in_.seekg(0, std::ios::beg);
+    }
+  }
+
+  bool open() const { return static_cast<bool>(in_.is_open()); }
+
+  /// Remaining unread bytes; bounds every array allocation so a corrupt
+  /// element count cannot OOM — it fails the availability check instead.
+  int64_t Remaining() {
+    return file_size_ - static_cast<int64_t>(in_.tellg());
+  }
+
+  template <typename T>
+  Status Pod(T* value, const char* what) {
+    if (!in_.read(reinterpret_cast<char*>(value), sizeof(T))) {
+      return Status::InvalidArgument(StrFormat("truncated %s", what));
+    }
+    return Status::OK();
+  }
+
+  Status Bytes(void* dst, int64_t n, const char* what) {
+    if (n > Remaining()) {
+      return Status::InvalidArgument(StrFormat(
+          "truncated %s: need %lld bytes, %lld left", what,
+          static_cast<long long>(n), static_cast<long long>(Remaining())));
+    }
+    if (n > 0 && !in_.read(reinterpret_cast<char*>(dst), n)) {
+      return Status::InvalidArgument(StrFormat("truncated %s", what));
+    }
+    return Status::OK();
+  }
+
+  Status String(std::string* s, const char* what) {
+    uint32_t len = 0;
+    UMGAD_RETURN_IF_ERROR(Pod(&len, what));
+    if (static_cast<int64_t>(len) > io_limits::kMaxNameLen) {
+      return Status::InvalidArgument(StrFormat("oversized %s", what));
+    }
+    s->resize(len);
+    return Bytes(s->empty() ? nullptr : &(*s)[0], len, what);
+  }
+
+  template <typename T>
+  Status Array(std::vector<T>* v, int64_t count, const char* what) {
+    // Divide instead of multiplying: count * sizeof(T) could wrap for a
+    // hostile count and slip past the file-size bound into resize().
+    if (count < 0 ||
+        count > Remaining() / static_cast<int64_t>(sizeof(T))) {
+      return Status::InvalidArgument(StrFormat(
+          "truncated or corrupt %s: %lld elements declared", what,
+          static_cast<long long>(count)));
+    }
+    v->resize(count);
+    return Bytes(v->empty() ? nullptr : v->data(),
+                 count * static_cast<int64_t>(sizeof(T)), what);
+  }
+
+ private:
+  std::ifstream in_;
+  int64_t file_size_ = 0;
+};
+
+Status RequireLittleEndianHost() {
+  if (!HostIsLittleEndian()) {
+    return Status::FailedPrecondition(
+        "umgad binary graph files are little-endian; big-endian hosts are "
+        "not supported");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveGraphBinary(const MultiplexGraph& graph, const std::string& path) {
+  UMGAD_RETURN_IF_ERROR(RequireLittleEndianHost());
+  // The writer enforces the same name cap the reader does — otherwise a
+  // programmatically named graph could save fine yet be unloadable.
+  auto check_name = [](const std::string& name) -> Status {
+    if (static_cast<int64_t>(name.size()) > io_limits::kMaxNameLen) {
+      return Status::InvalidArgument(StrFormat(
+          "name of %zu chars exceeds the %lld-char format cap", name.size(),
+          static_cast<long long>(io_limits::kMaxNameLen)));
+    }
+    return Status::OK();
+  };
+  UMGAD_RETURN_IF_ERROR(check_name(graph.name()));
+  for (int r = 0; r < graph.num_relations(); ++r) {
+    UMGAD_RETURN_IF_ERROR(check_name(graph.relation_name(r)));
+  }
+  Writer w(path);
+  if (!w.ok()) return Status::IoError("cannot open " + path + " for writing");
+
+  w.Pod(kMagic);
+  w.Pod(kVersion);
+  w.Pod<uint32_t>(graph.has_labels() ? kFlagHasLabels : 0);
+  w.String(graph.name());
+  w.Pod<uint64_t>(static_cast<uint64_t>(graph.num_nodes()));
+  w.Pod<uint64_t>(static_cast<uint64_t>(graph.feature_dim()));
+  w.Pod<uint64_t>(static_cast<uint64_t>(graph.num_relations()));
+
+  for (int r = 0; r < graph.num_relations(); ++r) {
+    const SparseMatrix& layer = graph.layer(r);
+    w.String(graph.relation_name(r));
+    w.Pod<uint64_t>(static_cast<uint64_t>(layer.nnz()));
+    w.Bytes(layer.row_ptr().data(),
+            layer.row_ptr().size() * sizeof(int64_t));
+    w.Bytes(layer.col_idx().data(), layer.col_idx().size() * sizeof(int));
+    w.Bytes(layer.values().data(), layer.values().size() * sizeof(float));
+  }
+
+  const Tensor& x = graph.attributes();
+  w.Bytes(x.data(), static_cast<size_t>(x.size()) * sizeof(float));
+  if (graph.has_labels()) {
+    w.Bytes(graph.labels().data(), graph.labels().size() * sizeof(int));
+  }
+  w.Pod(kTrailerMagic);
+
+  if (!w.ok()) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<MultiplexGraph> LoadGraphBinary(const std::string& path) {
+  UMGAD_RETURN_IF_ERROR(RequireLittleEndianHost());
+  Reader in(path);
+  if (!in.open()) return Status::IoError("cannot open " + path);
+
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  UMGAD_RETURN_IF_ERROR(in.Pod(&magic, "magic"));
+  if (magic != kMagic) {
+    return Status::InvalidArgument(path + ": not a umgad binary graph file");
+  }
+  UMGAD_RETURN_IF_ERROR(in.Pod(&version, "version"));
+  if (version != kVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: unsupported binary graph version %u (expected %u)",
+        path.c_str(), version, kVersion));
+  }
+  UMGAD_RETURN_IF_ERROR(in.Pod(&flags, "flags"));
+  if ((flags & ~kFlagHasLabels) != 0) {
+    return Status::InvalidArgument(StrFormat("unknown flag bits 0x%x",
+                                             flags & ~kFlagHasLabels));
+  }
+
+  std::string name;
+  UMGAD_RETURN_IF_ERROR(in.String(&name, "name"));
+  uint64_t nodes = 0;
+  uint64_t features = 0;
+  uint64_t relations = 0;
+  UMGAD_RETURN_IF_ERROR(in.Pod(&nodes, "node count"));
+  UMGAD_RETURN_IF_ERROR(in.Pod(&features, "feature dim"));
+  UMGAD_RETURN_IF_ERROR(in.Pod(&relations, "relation count"));
+  if (nodes == 0 || features == 0 || relations == 0 ||
+      nodes > static_cast<uint64_t>(io_limits::kMaxNodes) ||
+      features > static_cast<uint64_t>(io_limits::kMaxFeatures) ||
+      relations > static_cast<uint64_t>(io_limits::kMaxRelations) ||
+      nodes * features >
+          static_cast<uint64_t>(io_limits::kMaxAttributeEntries)) {
+    return Status::InvalidArgument(StrFormat(
+        "oversized or empty header: %llu nodes x %llu features, "
+        "%llu relations",
+        static_cast<unsigned long long>(nodes),
+        static_cast<unsigned long long>(features),
+        static_cast<unsigned long long>(relations)));
+  }
+  const int n = static_cast<int>(nodes);
+  const int d = static_cast<int>(features);
+
+  std::vector<SparseMatrix> layers;
+  std::vector<std::string> rel_names;
+  for (uint64_t r = 0; r < relations; ++r) {
+    std::string rel_name;
+    UMGAD_RETURN_IF_ERROR(in.String(&rel_name, "relation name"));
+    for (const std::string& seen : rel_names) {
+      if (seen == rel_name) {
+        return Status::InvalidArgument("duplicate relation name '" +
+                                       rel_name + "'");
+      }
+    }
+    uint64_t nnz = 0;
+    UMGAD_RETURN_IF_ERROR(in.Pod(&nnz, "nnz"));
+    std::vector<int64_t> row_ptr;
+    std::vector<int> col_idx;
+    std::vector<float> values;
+    UMGAD_RETURN_IF_ERROR(
+        in.Array(&row_ptr, static_cast<int64_t>(nodes) + 1, "row_ptr"));
+    UMGAD_RETURN_IF_ERROR(
+        in.Array(&col_idx, static_cast<int64_t>(nnz), "col_idx"));
+    UMGAD_RETURN_IF_ERROR(
+        in.Array(&values, static_cast<int64_t>(nnz), "values"));
+    UMGAD_ASSIGN_OR_RETURN(
+        SparseMatrix layer,
+        SparseMatrix::FromCsr(n, n, std::move(row_ptr), std::move(col_idx),
+                              std::move(values)));
+    layers.push_back(std::move(layer));
+    rel_names.push_back(std::move(rel_name));
+  }
+
+  Tensor x(n, d);
+  UMGAD_RETURN_IF_ERROR(in.Bytes(
+      x.data(), static_cast<int64_t>(x.size()) * sizeof(float),
+      "attribute matrix"));
+
+  std::vector<int> labels;
+  if (flags & kFlagHasLabels) {
+    UMGAD_RETURN_IF_ERROR(
+        in.Array(&labels, static_cast<int64_t>(nodes), "labels"));
+  }
+
+  uint32_t trailer = 0;
+  UMGAD_RETURN_IF_ERROR(in.Pod(&trailer, "trailer"));
+  if (trailer != kTrailerMagic) {
+    return Status::InvalidArgument(path + ": bad trailer (truncated file?)");
+  }
+
+  return MultiplexGraph::Create(name, std::move(x), std::move(layers),
+                                std::move(rel_names), std::move(labels));
+}
+
+bool LooksLikeBinaryGraph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  uint32_t magic = 0;
+  if (!in.read(reinterpret_cast<char*>(&magic), sizeof(magic))) return false;
+  return magic == kMagic;
+}
+
+}  // namespace umgad

@@ -1,0 +1,23 @@
+#ifndef UMGAD_GRAPH_IO_IO_LIMITS_H_
+#define UMGAD_GRAPH_IO_IO_LIMITS_H_
+
+#include <cstdint>
+
+namespace umgad {
+namespace io_limits {
+
+/// Shared header sanity bounds for every graph loader (text, binary,
+/// edge list): a corrupt or hostile size field must produce a Status, not
+/// a multi-gigabyte allocation. The caps are far above any graph this
+/// library can train on while keeping worst-case pre-validation
+/// allocations harmless. One definition so the loaders cannot drift.
+constexpr int64_t kMaxNodes = 100'000'000;
+constexpr int64_t kMaxFeatures = 65'536;
+constexpr int64_t kMaxRelations = 4'096;
+constexpr int64_t kMaxNameLen = 4'096;
+constexpr int64_t kMaxAttributeEntries = int64_t{1} << 31;  // 8 GiB of f32
+
+}  // namespace io_limits
+}  // namespace umgad
+
+#endif  // UMGAD_GRAPH_IO_IO_LIMITS_H_

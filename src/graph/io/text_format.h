@@ -1,0 +1,25 @@
+#ifndef UMGAD_GRAPH_IO_TEXT_FORMAT_H_
+#define UMGAD_GRAPH_IO_TEXT_FORMAT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/multiplex_graph.h"
+
+namespace umgad {
+
+/// Plain-text single-file serialisation ("umgad-graph v1"): header,
+/// per-relation undirected edge lists, attribute rows, labels. Human
+/// readable and diff friendly; use the binary format (binary_format.h) for
+/// anything larger than toy graphs — it loads orders of magnitude faster.
+///
+/// Attributes are written at float max_digits10, so a save/load round trip
+/// is bit-exact. Dataset and relation names may contain spaces (parsed as
+/// rest-of-line / all-tokens-but-count respectively); newlines are the only
+/// disallowed name characters.
+Status SaveGraph(const MultiplexGraph& graph, const std::string& path);
+Result<MultiplexGraph> LoadGraph(const std::string& path);
+
+}  // namespace umgad
+
+#endif  // UMGAD_GRAPH_IO_TEXT_FORMAT_H_

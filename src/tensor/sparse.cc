@@ -81,6 +81,46 @@ SparseMatrix SparseMatrix::FromEdges(int n, const std::vector<Edge>& edges,
   return m;
 }
 
+Result<SparseMatrix> SparseMatrix::FromCsr(int rows, int cols,
+                                           std::vector<int64_t> row_ptr,
+                                           std::vector<int> col_idx,
+                                           std::vector<float> values) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("negative CSR dimensions");
+  }
+  if (row_ptr.size() != static_cast<size_t>(rows) + 1) {
+    return Status::InvalidArgument("row_ptr size must be rows + 1");
+  }
+  if (col_idx.size() != values.size()) {
+    return Status::InvalidArgument("col_idx/values size mismatch");
+  }
+  const int64_t nnz = static_cast<int64_t>(col_idx.size());
+  if (row_ptr.front() != 0 || row_ptr.back() != nnz) {
+    return Status::InvalidArgument("row_ptr must span [0, nnz]");
+  }
+  for (int i = 0; i < rows; ++i) {
+    if (row_ptr[i] > row_ptr[i + 1]) {
+      return Status::InvalidArgument("row_ptr is not monotonic");
+    }
+    for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      if (col_idx[k] < 0 || col_idx[k] >= cols) {
+        return Status::OutOfRange("CSR column index out of range");
+      }
+      if (k > row_ptr[i] && col_idx[k] <= col_idx[k - 1]) {
+        return Status::InvalidArgument(
+            "CSR columns must be strictly ascending within each row");
+      }
+    }
+  }
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
 SparseMatrix SparseMatrix::Identity(int n) {
   SparseMatrix m;
   m.rows_ = n;

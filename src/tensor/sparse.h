@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/result.h"
 #include "tensor/tensor.h"
 
 namespace umgad {
@@ -37,6 +38,17 @@ class SparseMatrix {
   /// edge is inserted in both directions (self-duplicates collapse).
   static SparseMatrix FromEdges(int n, const std::vector<Edge>& edges,
                                 bool symmetrize);
+
+  /// Adopt raw CSR arrays without re-sorting (the binary graph loader's
+  /// zero-copy path). Validates the invariants every other constructor
+  /// guarantees — monotonic row_ptr covering all of col_idx/values, and
+  /// strictly ascending in-range columns within each row — and returns an
+  /// error Status for malformed input instead of constructing a matrix
+  /// that would break those invariants downstream.
+  static Result<SparseMatrix> FromCsr(int rows, int cols,
+                                      std::vector<int64_t> row_ptr,
+                                      std::vector<int> col_idx,
+                                      std::vector<float> values);
 
   static SparseMatrix Identity(int n);
 

@@ -1,9 +1,11 @@
+#include <cstdio>
 #include <cstdlib>
 
 #include <gtest/gtest.h>
 
 #include "eval/experiment.h"
 #include "graph/datasets.h"
+#include "tensor/init.h"
 
 namespace umgad {
 namespace {
@@ -30,6 +32,24 @@ TEST(ExperimentTest, UnknownDatasetFails) {
   auto result =
       RunExperiment("PREM", "Nope", {1}, ThresholdMode::kInflection);
   EXPECT_FALSE(result.ok());
+}
+
+TEST(ExperimentTest, UnlabeledDatasetFileFailsWithStatus) {
+  // An on-disk dataset without ground truth (a raw import saved without
+  // injection) must error cleanly, not trip EvaluateFitted's CHECK.
+  Rng rng(3);
+  Tensor x = RandomNormal(6, 4, 0, 1, &rng);
+  SparseMatrix a = SparseMatrix::FromEdges(
+      6, {Edge{0, 1}, Edge{1, 2}, Edge{3, 4}}, true);
+  auto g = MultiplexGraph::Create("unlabeled", std::move(x), {a}, {"r"});
+  ASSERT_TRUE(g.ok());
+  const std::string path = ::testing::TempDir() + "/unlabeled_exp.txt";
+  ASSERT_TRUE(SaveGraph(*g, path).ok());
+  auto result = RunExperiment("PREM", path, {1}, ThresholdMode::kInflection);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("labels"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST(ExperimentTest, LeakageModeUsesTrueCount) {
