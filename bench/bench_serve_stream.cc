@@ -1,0 +1,146 @@
+// Online serving throughput: trains UMGAD once, stands up the OnlineScorer,
+// and streams randomized edge inserts/removals through ApplyEdgeUpdate,
+// reporting sustained edges/s, p50/p99 per-update re-score latency, dirty
+// row counts, and cache hit rates — against the cost of the from-scratch
+// serial re-score (RescoreFullNaive) the incremental path replaces. Run
+// with an unlimited row cache and with a 25% hot-node budget to expose the
+// memory/latency trade. Numbers land in docs/PERFORMANCE.md.
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/model_io.h"
+#include "serve/online_scorer.h"
+
+namespace umgad {
+namespace {
+
+using serve::DynamicAdjacency;
+using serve::EdgeUpdate;
+using serve::OnlineScorer;
+using serve::ServeOptions;
+
+std::vector<EdgeUpdate> MakeStream(const MultiplexGraph& graph, int count,
+                                   uint64_t seed) {
+  std::vector<DynamicAdjacency> mirror;
+  for (int r = 0; r < graph.num_relations(); ++r) {
+    mirror.emplace_back(graph.layer(r));
+  }
+  Rng rng(seed);
+  std::vector<EdgeUpdate> updates;
+  while (static_cast<int>(updates.size()) < count) {
+    EdgeUpdate u;
+    u.relation = static_cast<int>(rng.UniformInt(graph.num_relations()));
+    u.src = static_cast<int>(rng.UniformInt(graph.num_nodes()));
+    u.dst = static_cast<int>(rng.UniformInt(graph.num_nodes()));
+    if (u.src == u.dst) continue;
+    u.add = !mirror[u.relation].Has(u.src, u.dst);
+    if (u.add) {
+      mirror[u.relation].AddEntry(u.src, u.dst, 1.0f);
+      mirror[u.relation].AddEntry(u.dst, u.src, 1.0f);
+    } else {
+      mirror[u.relation].RemoveEntry(u.src, u.dst);
+      mirror[u.relation].RemoveEntry(u.dst, u.src);
+    }
+    updates.push_back(u);
+  }
+  return updates;
+}
+
+struct StreamResult {
+  double edges_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_dirty_rows = 0.0;
+  double hit_rate = 0.0;
+};
+
+StreamResult RunStream(OnlineScorer* scorer,
+                       const std::vector<EdgeUpdate>& updates) {
+  std::vector<double> latencies_us;
+  latencies_us.reserve(updates.size());
+  int64_t dirty = 0;
+  WallTimer total;
+  for (const EdgeUpdate& u : updates) {
+    WallTimer timer;
+    UMGAD_CHECK(scorer->ApplyEdgeUpdate(u).ok());
+    latencies_us.push_back(timer.ElapsedSeconds() * 1e6);
+    dirty += scorer->stats().last_dirty_rows;
+  }
+  const double seconds = total.ElapsedSeconds();
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  StreamResult result;
+  result.edges_per_sec = seconds > 0 ? updates.size() / seconds : 0.0;
+  result.p50_us = latencies_us[latencies_us.size() / 2];
+  result.p99_us = latencies_us[latencies_us.size() * 99 / 100];
+  result.mean_dirty_rows =
+      static_cast<double>(dirty) / static_cast<double>(updates.size());
+  const serve::ServeStats& stats = scorer->stats();
+  const int64_t lookups = stats.cache_hits + stats.cache_misses;
+  result.hit_rate =
+      lookups > 0 ? static_cast<double>(stats.cache_hits) / lookups : 0.0;
+  return result;
+}
+
+int Main() {
+  SetLogLevel(LogLevel::kWarning);
+  bench::PrintHeader("Online serving — streamed edge updates",
+                     "serve subsystem (no paper analogue)");
+
+  const double scale = BenchScale(0.3);
+  const int stream_len = 400;
+  MultiplexGraph graph = bench::LoadBenchDataset("Retail", /*seed=*/1, scale);
+  std::cout << "Graph: " << graph.Summary() << "\n";
+
+  UmgadModel model(bench::BenchUmgadConfig(/*seed=*/7, /*default_epochs=*/10));
+  UMGAD_CHECK(model.Fit(graph).ok());
+  Result<TrainedModel> trained = TrainedModel::FromFitted(model, graph);
+  UMGAD_CHECK(trained.ok());
+  std::cout << "Model: " << trained->weights().size()
+            << " weight tensors, fit " << FormatFloat(model.fit_seconds(), 2)
+            << " s\n\n";
+
+  const std::vector<EdgeUpdate> updates = MakeStream(graph, stream_len, 31);
+
+  // The cost the incremental path replaces: one serial full re-score.
+  ServeOptions unlimited;
+  Result<std::unique_ptr<OnlineScorer>> probe =
+      OnlineScorer::Create(*trained, graph, unlimited);
+  UMGAD_CHECK(probe.ok());
+  WallTimer naive_timer;
+  (void)(*probe)->RescoreFullNaive();
+  const double naive_ms = naive_timer.ElapsedMillis();
+
+  TablePrinter table;
+  table.SetHeader({"Cache budget", "Edges/s", "p50 (us)", "p99 (us)",
+                   "Dirty rows/update", "Hit rate"});
+  for (int budget : {-1, graph.num_nodes() / 4}) {
+    ServeOptions options;
+    options.cache_budget_nodes = budget;
+    Result<std::unique_ptr<OnlineScorer>> scorer =
+        OnlineScorer::Create(*trained, graph, options);
+    UMGAD_CHECK(scorer.ok());
+    const StreamResult r = RunStream(scorer->get(), updates);
+    table.AddRow({budget < 0 ? "unlimited"
+                             : StrFormat("%d nodes (25%%)", budget),
+                  FormatFloat(r.edges_per_sec, 0), FormatFloat(r.p50_us, 1),
+                  FormatFloat(r.p99_us, 1),
+                  FormatFloat(r.mean_dirty_rows, 1),
+                  FormatFloat(100.0 * r.hit_rate, 1) + "%"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nFull serial re-score (the replaced cost): "
+            << FormatFloat(naive_ms, 2) << " ms ("
+            << FormatFloat(1000.0 / std::max(naive_ms, 1e-9), 1)
+            << " updates/s if recomputed per edge)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace umgad
+
+int main() { return umgad::Main(); }

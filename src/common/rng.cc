@@ -115,4 +115,18 @@ int Rng::SampleDiscrete(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+Rng::State Rng::state() const {
+  State out;
+  for (int i = 0; i < 4; ++i) out.s[i] = state_[i];
+  out.has_cached_normal = has_cached_normal_;
+  out.cached_normal = cached_normal_;
+  return out;
+}
+
+void Rng::set_state(const State& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace umgad

@@ -64,6 +64,19 @@ class Rng {
   /// Derive an independent child generator (for per-component streams).
   Rng Fork();
 
+  /// Full generator state (xoshiro words + the Box-Muller cache), for
+  /// checkpointing a stream mid-walk. set_state() makes this generator
+  /// continue exactly where the captured one would have — the trained-model
+  /// artifact (.umgm) stores the post-training state so the scoring pass
+  /// replays bit-identically after a reload.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State state() const;
+  void set_state(const State& state);
+
  private:
   uint64_t state_[4];
   bool has_cached_normal_ = false;

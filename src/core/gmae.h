@@ -38,6 +38,17 @@ class Gmae : public nn::Module {
   ag::VarPtr Embed(std::shared_ptr<const SparseMatrix> adj,
                    const Tensor& x) const;
 
+  // Layer access for the serve-layer per-row forward engine, which unrolls
+  // the encoder/decoder stack into per-row stages (src/serve/engine.h).
+  EncoderKind encoder_kind() const { return kind_; }
+  const std::vector<std::unique_ptr<nn::GatConv>>& gat_layers() const {
+    return gat_layers_;
+  }
+  const std::vector<std::unique_ptr<nn::SgcConv>>& sgc_layers() const {
+    return sgc_layers_;
+  }
+  const nn::SgcConv& decoder() const { return *decoder_; }
+
  private:
   ag::VarPtr Encode(const std::shared_ptr<const SparseMatrix>& adj,
                     const ag::VarPtr& h) const;

@@ -204,7 +204,11 @@ Status UmgadModel::Fit(const MultiplexGraph& graph) {
                        : epoch_time_acc / static_cast<double>(
                              loss_history_.size());
 
-  // Scoring (Eq. 19) over the unperturbed graph.
+  // Scoring (Eq. 19) over the unperturbed graph. The Rng state is captured
+  // first so a serialized model (core/model_io) can replay this exact pass:
+  // view->Score is deterministic, and ComputeAnomalyScores walks the stream
+  // from precisely this point.
+  scoring_rng_state_ = rng.state();
   std::vector<ViewScoring> scorings;
   for (ReconstructionView* view :
        {original_.get(), attr_augmented_.get(), subgraph_augmented_.get()}) {
@@ -218,6 +222,15 @@ Status UmgadModel::Fit(const MultiplexGraph& graph) {
   ag::Tape::Global().Reset();
   fit_seconds_ = total_timer.ElapsedSeconds();
   return Status::OK();
+}
+
+std::vector<const ReconstructionView*> UmgadModel::ActiveViews() const {
+  std::vector<const ReconstructionView*> views;
+  for (const ReconstructionView* view :
+       {original_.get(), attr_augmented_.get(), subgraph_augmented_.get()}) {
+    if (view != nullptr) views.push_back(view);
+  }
+  return views;
 }
 
 std::vector<int> UmgadModel::PredictUnsupervised() const {

@@ -48,6 +48,17 @@ class UmgadModel : public Detector {
 
   const UmgadConfig& config() const { return config_; }
 
+  /// The fitted reconstruction views in scoring order (original,
+  /// attr-augmented, subgraph-augmented; inactive views skipped). Valid
+  /// after Fit. Used by core/model_io to serialize the trained weights.
+  std::vector<const ReconstructionView*> ActiveViews() const;
+
+  /// Rng state captured right before the post-training scoring pass
+  /// (ComputeAnomalyScores draws the structure-residual negatives from this
+  /// stream). Saved into the .umgm artifact so a reloaded model replays the
+  /// scoring pass bit-identically. Valid after Fit.
+  const Rng::State& scoring_rng_state() const { return scoring_rng_state_; }
+
   /// Allocator accounting from the last Fit: fresh tensor-buffer bytes the
   /// TensorPool had to heap-allocate during the first epoch vs. the sum
   /// over all later epochs. With the arena on, warm shapes recycle and the
@@ -66,6 +77,7 @@ class UmgadModel : public Detector {
   std::vector<double> scores_;
   std::vector<double> loss_history_;
   ThresholdResult threshold_;
+  Rng::State scoring_rng_state_;
   double fit_seconds_ = 0.0;
   double epoch_seconds_ = 0.0;
   int64_t first_epoch_fresh_bytes_ = 0;

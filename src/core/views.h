@@ -57,6 +57,18 @@ class ReconstructionView : public nn::Module {
   /// Learned attribute-fusion weights a_r (diagnostics).
   std::vector<double> FusionWeights() const { return fusion_a_->Weights(); }
 
+  Kind kind() const { return kind_; }
+
+  // Component access for model serialization (core/model_io) and the
+  // serve-layer forward engine (src/serve). struct_gmae() is nullptr when
+  // the view shares the attribute encoder for structure embeddings (every
+  // view except kOriginal).
+  const Gmae& attr_gmae(int r) const { return *attr_gmae_[r]; }
+  const Gmae* struct_gmae(int r) const {
+    return struct_gmae_.empty() ? nullptr : struct_gmae_[r].get();
+  }
+  const RelationFusion& fusion_a() const { return *fusion_a_; }
+
  private:
   ViewForward ForwardOriginal(
       const MultiplexGraph& graph,

@@ -32,6 +32,15 @@ class GatConv : public Module {
   ag::VarPtr ForwardNaive(std::shared_ptr<const SparseMatrix> adj,
                           const ag::VarPtr& x) const;
 
+  // Weight/topology access for the serve-layer per-row forward engine
+  // (src/serve), which re-runs this layer's exact arithmetic one node at a
+  // time against a dynamic adjacency.
+  const Tensor& weight_value() const { return weight_->value(); }
+  const Tensor& attn_src_value() const { return attn_src_->value(); }
+  const Tensor& attn_dst_value() const { return attn_dst_->value(); }
+  Activation activation() const { return act_; }
+  float negative_slope() const { return slope_; }
+
  private:
   Activation act_;
   float slope_;

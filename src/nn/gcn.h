@@ -42,6 +42,12 @@ class SgcConv : public Module {
   ag::VarPtr Forward(std::shared_ptr<const SparseMatrix> norm_adj,
                      const ag::VarPtr& x) const;
 
+  // Weight/shape access for the serve-layer per-row forward engine.
+  const Tensor& weight_value() const { return weight_->value(); }
+  const Tensor& bias_value() const { return bias_->value(); }
+  int hops() const { return hops_; }
+  Activation activation() const { return act_; }
+
  private:
   int hops_;
   Activation act_;

@@ -1,0 +1,88 @@
+#include "serve/dynamic_adjacency.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace umgad {
+namespace serve {
+
+DynamicAdjacency::DynamicAdjacency(const SparseMatrix& m) {
+  UMGAD_CHECK_EQ(m.rows(), m.cols());
+  const int n = m.rows();
+  cols_.resize(n);
+  vals_.resize(n);
+  row_sum_.assign(n, 0.0);
+  const auto& rp = m.row_ptr();
+  const auto& ci = m.col_idx();
+  const auto& v = m.values();
+  for (int i = 0; i < n; ++i) {
+    const int64_t begin = rp[i];
+    const int64_t end = rp[i + 1];
+    cols_[i].assign(ci.begin() + begin, ci.begin() + end);
+    vals_[i].assign(v.begin() + begin, v.begin() + end);
+    RecomputeRowSum(i);
+  }
+  nnz_ = m.nnz();
+}
+
+bool DynamicAdjacency::Has(int i, int j) const {
+  UMGAD_CHECK(i >= 0 && i < rows());
+  return std::binary_search(cols_[i].begin(), cols_[i].end(), j);
+}
+
+bool DynamicAdjacency::AddEntry(int i, int j, float value) {
+  UMGAD_CHECK(i >= 0 && i < rows());
+  UMGAD_CHECK(j >= 0 && j < rows());
+  if (i == j) return false;
+  auto it = std::lower_bound(cols_[i].begin(), cols_[i].end(), j);
+  if (it != cols_[i].end() && *it == j) return false;
+  const size_t pos = static_cast<size_t>(it - cols_[i].begin());
+  cols_[i].insert(it, j);
+  vals_[i].insert(vals_[i].begin() + pos, value);
+  RecomputeRowSum(i);
+  ++nnz_;
+  return true;
+}
+
+bool DynamicAdjacency::RemoveEntry(int i, int j) {
+  UMGAD_CHECK(i >= 0 && i < rows());
+  auto it = std::lower_bound(cols_[i].begin(), cols_[i].end(), j);
+  if (it == cols_[i].end() || *it != j) return false;
+  const size_t pos = static_cast<size_t>(it - cols_[i].begin());
+  cols_[i].erase(it);
+  vals_[i].erase(vals_[i].begin() + pos);
+  RecomputeRowSum(i);
+  --nnz_;
+  return true;
+}
+
+SparseMatrix DynamicAdjacency::ToSparse() const {
+  const int n = rows();
+  std::vector<int64_t> row_ptr(n + 1, 0);
+  std::vector<int> col_idx;
+  std::vector<float> values;
+  col_idx.reserve(static_cast<size_t>(nnz_));
+  values.reserve(static_cast<size_t>(nnz_));
+  for (int i = 0; i < n; ++i) {
+    row_ptr[i + 1] = row_ptr[i] + static_cast<int64_t>(cols_[i].size());
+    col_idx.insert(col_idx.end(), cols_[i].begin(), cols_[i].end());
+    values.insert(values.end(), vals_[i].begin(), vals_[i].end());
+  }
+  Result<SparseMatrix> m = SparseMatrix::FromCsr(
+      n, n, std::move(row_ptr), std::move(col_idx), std::move(values));
+  UMGAD_CHECK(m.ok());
+  return std::move(m).value();
+}
+
+void DynamicAdjacency::RecomputeRowSum(int i) {
+  // Full ascending re-sum, not += delta: keeps the accumulation order (and
+  // therefore the rounded double) identical to SparseMatrix::RowSums() on
+  // the equivalent CSR.
+  double s = 0.0;
+  for (float v : vals_[i]) s += v;
+  row_sum_[i] = s;
+}
+
+}  // namespace serve
+}  // namespace umgad

@@ -1,0 +1,94 @@
+#ifndef UMGAD_SERVE_DYNAMIC_ADJACENCY_H_
+#define UMGAD_SERVE_DYNAMIC_ADJACENCY_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/sparse.h"
+
+namespace umgad {
+namespace serve {
+
+/// Mutable adjacency for the online scoring service: per-row sorted
+/// neighbour lists supporting O(log deg) membership tests and O(deg)
+/// single-entry inserts/removes, convertible back to the immutable CSR
+/// form. The serve engine's per-row kernels read rows straight out of this
+/// structure, merging the self loop of the symmetric-normalised operator on
+/// the fly (see NormInvSqrt / ForEachNormEntry), so no CSR rebuild happens
+/// on an edge update.
+///
+/// Bit-compatibility contract: for any state reachable by mutations,
+/// ToSparse() equals the CSR FromCoo would build from the same entry set,
+/// and row_sum(i) equals SparseMatrix::RowSums()[i] of that CSR — the
+/// per-row sums are re-accumulated in ascending-column order on every
+/// mutation rather than adjusted by +/- delta, so the floating-point
+/// association matches the batch path exactly.
+///
+/// Rows are directed entries; the OnlineScorer applies undirected updates
+/// symmetrically. Self loops are rejected (the multiplex layers are simple
+/// graphs; the normalised operator adds its own loop).
+class DynamicAdjacency {
+ public:
+  DynamicAdjacency() = default;
+  explicit DynamicAdjacency(const SparseMatrix& m);
+
+  int rows() const { return static_cast<int>(cols_.size()); }
+  int64_t nnz() const { return nnz_; }
+
+  bool Has(int i, int j) const;
+  /// Insert entry (i, j) with the given value. Returns false (no change)
+  /// if the entry already exists or i == j.
+  bool AddEntry(int i, int j, float value);
+  /// Remove entry (i, j). Returns false (no change) if absent.
+  bool RemoveEntry(int i, int j);
+
+  const std::vector<int>& neighbors(int i) const { return cols_[i]; }
+  const std::vector<float>& values(int i) const { return vals_[i]; }
+  int degree(int i) const { return static_cast<int>(cols_[i].size()); }
+
+  /// Row sum of (this matrix), accumulated ascending like
+  /// SparseMatrix::RowSums().
+  double row_sum(int i) const { return row_sum_[i]; }
+
+  /// 1/sqrt(deg_i) of (S + I) — the per-row scale of
+  /// SparseMatrix::NormalizedWithSelfLoops().
+  double NormInvSqrt(int i) const { return 1.0 / std::sqrt(row_sum_[i] + 1.0); }
+
+  /// Visit row i of the symmetric-normalised operator with self loop, in
+  /// ascending column order, producing per-entry float values bit-identical
+  /// to NormalizedWithSelfLoops(): neighbours j get
+  /// (float)(v_ij * inv_i * inv_j), the loop gets (float)(inv_i * inv_i).
+  template <typename Fn>
+  void ForEachNormEntry(int i, Fn&& fn) const {
+    const double inv_i = NormInvSqrt(i);
+    const std::vector<int>& cols = cols_[i];
+    const std::vector<float>& vals = vals_[i];
+    bool self_done = false;
+    for (size_t k = 0; k < cols.size(); ++k) {
+      const int j = cols[k];
+      if (!self_done && j > i) {
+        fn(i, static_cast<float>(inv_i * inv_i));
+        self_done = true;
+      }
+      fn(j, static_cast<float>(vals[k] * inv_i * NormInvSqrt(j)));
+    }
+    if (!self_done) fn(i, static_cast<float>(inv_i * inv_i));
+  }
+
+  /// Rebuild the immutable CSR (FromCoo-canonical: ascending columns).
+  SparseMatrix ToSparse() const;
+
+ private:
+  void RecomputeRowSum(int i);
+
+  std::vector<std::vector<int>> cols_;
+  std::vector<std::vector<float>> vals_;
+  std::vector<double> row_sum_;
+  int64_t nnz_ = 0;
+};
+
+}  // namespace serve
+}  // namespace umgad
+
+#endif  // UMGAD_SERVE_DYNAMIC_ADJACENCY_H_

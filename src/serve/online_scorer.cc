@@ -1,0 +1,970 @@
+#include "serve/online_scorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "core/scorer.h"
+#include "core/views.h"
+#include "nn/gcn.h"
+
+namespace umgad {
+namespace serve {
+namespace {
+
+double SigmoidD(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// The batch activations' float arithmetic (tensor/ops.cc UnaryOp lambdas),
+/// applied elementwise after a stage's accumulation.
+float ApplyActivation(float x, nn::Activation act) {
+  switch (act) {
+    case nn::Activation::kNone:
+      return x;
+    case nn::Activation::kRelu:
+      return x > 0.0f ? x : 0.0f;
+    case nn::Activation::kLeakyRelu:
+      return x > 0.0f ? x : 0.2f * x;
+    case nn::Activation::kElu:
+      return x > 0.0f ? x : std::exp(x) - 1.0f;
+    case nn::Activation::kTanh:
+      return std::tanh(x);
+  }
+  return x;
+}
+
+uint64_t MixSeed(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Seed of the per-(view, relation, node) negative-sample stream. A node's
+/// structure-residual negatives depend on nothing but this seed and the
+/// node's own adjacency row, which is what makes single-node re-scoring
+/// possible (the training-time sampler walks one sequential stream
+/// node-major and cannot be replayed per node).
+uint64_t NegativeStreamSeed(uint64_t model_seed, int view, int rel, int node) {
+  uint64_t h = MixSeed(model_seed, 0x53455256454E4547ULL);  // "SERVENEG"
+  h = MixSeed(h, static_cast<uint64_t>(view));
+  h = MixSeed(h, static_cast<uint64_t>(rel));
+  h = MixSeed(h, static_cast<uint64_t>(node));
+  return h;
+}
+
+/// graph_ops.cc SampleNonNeighbors against the dynamic adjacency: the same
+/// rejection walk and deterministic fallback pad.
+std::vector<int> SampleNonNeighborsDyn(const DynamicAdjacency& adj, int src,
+                                       int count, Rng* rng) {
+  std::vector<int> out;
+  out.reserve(count);
+  const int n = adj.rows();
+  int attempts = 0;
+  const int max_attempts = count * 50 + 100;
+  while (static_cast<int>(out.size()) < count && attempts < max_attempts) {
+    ++attempts;
+    const int cand = static_cast<int>(rng->UniformInt(n));
+    if (cand == src || adj.Has(src, cand)) continue;
+    out.push_back(cand);
+  }
+  int fallback = 0;
+  while (static_cast<int>(out.size()) < count && fallback < n) {
+    if (fallback != src) out.push_back(fallback);
+    ++fallback;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Stage pipeline: each GMAE encoder/decoder unrolls into a list of per-row
+// stages. A stage's row i is a pure function of the previous stage's rows
+// (its own row for kProject/kBiasAct, the normalised-operator row pattern
+// for kSpmm/kGatAttend), which is what the dirty-front propagation and the
+// row-level cache rely on.
+// ---------------------------------------------------------------------------
+
+enum class StageKind { kProject, kSpmm, kGatAttend, kBiasAct };
+
+struct StagePlan {
+  StageKind kind = StageKind::kProject;
+  int out_dim = 0;
+  Tensor weight;        // kProject
+  Tensor a_src, a_dst;  // kGatAttend
+  float slope = 0.2f;   // kGatAttend
+  Tensor bias;          // kBiasAct
+  nn::Activation act = nn::Activation::kNone;  // kGatAttend / kBiasAct
+};
+
+struct ChainPlan {
+  std::vector<StagePlan> stages;
+  int embed_stage = -1;  // last encoder stage (the structure embedding)
+};
+
+struct ViewPlan {
+  bool attr_used = false;       // attribute distances feed the score
+  bool struct_used = false;     // structure residuals feed the score
+  bool separate_struct = false; // kOriginal: struct embeddings use own chains
+  std::vector<ChainPlan> attr_chains;    // per relation
+  std::vector<ChainPlan> struct_chains;  // per relation (separate_struct)
+  std::vector<float> fusion_w;           // SimplexWeightedSum softmax weights
+};
+
+void AppendSgcStages(ChainPlan* chain, const nn::SgcConv& layer) {
+  const int out_dim = layer.weight_value().cols();
+  StagePlan p;
+  p.kind = StageKind::kProject;
+  p.weight = layer.weight_value();
+  p.out_dim = out_dim;
+  chain->stages.push_back(std::move(p));
+  for (int h = 0; h < layer.hops(); ++h) {
+    StagePlan s;
+    s.kind = StageKind::kSpmm;
+    s.out_dim = out_dim;
+    chain->stages.push_back(std::move(s));
+  }
+  StagePlan b;
+  b.kind = StageKind::kBiasAct;
+  b.bias = layer.bias_value();
+  b.act = layer.activation();
+  b.out_dim = out_dim;
+  chain->stages.push_back(std::move(b));
+}
+
+ChainPlan BuildChain(const Gmae& gmae, bool with_decoder) {
+  ChainPlan chain;
+  if (gmae.encoder_kind() == EncoderKind::kGat) {
+    for (const auto& layer : gmae.gat_layers()) {
+      StagePlan p;
+      p.kind = StageKind::kProject;
+      p.weight = layer->weight_value();
+      p.out_dim = p.weight.cols();
+      chain.stages.push_back(std::move(p));
+      StagePlan a;
+      a.kind = StageKind::kGatAttend;
+      a.a_src = layer->attn_src_value();
+      a.a_dst = layer->attn_dst_value();
+      a.slope = layer->negative_slope();
+      a.act = layer->activation();
+      a.out_dim = a.a_src.cols();
+      chain.stages.push_back(std::move(a));
+    }
+  } else {
+    for (const auto& layer : gmae.sgc_layers()) {
+      AppendSgcStages(&chain, *layer);
+    }
+  }
+  chain.embed_stage = static_cast<int>(chain.stages.size()) - 1;
+  if (with_decoder) AppendSgcStages(&chain, gmae.decoder());
+  return chain;
+}
+
+std::vector<float> SoftmaxWeights(const Tensor& logits) {
+  // The SimplexWeightedSum forward's float softmax (tensor/ops.cc).
+  const int r_count = logits.cols();
+  std::vector<float> w(r_count);
+  const float* l = logits.data();
+  float mx = l[0];
+  for (int r = 1; r < r_count; ++r) mx = std::max(mx, l[r]);
+  double denom = 0.0;
+  for (int r = 0; r < r_count; ++r) {
+    w[r] = std::exp(l[r] - mx);
+    denom += w[r];
+  }
+  for (int r = 0; r < r_count; ++r) {
+    w[r] = static_cast<float>(w[r] / denom);
+  }
+  return w;
+}
+
+struct StageState {
+  Tensor cache;                // n x out_dim
+  std::vector<uint8_t> valid;  // per row
+  // kGatAttend only: the per-node attention logits <a_src, h_i>, <a_dst,
+  // h_i> over the previous stage's rows. Always resident (two doubles per
+  // node) — only invalidated when the underlying projection row changes.
+  std::vector<double> s, t;
+  std::vector<uint8_t> st_valid;
+};
+
+struct ChainState {
+  std::vector<StageState> stages;
+};
+
+struct ViewState {
+  std::vector<ChainState> attr_chains;
+  std::vector<ChainState> struct_chains;
+  std::vector<double> attr_val;                          // per node
+  std::vector<std::vector<double>> residual;             // [rel][node]
+  std::vector<std::vector<std::vector<int>>> negatives;  // [rel][node]
+  std::vector<std::vector<std::vector<int>>> samplers;   // [rel][u] -> nodes
+};
+
+struct EngineState {
+  std::vector<ViewState> views;
+  std::vector<double> scores;
+};
+
+/// Dedup helper for dirty-set accumulation.
+class NodeSet {
+ public:
+  explicit NodeSet(int n) : mark_(n, 0) {}
+  void Add(int i) {
+    if (!mark_[i]) {
+      mark_[i] = 1;
+      items_.push_back(i);
+    }
+  }
+  const std::vector<int>& items() const { return items_; }
+
+ private:
+  std::vector<uint8_t> mark_;
+  std::vector<int> items_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Impl
+// ---------------------------------------------------------------------------
+
+struct OnlineScorer::Impl {
+  UmgadConfig config;
+  std::string name;
+  std::vector<std::string> relation_names;
+  std::vector<int> labels;
+  Tensor x;  // node attributes (immutable under edge updates)
+  int n = 0;
+  int r_count = 0;
+  std::vector<DynamicAdjacency> adj;
+  std::vector<ViewPlan> plans;
+  bool budgeted = false;
+  std::vector<uint8_t> resident;
+  EngineState state;
+
+  EngineState MakeEmptyState() const;
+  void ComputeST(const ChainPlan& plan, ChainState& cs, int stage,
+                 int i) const;
+  void ComputeStageRow(const ChainPlan& plan, ChainState& cs, int stage,
+                       int rel, int i) const;
+  void EnsureST(const ChainPlan& plan, ChainState& cs, int stage, int rel,
+                int i, ServeStats* stats) const;
+  void EnsureRow(const ChainPlan& plan, ChainState& cs, int stage, int rel,
+                 int i, ServeStats* stats) const;
+  std::vector<int> DrawNegatives(int view, int rel, int node) const;
+  void ComputeResidualNode(EngineState& st, int view, int rel, int i,
+                           ServeStats* stats) const;
+  void ComputeAttrValNode(EngineState& st, int view, int i,
+                          ServeStats* stats) const;
+  void Combine(EngineState& st) const;
+  void FullCompute(EngineState* st, bool parallel) const;
+  void EvictNonResident(EngineState* st) const;
+  Status Apply(const EdgeUpdate& update, ServeStats* stats);
+};
+
+EngineState OnlineScorer::Impl::MakeEmptyState() const {
+  EngineState st;
+  st.views.resize(plans.size());
+  for (size_t v = 0; v < plans.size(); ++v) {
+    const ViewPlan& vp = plans[v];
+    ViewState& vs = st.views[v];
+    auto init_chains = [&](const std::vector<ChainPlan>& chain_plans,
+                           std::vector<ChainState>* chain_states) {
+      chain_states->resize(chain_plans.size());
+      for (size_t c = 0; c < chain_plans.size(); ++c) {
+        ChainState& cs = (*chain_states)[c];
+        cs.stages.resize(chain_plans[c].stages.size());
+        for (size_t s = 0; s < chain_plans[c].stages.size(); ++s) {
+          const StagePlan& sp = chain_plans[c].stages[s];
+          StageState& ss = cs.stages[s];
+          ss.cache = Tensor(n, sp.out_dim);
+          ss.valid.assign(n, 0);
+          if (sp.kind == StageKind::kGatAttend) {
+            ss.s.assign(n, 0.0);
+            ss.t.assign(n, 0.0);
+            ss.st_valid.assign(n, 0);
+          }
+        }
+      }
+    };
+    init_chains(vp.attr_chains, &vs.attr_chains);
+    init_chains(vp.struct_chains, &vs.struct_chains);
+    if (vp.attr_used) vs.attr_val.assign(n, 0.0);
+    if (vp.struct_used) {
+      vs.residual.assign(r_count, std::vector<double>(n, 0.0));
+      vs.negatives.assign(r_count, std::vector<std::vector<int>>(n));
+      vs.samplers.assign(r_count, std::vector<std::vector<int>>(n));
+    }
+  }
+  return st;
+}
+
+void OnlineScorer::Impl::ComputeST(const ChainPlan& plan, ChainState& cs,
+                                   int stage, int i) const {
+  const StagePlan& sp = plan.stages[stage];
+  StageState& ss = cs.stages[stage];
+  // A GAT attend stage always follows its projection stage.
+  const Tensor& h = cs.stages[stage - 1].cache;
+  const float* hr = h.row(i);
+  const float* asv = sp.a_src.data();
+  const float* adv = sp.a_dst.data();
+  const int d = h.cols();
+  double sacc = 0.0;
+  double tacc = 0.0;
+  for (int j = 0; j < d; ++j) {
+    sacc += static_cast<double>(asv[j]) * hr[j];
+    tacc += static_cast<double>(adv[j]) * hr[j];
+  }
+  ss.s[i] = sacc;
+  ss.t[i] = tacc;
+  ss.st_valid[i] = 1;
+}
+
+void OnlineScorer::Impl::ComputeStageRow(const ChainPlan& plan,
+                                         ChainState& cs, int stage, int rel,
+                                         int i) const {
+  const StagePlan& sp = plan.stages[stage];
+  StageState& ss = cs.stages[stage];
+  const Tensor& prev = stage == 0 ? x : cs.stages[stage - 1].cache;
+  float* out = ss.cache.row(i);
+  const int d = sp.out_dim;
+  switch (sp.kind) {
+    case StageKind::kProject: {
+      // MatMulNaive's row-i walk (i-k-j order, zero skip).
+      const float* arow = prev.row(i);
+      const int k = sp.weight.rows();
+      std::fill(out, out + d, 0.0f);
+      for (int p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = sp.weight.row(p);
+        for (int j = 0; j < d; ++j) out[j] += av * brow[j];
+      }
+      break;
+    }
+    case StageKind::kSpmm: {
+      // SparseMatrix::Multiply's row-i walk over the normalised operator.
+      std::fill(out, out + d, 0.0f);
+      adj[rel].ForEachNormEntry(i, [&](int col, float v) {
+        const float* xrow = prev.row(col);
+        for (int j = 0; j < d; ++j) out[j] += v * xrow[j];
+      });
+      break;
+    }
+    case StageKind::kGatAttend: {
+      // EdgeSoftmaxForwardNaive's row-i walk: pattern of the normalised
+      // operator (neighbours + self loop, ascending; values unused).
+      thread_local std::vector<int> cols;
+      thread_local std::vector<float> al;
+      cols.clear();
+      al.clear();
+      double mx = -1e300;
+      auto visit = [&](int col) {
+        const double zraw = ss.s[i] + ss.t[col];
+        const double e = zraw > 0.0 ? zraw : sp.slope * zraw;
+        al.push_back(static_cast<float>(e));
+        cols.push_back(col);
+        mx = std::max(mx, e);
+      };
+      bool self_done = false;
+      for (int col : adj[rel].neighbors(i)) {
+        if (!self_done && col > i) {
+          visit(i);
+          self_done = true;
+        }
+        visit(col);
+      }
+      if (!self_done) visit(i);
+      double denom = 0.0;
+      for (size_t k = 0; k < al.size(); ++k) {
+        al[k] = static_cast<float>(std::exp(al[k] - mx));
+        denom += al[k];
+      }
+      std::fill(out, out + d, 0.0f);
+      for (size_t k = 0; k < al.size(); ++k) {
+        al[k] = static_cast<float>(al[k] / denom);
+        const float* hj = prev.row(cols[k]);
+        for (int j = 0; j < d; ++j) out[j] += al[k] * hj[j];
+      }
+      if (sp.act != nn::Activation::kNone) {
+        for (int j = 0; j < d; ++j) out[j] = ApplyActivation(out[j], sp.act);
+      }
+      break;
+    }
+    case StageKind::kBiasAct: {
+      // AddRowBroadcast + Activate.
+      const float* prow = prev.row(i);
+      const float* b = sp.bias.data();
+      for (int j = 0; j < d; ++j) {
+        out[j] = ApplyActivation(prow[j] + b[j], sp.act);
+      }
+      break;
+    }
+  }
+  ss.valid[i] = 1;
+}
+
+void OnlineScorer::Impl::EnsureST(const ChainPlan& plan, ChainState& cs,
+                                  int stage, int rel, int i,
+                                  ServeStats* stats) const {
+  if (cs.stages[stage].st_valid[i]) return;
+  EnsureRow(plan, cs, stage - 1, rel, i, stats);
+  ComputeST(plan, cs, stage, i);
+}
+
+void OnlineScorer::Impl::EnsureRow(const ChainPlan& plan, ChainState& cs,
+                                   int stage, int rel, int i,
+                                   ServeStats* stats) const {
+  StageState& ss = cs.stages[stage];
+  if (ss.valid[i]) {
+    if (stats != nullptr) ++stats->cache_hits;
+    return;
+  }
+  if (stats != nullptr) ++stats->cache_misses;
+  const StagePlan& sp = plan.stages[stage];
+  switch (sp.kind) {
+    case StageKind::kProject:
+    case StageKind::kBiasAct:
+      if (stage > 0) EnsureRow(plan, cs, stage - 1, rel, i, stats);
+      break;
+    case StageKind::kSpmm:
+      adj[rel].ForEachNormEntry(i, [&](int col, float) {
+        EnsureRow(plan, cs, stage - 1, rel, col, stats);
+      });
+      break;
+    case StageKind::kGatAttend: {
+      auto need = [&](int col) {
+        EnsureRow(plan, cs, stage - 1, rel, col, stats);
+        EnsureST(plan, cs, stage, rel, col, stats);
+      };
+      bool self_done = false;
+      for (int col : adj[rel].neighbors(i)) {
+        if (!self_done && col > i) {
+          need(i);
+          self_done = true;
+        }
+        need(col);
+      }
+      if (!self_done) need(i);
+      break;
+    }
+  }
+  ComputeStageRow(plan, cs, stage, rel, i);
+}
+
+std::vector<int> OnlineScorer::Impl::DrawNegatives(int view, int rel,
+                                                   int node) const {
+  // Mirrors the gate in StructureResidual: no draw when sampling is off or
+  // the node neighbours every other node.
+  const int count = config.num_score_negatives;
+  const int degree = adj[rel].degree(node);
+  if (count <= 0 || n - 1 - degree <= 0) return {};
+  Rng rng(NegativeStreamSeed(config.seed, view, rel, node));
+  return SampleNonNeighborsDyn(adj[rel], node, count, &rng);
+}
+
+void OnlineScorer::Impl::ComputeResidualNode(EngineState& st, int view,
+                                             int rel, int i,
+                                             ServeStats* stats) const {
+  const ViewPlan& vp = plans[view];
+  ViewState& vs = st.views[view];
+  const ChainPlan* plan;
+  ChainState* chain;
+  int stage;
+  if (vp.separate_struct) {
+    plan = &vp.struct_chains[rel];
+    chain = &vs.struct_chains[rel];
+    stage = static_cast<int>(plan->stages.size()) - 1;
+  } else {
+    plan = &vp.attr_chains[rel];
+    chain = &vs.attr_chains[rel];
+    stage = plan->embed_stage;
+  }
+  EnsureRow(*plan, *chain, stage, rel, i, stats);
+  const Tensor& z = chain->stages[stage].cache;
+  // StructureResidual's degree-normalised form, per node.
+  double edge_err = 0.0;
+  int degree = 0;
+  for (int col : adj[rel].neighbors(i)) {
+    EnsureRow(*plan, *chain, stage, rel, col, stats);
+    edge_err += 1.0 - SigmoidD(z.RowDot(i, z, col));
+    ++degree;
+  }
+  double leak = 0.0;
+  const std::vector<int>& negs = vs.negatives[rel][i];
+  if (!negs.empty()) {
+    for (int u : negs) {
+      EnsureRow(*plan, *chain, stage, rel, u, stats);
+      leak += SigmoidD(z.RowDot(i, z, u));
+    }
+    leak /= static_cast<double>(negs.size());
+  }
+  vs.residual[rel][i] = (degree > 0 ? edge_err / degree : 0.0) + leak;
+}
+
+void OnlineScorer::Impl::ComputeAttrValNode(EngineState& st, int view, int i,
+                                            ServeStats* stats) const {
+  const ViewPlan& vp = plans[view];
+  ViewState& vs = st.views[view];
+  const int f = x.cols();
+  // SimplexWeightedSum's accumulation (zero, then += w_r * row_r ascending)
+  // followed by RowL2Distance against the raw attributes.
+  thread_local std::vector<float> fused;
+  fused.assign(f, 0.0f);
+  for (int r = 0; r < r_count; ++r) {
+    const ChainPlan& cp = vp.attr_chains[r];
+    ChainState& cs = vs.attr_chains[r];
+    const int last = static_cast<int>(cp.stages.size()) - 1;
+    EnsureRow(cp, cs, last, r, i, stats);
+    const float w = vp.fusion_w[r];
+    const float* row = cs.stages[last].cache.row(i);
+    for (int j = 0; j < f; ++j) fused[j] += w * row[j];
+  }
+  const float* xi = x.row(i);
+  double acc = 0.0;
+  for (int j = 0; j < f; ++j) {
+    const double diff = static_cast<double>(fused[j]) - xi[j];
+    acc += diff * diff;
+  }
+  vs.attr_val[i] =
+      static_cast<double>(static_cast<float>(std::sqrt(acc)));
+}
+
+void OnlineScorer::Impl::Combine(EngineState& st) const {
+  // ComputeAnomalyScores (Eq. 19) over the cached per-node parts: the raw
+  // components are maintained incrementally; standardisation and the
+  // epsilon mix are cheap O(n) double passes.
+  std::vector<double> total(n, 0.0);
+  int contributing = 0;
+  for (size_t v = 0; v < plans.size(); ++v) {
+    const ViewPlan& vp = plans[v];
+    ViewState& vs = st.views[v];
+    const bool has_attr = vp.attr_used;
+    const bool has_struct = vp.struct_used;
+    if (!has_attr && !has_struct) continue;
+    ++contributing;
+    std::vector<double> attr_part(n, 0.0);
+    if (has_attr) attr_part = Standardize(vs.attr_val);
+    std::vector<double> struct_part(n, 0.0);
+    if (has_struct) {
+      for (int r = 0; r < r_count; ++r) {
+        const std::vector<double>& res = vs.residual[r];
+        for (int i = 0; i < n; ++i) struct_part[i] += res[i] / r_count;
+      }
+      struct_part = Standardize(struct_part);
+    }
+    const float epsilon = config.epsilon;
+    for (int i = 0; i < n; ++i) {
+      if (has_attr && has_struct) {
+        total[i] += epsilon * attr_part[i] + (1.0f - epsilon) * struct_part[i];
+      } else if (has_attr) {
+        total[i] += attr_part[i];
+      } else {
+        total[i] += struct_part[i];
+      }
+    }
+  }
+  UMGAD_CHECK_GT(contributing, 0);
+  for (double& s : total) s /= contributing;
+  st.scores = std::move(total);
+}
+
+void OnlineScorer::Impl::FullCompute(EngineState* st, bool parallel) const {
+  // Stage-by-stage: every row of a stage only reads fully-valid previous
+  // stages, so rows fan out across the pool race-free; with parallel ==
+  // false the identical kernels run in one serial sweep (RescoreFullNaive).
+  auto for_rows = [&](auto&& fn) {
+    if (parallel) {
+      ParallelFor(n, 8, [&](int64_t b, int64_t e) {
+        for (int i = static_cast<int>(b); i < e; ++i) fn(i);
+      });
+    } else {
+      for (int i = 0; i < n; ++i) fn(i);
+    }
+  };
+  for (size_t v = 0; v < plans.size(); ++v) {
+    const ViewPlan& vp = plans[v];
+    ViewState& vs = st->views[v];
+    auto run_chains = [&](const std::vector<ChainPlan>& chain_plans,
+                          std::vector<ChainState>& chain_states) {
+      for (size_t r = 0; r < chain_plans.size(); ++r) {
+        const ChainPlan& cp = chain_plans[r];
+        ChainState& cs = chain_states[r];
+        for (size_t s = 0; s < cp.stages.size(); ++s) {
+          if (cp.stages[s].kind == StageKind::kGatAttend) {
+            for_rows([&](int i) {
+              ComputeST(cp, cs, static_cast<int>(s), i);
+            });
+          }
+          for_rows([&](int i) {
+            ComputeStageRow(cp, cs, static_cast<int>(s),
+                            static_cast<int>(r), i);
+          });
+        }
+      }
+    };
+    run_chains(vp.attr_chains, vs.attr_chains);
+    run_chains(vp.struct_chains, vs.struct_chains);
+    if (vp.struct_used) {
+      for (int r = 0; r < r_count; ++r) {
+        for_rows([&](int i) {
+          vs.negatives[r][i] = DrawNegatives(static_cast<int>(v), r, i);
+        });
+        for (auto& list : vs.samplers[r]) list.clear();
+        for (int i = 0; i < n; ++i) {
+          for (int u : vs.negatives[r][i]) vs.samplers[r][u].push_back(i);
+        }
+        for_rows([&](int i) {
+          ComputeResidualNode(*st, static_cast<int>(v), r, i, nullptr);
+        });
+      }
+    }
+    if (vp.attr_used) {
+      for_rows([&](int i) {
+        ComputeAttrValNode(*st, static_cast<int>(v), i, nullptr);
+      });
+    }
+  }
+  Combine(*st);
+}
+
+void OnlineScorer::Impl::EvictNonResident(EngineState* st) const {
+  if (!budgeted) return;
+  for (ViewState& vs : st->views) {
+    for (auto* chains : {&vs.attr_chains, &vs.struct_chains}) {
+      for (ChainState& cs : *chains) {
+        for (StageState& ss : cs.stages) {
+          for (int i = 0; i < n; ++i) {
+            if (!resident[i]) ss.valid[i] = 0;
+          }
+        }
+      }
+    }
+  }
+}
+
+Status OnlineScorer::Impl::Apply(const EdgeUpdate& update,
+                                 ServeStats* stats) {
+  if (update.relation < 0 || update.relation >= r_count) {
+    return Status::InvalidArgument("edge update: relation out of range");
+  }
+  if (update.src < 0 || update.src >= n || update.dst < 0 ||
+      update.dst >= n) {
+    return Status::InvalidArgument("edge update: endpoint out of range");
+  }
+  if (update.src == update.dst) {
+    return Status::InvalidArgument("edge update: self loops not allowed");
+  }
+  const int u = update.src;
+  const int v = update.dst;
+  const int rel = update.relation;
+  DynamicAdjacency& a = adj[rel];
+  const bool present = a.Has(u, v);
+  if (update.add && present) {
+    return Status::FailedPrecondition("edge update: edge already present");
+  }
+  if (!update.add && !present) {
+    return Status::NotFound("edge update: edge not present");
+  }
+
+  // Rows of the normalised operator whose entries change: the endpoints
+  // (pattern + own degree) and every neighbour of an endpoint before or
+  // after the mutation (the 1/sqrt(deg) factor of the shared entry moves).
+  NodeSet s_norm(n);
+  s_norm.Add(u);
+  s_norm.Add(v);
+  for (int j : a.neighbors(u)) s_norm.Add(j);
+  for (int j : a.neighbors(v)) s_norm.Add(j);
+  if (update.add) {
+    a.AddEntry(u, v, 1.0f);
+    a.AddEntry(v, u, 1.0f);
+  } else {
+    a.RemoveEntry(u, v);
+    a.RemoveEntry(v, u);
+  }
+  for (int j : a.neighbors(u)) s_norm.Add(j);
+  for (int j : a.neighbors(v)) s_norm.Add(j);
+
+  int64_t invalidated = 0;
+  int64_t rescored = 0;
+
+  // Phase 1 — propagate the dirty front through every stage of the updated
+  // relation's chains (all views) and invalidate those cache rows. All
+  // invalidation happens before any recomputation so EnsureRow never reads
+  // a stale-but-valid dependency.
+  struct ChainDirty {
+    std::vector<int> embed;
+    std::vector<int> final;
+  };
+  auto propagate = [&](const ChainPlan& cp, ChainState& cs) {
+    ChainDirty out;
+    std::vector<int> cur;
+    for (size_t s = 0; s < cp.stages.size(); ++s) {
+      const StagePlan& sp = cp.stages[s];
+      StageState& ss = cs.stages[s];
+      std::vector<int> next;
+      switch (sp.kind) {
+        case StageKind::kProject:
+        case StageKind::kBiasAct:
+          next = cur;
+          break;
+        case StageKind::kSpmm: {
+          NodeSet set(n);
+          for (int i : s_norm.items()) set.Add(i);
+          for (int d : cur) {
+            set.Add(d);
+            for (int j : a.neighbors(d)) set.Add(j);
+          }
+          next = set.items();
+          break;
+        }
+        case StageKind::kGatAttend: {
+          // Attention pattern changes only at the endpoints; values follow
+          // dirty projections one hop out. s/t of a node follow its own
+          // projection row.
+          for (int d : cur) ss.st_valid[d] = 0;
+          NodeSet set(n);
+          set.Add(u);
+          set.Add(v);
+          for (int d : cur) {
+            set.Add(d);
+            for (int j : a.neighbors(d)) set.Add(j);
+          }
+          next = set.items();
+          break;
+        }
+      }
+      for (int i : next) {
+        if (ss.valid[i]) {
+          ss.valid[i] = 0;
+          ++invalidated;
+        }
+      }
+      if (static_cast<int>(s) == cp.embed_stage) out.embed = next;
+      cur = std::move(next);
+    }
+    out.final = std::move(cur);
+    return out;
+  };
+
+  std::vector<ChainDirty> attr_dirty(plans.size());
+  std::vector<ChainDirty> struct_dirty(plans.size());
+  for (size_t w = 0; w < plans.size(); ++w) {
+    ViewPlan& vp = plans[w];
+    ViewState& vs = state.views[w];
+    if (!vp.attr_chains.empty()) {
+      attr_dirty[w] = propagate(vp.attr_chains[rel], vs.attr_chains[rel]);
+    }
+    if (vp.separate_struct) {
+      struct_dirty[w] =
+          propagate(vp.struct_chains[rel], vs.struct_chains[rel]);
+    }
+  }
+
+  // Phase 2 — recompute the affected per-node score components.
+  for (size_t w = 0; w < plans.size(); ++w) {
+    const ViewPlan& vp = plans[w];
+    ViewState& vs = state.views[w];
+    if (vp.struct_used) {
+      const std::vector<int>& embed_dirty = vp.separate_struct
+                                                ? struct_dirty[w].embed
+                                                : attr_dirty[w].embed;
+      // The endpoints' own adjacency rows changed, so their negative draws
+      // re-run against the new rows (clean nodes' draws are unaffected —
+      // each stream only rejects against its own row).
+      for (int node : {u, v}) {
+        std::vector<std::vector<int>>& samplers = vs.samplers[rel];
+        for (int old : vs.negatives[rel][node]) {
+          std::vector<int>& list = samplers[old];
+          auto it = std::find(list.begin(), list.end(), node);
+          if (it != list.end()) {
+            *it = list.back();
+            list.pop_back();
+          }
+        }
+        vs.negatives[rel][node] =
+            DrawNegatives(static_cast<int>(w), rel, node);
+        for (int nu : vs.negatives[rel][node]) samplers[nu].push_back(node);
+      }
+      // Residuals to recompute: the endpoints (adjacency row + negatives
+      // changed), nodes with a dirty embedding, their neighbours (the
+      // edge-error term reads neighbour embeddings), and nodes whose
+      // negative set contains a dirty-embedding node.
+      NodeSet dirty_res(n);
+      dirty_res.Add(u);
+      dirty_res.Add(v);
+      for (int d : embed_dirty) {
+        dirty_res.Add(d);
+        for (int j : a.neighbors(d)) dirty_res.Add(j);
+        for (int i : vs.samplers[rel][d]) dirty_res.Add(i);
+      }
+      for (int i : dirty_res.items()) {
+        ComputeResidualNode(state, static_cast<int>(w), rel, i, stats);
+      }
+      rescored += static_cast<int64_t>(dirty_res.items().size());
+    }
+    if (vp.attr_used) {
+      for (int i : attr_dirty[w].final) {
+        ComputeAttrValNode(state, static_cast<int>(w), i, stats);
+      }
+      rescored += static_cast<int64_t>(attr_dirty[w].final.size());
+    }
+  }
+
+  Combine(state);
+  EvictNonResident(&state);
+  if (stats != nullptr) {
+    ++stats->updates_applied;
+    stats->last_dirty_rows = invalidated;
+    stats->last_rescored_nodes = rescored;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// OnlineScorer
+// ---------------------------------------------------------------------------
+
+OnlineScorer::OnlineScorer() = default;
+OnlineScorer::~OnlineScorer() = default;
+
+Result<std::unique_ptr<OnlineScorer>> OnlineScorer::Create(
+    TrainedModel model, const MultiplexGraph& graph, ServeOptions options) {
+  if (!model.fingerprint().Matches(FingerprintGraph(graph))) {
+    return Status::FailedPrecondition(
+        "graph does not match the model's training fingerprint");
+  }
+  UMGAD_ASSIGN_OR_RETURN(
+      std::vector<std::unique_ptr<ReconstructionView>> views,
+      model.BuildViews());
+
+  std::unique_ptr<OnlineScorer> scorer(new OnlineScorer());
+  scorer->model_ = std::move(model);
+  scorer->impl_ = std::make_unique<Impl>();
+  Impl& impl = *scorer->impl_;
+  const UmgadConfig& config = scorer->model_.config();
+  impl.config = config;
+  impl.name = graph.name();
+  impl.labels = graph.labels();
+  impl.x = graph.attributes();
+  impl.n = graph.num_nodes();
+  impl.r_count = graph.num_relations();
+  impl.relation_names.reserve(impl.r_count);
+  impl.adj.reserve(impl.r_count);
+  for (int r = 0; r < impl.r_count; ++r) {
+    impl.relation_names.push_back(graph.relation_name(r));
+    impl.adj.emplace_back(graph.layer(r));
+  }
+
+  // Unroll the views into stage plans; the weight tensors are copied out of
+  // the reconstructed modules, so the views themselves are discarded here.
+  for (const auto& view : views) {
+    ViewPlan vp;
+    vp.attr_used = config.use_attribute_recon;
+    vp.struct_used = config.use_structure_recon;
+    vp.separate_struct =
+        config.use_structure_recon &&
+        view->kind() == ReconstructionView::Kind::kOriginal;
+    // Attr chains double as the shared structure encoder for non-original
+    // views; they are not built at all when nothing reads them (the
+    // structure-only pipeline on the original view).
+    const bool need_attr_chains =
+        vp.attr_used || (vp.struct_used && !vp.separate_struct);
+    for (int r = 0; r < impl.r_count; ++r) {
+      if (need_attr_chains) {
+        vp.attr_chains.push_back(
+            BuildChain(view->attr_gmae(r), /*with_decoder=*/vp.attr_used));
+      }
+      if (vp.separate_struct) {
+        vp.struct_chains.push_back(
+            BuildChain(*view->struct_gmae(r), /*with_decoder=*/false));
+      }
+    }
+    if (vp.attr_used) {
+      vp.fusion_w = SoftmaxWeights(view->fusion_a().logits_value());
+    }
+    impl.plans.push_back(std::move(vp));
+  }
+  views.clear();
+
+  // Hot-node cache: the budget keeps the highest-(total-)degree nodes'
+  // rows resident between updates.
+  const int budget = options.cache_budget_nodes;
+  impl.budgeted = budget >= 0 && budget < impl.n;
+  if (impl.budgeted) {
+    std::vector<int64_t> total_degree(impl.n, 0);
+    for (int r = 0; r < impl.r_count; ++r) {
+      for (int i = 0; i < impl.n; ++i) {
+        total_degree[i] += impl.adj[r].degree(i);
+      }
+    }
+    std::vector<int> order(impl.n);
+    for (int i = 0; i < impl.n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](int l, int r) {
+      if (total_degree[l] != total_degree[r]) {
+        return total_degree[l] > total_degree[r];
+      }
+      return l < r;
+    });
+    impl.resident.assign(impl.n, 0);
+    for (int k = 0; k < budget; ++k) impl.resident[order[k]] = 1;
+  } else {
+    impl.resident.assign(impl.n, 1);
+  }
+
+  impl.state = impl.MakeEmptyState();
+  impl.FullCompute(&impl.state, /*parallel=*/true);
+  impl.EvictNonResident(&impl.state);
+  return scorer;
+}
+
+const std::vector<double>& OnlineScorer::scores() const {
+  return impl_->state.scores;
+}
+
+Result<std::vector<double>> OnlineScorer::Query(
+    const std::vector<int>& nodes) const {
+  const std::vector<double>& s = impl_->state.scores;
+  for (int node : nodes) {
+    if (node < 0 || node >= impl_->n) {
+      return Status::OutOfRange("query node out of range");
+    }
+  }
+  std::vector<double> out(nodes.size(), 0.0);
+  ParallelFor(static_cast<int64_t>(nodes.size()), 256,
+              [&](int64_t b, int64_t e) {
+                for (int64_t k = b; k < e; ++k) out[k] = s[nodes[k]];
+              });
+  return out;
+}
+
+Status OnlineScorer::ApplyEdgeUpdate(const EdgeUpdate& update) {
+  return impl_->Apply(update, &stats_);
+}
+
+std::vector<double> OnlineScorer::RescoreFullNaive() const {
+  EngineState scratch = impl_->MakeEmptyState();
+  impl_->FullCompute(&scratch, /*parallel=*/false);
+  return std::move(scratch.scores);
+}
+
+Result<std::vector<double>> OnlineScorer::BatchReplayScores() const {
+  return model_.Score(SnapshotGraph(), /*check_fingerprint=*/false);
+}
+
+MultiplexGraph OnlineScorer::SnapshotGraph() const {
+  std::vector<SparseMatrix> layers;
+  layers.reserve(impl_->r_count);
+  for (int r = 0; r < impl_->r_count; ++r) {
+    layers.push_back(impl_->adj[r].ToSparse());
+  }
+  Result<MultiplexGraph> g =
+      MultiplexGraph::Create(impl_->name, impl_->x, std::move(layers),
+                             impl_->relation_names, impl_->labels);
+  UMGAD_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+int OnlineScorer::num_nodes() const { return impl_->n; }
+int OnlineScorer::num_relations() const { return impl_->r_count; }
+
+}  // namespace serve
+}  // namespace umgad

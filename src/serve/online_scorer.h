@@ -1,0 +1,136 @@
+#ifndef UMGAD_SERVE_ONLINE_SCORER_H_
+#define UMGAD_SERVE_ONLINE_SCORER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/model_io.h"
+#include "graph/multiplex_graph.h"
+#include "serve/dynamic_adjacency.h"
+
+namespace umgad {
+namespace serve {
+
+/// Tuning knobs for an OnlineScorer instance.
+struct ServeOptions {
+  /// Hot-node row-cache budget: how many nodes keep their per-stage
+  /// intermediate rows (projections, propagations, attention outputs)
+  /// resident between updates. The resident set is the `cache_budget_nodes`
+  /// highest-degree nodes at load time (ties broken by index); rows of
+  /// other nodes are recomputed on demand and dropped after each update
+  /// pass. Negative (the default) keeps every node resident. The budget
+  /// changes memory and latency only — never scores (asserted in
+  /// tests/serve_oracle_test.cc).
+  int cache_budget_nodes = -1;
+};
+
+/// One undirected edge mutation of a relation layer. `add == false`
+/// removes the edge. Inserted edges carry weight 1.0 (the multiplex layers
+/// are unweighted simple graphs).
+struct EdgeUpdate {
+  int src = 0;
+  int dst = 0;
+  int relation = 0;
+  bool add = true;
+};
+
+/// Serving counters. Cache hits/misses count EnsureRow lookups during
+/// incremental update passes (the initial full pass is excluded);
+/// last_dirty_rows is the number of per-stage cache rows invalidated by
+/// the most recent update, last_rescored_nodes the number of per-node
+/// score components (attribute distances + structure residuals) it
+/// recomputed.
+struct ServeStats {
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t updates_applied = 0;
+  int64_t last_dirty_rows = 0;
+  int64_t last_rescored_nodes = 0;
+};
+
+/// Online anomaly-scoring service over a trained-model artifact (Sec. IV-E
+/// applied at serving time): load a TrainedModel (.umgm) plus the graph,
+/// answer score queries, and absorb a stream of edge inserts/removals by
+/// re-scoring only the O(neighbourhood) nodes each update can affect.
+///
+/// The engine unrolls every active view's GMAE encoder/decoder stack into
+/// per-row stages whose arithmetic replicates the batch kernels
+/// bit-for-bit (MatMulNaive rows, SparseMatrix::Multiply rows, the
+/// edge-softmax GAT row walk, SimplexWeightedSum fusion). An edge update
+/// invalidates exactly the rows whose inputs changed — degree
+/// renormalisation touches the closed neighbourhood of the endpoints, and
+/// each propagation stage widens the dirty front by one hop — and lazy
+/// row-level recomputation restores them.
+///
+/// Determinism policy (two score paths, both exact):
+///  - Incremental path (scores(), ApplyEdgeUpdate): structure-residual
+///    negatives are drawn from per-(view, relation, node) Rng streams, so
+///    a node's draw is independent of every other node. scores() is
+///    bit-identical to RescoreFullNaive() — a from-scratch serial batch
+///    recompute with the same kernels and streams — after any update
+///    sequence, for any UMGAD_THREADS / arena / cache-budget setting
+///    (tests/serve_oracle_test.cc). With num_score_negatives == 0 the
+///    incremental scores also equal the training-time scores bit-for-bit.
+///  - Batch-replay path (BatchReplayScores): TrainedModel::Score over the
+///    current graph snapshot, using the artifact's captured Rng state.
+///    On the unmutated training graph this reproduces the fitted model's
+///    scores exactly (the golden-fixture serve leg).
+/// The two paths differ only in where the residual's negative samples come
+/// from; the training-time sampler walks one sequential stream node-major,
+/// which cannot be replayed for a single node in isolation.
+class OnlineScorer {
+ public:
+  /// Build the serving state: verifies the artifact fingerprint against
+  /// `graph`, unrolls the stage pipeline, and runs the initial full pass.
+  static Result<std::unique_ptr<OnlineScorer>> Create(
+      TrainedModel model, const MultiplexGraph& graph,
+      ServeOptions options = ServeOptions());
+
+  ~OnlineScorer();
+
+  /// Current anomaly scores (Eq. 19) for all nodes.
+  const std::vector<double>& scores() const;
+
+  /// Batched score lookup (fans the gather across the thread pool).
+  Result<std::vector<double>> Query(const std::vector<int>& nodes) const;
+
+  /// Apply one undirected edge insert/removal and re-score the affected
+  /// nodes. Rejects out-of-range endpoints/relation, self loops, inserting
+  /// a present edge, and removing an absent one (state is untouched on
+  /// error).
+  Status ApplyEdgeUpdate(const EdgeUpdate& update);
+
+  /// Serial from-scratch batch recompute with the serving kernels and
+  /// per-node negative streams: the differential oracle the incremental
+  /// path is pinned against (mirrors the repo's *Naive convention). Does
+  /// not touch the cached state.
+  std::vector<double> RescoreFullNaive() const;
+
+  /// TrainedModel::Score over the current graph snapshot (training-time
+  /// sequential negative stream). See the class comment for how this
+  /// differs from scores().
+  Result<std::vector<double>> BatchReplayScores() const;
+
+  /// Immutable copy of the current (possibly mutated) graph.
+  MultiplexGraph SnapshotGraph() const;
+
+  const ServeStats& stats() const { return stats_; }
+  const TrainedModel& model() const { return model_; }
+  int num_nodes() const;
+  int num_relations() const;
+
+ private:
+  struct Impl;
+  OnlineScorer();
+
+  TrainedModel model_;
+  ServeStats stats_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace serve
+}  // namespace umgad
+
+#endif  // UMGAD_SERVE_ONLINE_SCORER_H_

@@ -1,6 +1,7 @@
 #include "tensor/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/thread_pool.h"
@@ -9,6 +10,53 @@ namespace umgad {
 namespace ag {
 
 namespace {
+
+/// Reusable per-thread scratch for the loss-backward ownership buckets
+/// (MaskedEdgeSoftmaxCE and DualContrastiveLoss below). The bucket shapes
+/// repeat exactly across training steps, so after the first backward of a
+/// run every ScratchSized/ScratchZeroed call is served from the existing
+/// capacity and steady-state backwards perform zero scratch mallocs
+/// (asserted in pool_test). Safe as thread_local: wide-backward closures
+/// run one at a time on any given thread, and the ParallelFor workers they
+/// fan out to only read the owning thread's buckets.
+struct LossScratch {
+  std::vector<int64_t> ptr;
+  std::vector<int64_t> fill;
+  std::vector<int> other;
+  std::vector<double> delta;
+  std::vector<int> inc;
+};
+
+LossScratch& TlsLossScratch() {
+  thread_local LossScratch scratch;
+  return scratch;
+}
+
+std::atomic<int64_t> g_loss_scratch_fresh_bytes{0};
+
+/// Size `v` to `n` elements, reusing capacity; counts fresh allocations.
+template <typename T>
+std::vector<T>& ScratchSized(std::vector<T>& v, size_t n) {
+  if (v.capacity() < n) {
+    g_loss_scratch_fresh_bytes.fetch_add(
+        static_cast<int64_t>(n * sizeof(T)), std::memory_order_relaxed);
+    v.reserve(n);
+  }
+  v.resize(n);
+  return v;
+}
+
+/// Like ScratchSized, but every element reset to zero.
+template <typename T>
+std::vector<T>& ScratchZeroed(std::vector<T>& v, size_t n) {
+  if (v.capacity() < n) {
+    g_loss_scratch_fresh_bytes.fetch_add(
+        static_cast<int64_t>(n * sizeof(T)), std::memory_order_relaxed);
+    v.reserve(n);
+  }
+  v.assign(n, T{});
+  return v;
+}
 
 /// Grain sizes for the parallel hot loops (shared with src/tensor/tensor.cc
 /// via common/thread_pool.h).
@@ -707,7 +755,8 @@ VarPtr MaskedEdgeSoftmaxCE(const VarPtr& z,
         // destination row owned by exactly one thread. Per element, the
         // additions land in the serial loop's order, so the result is
         // bit-identical for any UMGAD_THREADS.
-        std::vector<int64_t> ptr(n + 1, 0);
+        LossScratch& scratch = TlsLossScratch();
+        std::vector<int64_t>& ptr = ScratchZeroed(scratch.ptr, n + 1);
         for (const auto& set : sets) {
           for (int c : set.cands) {
             ++ptr[set.src + 1];
@@ -715,9 +764,12 @@ VarPtr MaskedEdgeSoftmaxCE(const VarPtr& z,
           }
         }
         for (int v = 0; v < n; ++v) ptr[v + 1] += ptr[v];
-        std::vector<int> other(static_cast<size_t>(ptr[n]));
-        std::vector<double> delta(static_cast<size_t>(ptr[n]));
-        std::vector<int64_t> fill(ptr.begin(), ptr.end() - 1);
+        std::vector<int>& other =
+            ScratchSized(scratch.other, static_cast<size_t>(ptr[n]));
+        std::vector<double>& delta =
+            ScratchSized(scratch.delta, static_cast<size_t>(ptr[n]));
+        std::vector<int64_t>& fill = ScratchSized(scratch.fill, n);
+        std::copy(ptr.begin(), ptr.end() - 1, fill.begin());
         for (size_t e = 0; e < sets.size(); ++e) {
           const auto& set = sets[e];
           for (size_t c = 0; c < set.cands.size(); ++c) {
@@ -907,12 +959,14 @@ VarPtr DualContrastiveLoss(const VarPtr& zo, const VarPtr& za,
         // by v (counting sort, stable, so each bucket is ascending in i)
         // and apply every row's contributions in ascending-i order — the
         // serial order — with the row owned by one thread.
-        std::vector<int64_t> ptr(n + 1, 0);
+        LossScratch& scratch = TlsLossScratch();
+        std::vector<int64_t>& ptr = ScratchZeroed(scratch.ptr, n + 1);
         for (int i = 0; i < n; ++i) ++ptr[neg_idx[i] + 1];
         for (int v = 0; v < n; ++v) ptr[v + 1] += ptr[v];
-        std::vector<int> inc(n);
+        std::vector<int>& inc = ScratchSized(scratch.inc, n);
         {
-          std::vector<int64_t> fill(ptr.begin(), ptr.end() - 1);
+          std::vector<int64_t>& fill = ScratchSized(scratch.fill, n);
+          std::copy(ptr.begin(), ptr.end() - 1, fill.begin());
           for (int i = 0; i < n; ++i) inc[fill[neg_idx[i]]++] = i;
         }
         if (wo) {
@@ -1441,6 +1495,10 @@ VarPtr GatAttentionNaive(const VarPtr& h, const VarPtr& a_src,
                          float slope) {
   return MakeGatAttention(h, a_src, a_dst, std::move(adj), slope,
                           /*naive=*/true);
+}
+
+int64_t LossScratchFreshBytes() {
+  return g_loss_scratch_fresh_bytes.load(std::memory_order_relaxed);
 }
 
 }  // namespace ag

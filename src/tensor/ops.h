@@ -137,6 +137,13 @@ VarPtr DualContrastiveLoss(const VarPtr& zo, const VarPtr& za,
 VarPtr DualContrastiveLossNaive(const VarPtr& zo, const VarPtr& za,
                                 std::vector<int> neg_idx);
 
+/// Cumulative bytes freshly allocated for the loss-backward ownership
+/// buckets (the counting-sort scratch both parallel losses build each
+/// step). The scratch is per-thread and reused across steps, so repeating a
+/// backward at unchanged shapes must leave this counter flat — pool_test
+/// asserts zero steady-state scratch allocations through it.
+int64_t LossScratchFreshBytes();
+
 // ---------------------------------------------------------------------------
 // Graph attention
 // ---------------------------------------------------------------------------

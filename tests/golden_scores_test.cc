@@ -16,13 +16,16 @@
 // perturbs training trajectories at O(1e-2) or worse.
 
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.h"
+#include "core/model_io.h"
 #include "golden_scores_common.h"
 #include "golden_scores_fixture.h"
+#include "serve/online_scorer.h"
 #include "tensor/pool.h"
 
 namespace umgad {
@@ -78,6 +81,46 @@ TEST(GoldenScoresTest, UmgadBitEqualAcrossThreadsAndArena) {
       SetNumThreads(threads);
       ExpectScoresMatchFixture(GoldenUmgadScores(), kGoldenUmgadScoreBits,
                                "UMGAD", threads, arena);
+    }
+  }
+  SetNumThreads(1);
+  SetArenaEnabled(prev_arena);
+}
+
+TEST(GoldenScoresTest, ServedArtifactReproducesUmgadScores) {
+  // The serve leg: the pinned scores must survive a full artifact round
+  // trip — train, snapshot to .umgm, reload, stand up the online scorer,
+  // and batch-replay. Training happens once (at the reference 1-thread /
+  // arena-on setting); the replay through the reloaded artifact must then
+  // reproduce the fixture for every thread-count x arena-mode, which is
+  // exactly the serve layer's determinism contract.
+  const bool prev_arena = ArenaEnabled();
+  SetArenaEnabled(true);
+  SetNumThreads(1);
+  MultiplexGraph graph = MakeTiny(kGoldenGraphSeed);
+  UmgadModel model(GoldenUmgadConfig());
+  ASSERT_TRUE(model.Fit(graph).ok());
+  auto trained = TrainedModel::FromFitted(model, graph);
+  ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+
+  const std::string path = ::testing::TempDir() + "/golden_serve.umgm";
+  ASSERT_TRUE(trained->Save(path).ok());
+  auto loaded = TrainedModel::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
+
+  for (bool arena : {true, false}) {
+    for (int threads : {1, 4}) {
+      SetArenaEnabled(arena);
+      SetNumThreads(threads);
+      auto scorer = serve::OnlineScorer::Create(*loaded, graph);
+      ASSERT_TRUE(scorer.ok()) << scorer.status().ToString();
+      auto replay = (*scorer)->BatchReplayScores();
+      ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+      std::vector<double> scores = *std::move(replay);
+      scores.resize(kGoldenScoreCount);
+      ExpectScoresMatchFixture(scores, kGoldenUmgadScoreBits, "UMGAD-serve",
+                               threads, arena);
     }
   }
   SetNumThreads(1);

@@ -1,10 +1,19 @@
 // TensorPool unit tests: bucket reuse, stats accounting, arena on/off
-// behaviour, Trim, and the Tensor/PooledBuffer integration. The end-to-end
+// behaviour, Trim, and the Tensor/PooledBuffer integration, plus the
+// loss-backward ownership-bucket scratch reuse counter. The end-to-end
 // "steady-state epochs allocate zero tensor bytes" contract is covered in
 // determinism_test.cc and autograd_test.cc.
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "nn/loss.h"
+#include "tensor/autograd.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
 #include "tensor/pool.h"
 #include "tensor/tensor.h"
 
@@ -106,6 +115,39 @@ TEST(TensorPoolTest, TensorCopyAndMoveSemantics) {
   Tensor reshaped(2, 2);
   reshaped = copy;  // different size: reallocates
   EXPECT_EQ(MaxAbsDiff(reshaped, copy), 0.0);
+}
+
+TEST(TensorPoolTest, LossBackwardScratchIsReusedAcrossSteps) {
+  // The counting-sort ownership buckets both parallel losses build per
+  // backward come from per-thread reusable scratch. Shapes repeat across
+  // training steps, so after one warm step every further backward at the
+  // same shapes must allocate zero fresh scratch bytes. Run at 4 threads:
+  // the 1-thread fast path of MaskedEdgeSoftmaxCE skips the buckets
+  // entirely, and wide-backward closures execute on this (the calling)
+  // thread, so the same thread_local scratch serves every repeat.
+  const int prev_threads = NumThreads();
+  SetNumThreads(4);
+  const int n = 60;
+  Rng rng(51);
+  Tensor z = RandomNormal(n, 8, 0.0, 0.5, &rng);
+  Tensor zo = RandomNormal(n, 8, 0.0, 0.4, &rng);
+  Tensor za = RandomNormal(n, 8, 0.0, 0.4, &rng);
+  const std::vector<ag::EdgeCandidateSet> sets =
+      nn::RandomEdgeCandidates(n, /*num_sets=*/40, /*negatives=*/4, &rng);
+  const std::vector<int> neg = nn::SampleContrastiveNegatives(n, &rng);
+
+  auto step = [&] {
+    ag::Backward(ag::MaskedEdgeSoftmaxCE(ag::Leaf(z), sets));
+    ag::Tape::Global().Reset();
+    ag::Backward(ag::DualContrastiveLoss(ag::Leaf(zo), ag::Leaf(za), neg));
+    ag::Tape::Global().Reset();
+  };
+  step();  // warm step: sizes the scratch once
+  const int64_t warm_bytes = ag::LossScratchFreshBytes();
+  for (int rep = 0; rep < 3; ++rep) step();
+  EXPECT_EQ(ag::LossScratchFreshBytes(), warm_bytes)
+      << "steady-state loss backwards must reuse the bucket scratch";
+  SetNumThreads(prev_threads);
 }
 
 TEST(TensorPoolTest, PooledBufferReturnsOnScopeExit) {

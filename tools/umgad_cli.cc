@@ -6,12 +6,19 @@
 //   umgad_cli convert <in> <out>            re-encode between graph formats
 //   umgad_cli inspect <path|name> [flags]   print stats (--time: load time)
 //   umgad_cli run <path|name> [flags]       run UMGAD + a baseline end to end
+//   umgad_cli train <path|name> [flags]     fit UMGAD, save a .umgm artifact
+//   umgad_cli serve <path|name> [flags]     online scoring from an artifact
 //
 // Common flags: --seed N, --scale S (registered generators only),
 // --inject (edge-list imports without labels get injected anomalies).
-// gen:  --out PATH_OR_DIR, --format binary|text
-// run:  --detector NAME (repeatable), --baseline NAME, --epochs N,
-//       --threshold inflection|topk
+// gen:   --out PATH_OR_DIR, --format binary|text
+// run:   --detector NAME (repeatable), --baseline NAME, --epochs N,
+//        --threshold inflection|topk, --save-scores PATH (CSV)
+// train: --save-model PATH.umgm, --epochs N
+// serve: --model PATH.umgm, --stream FILE|- ("+ src dst rel" inserts an
+//        edge, "- src dst rel" removes one, applied incrementally),
+//        --naive / --replay-batch (score-path selection for differential
+//        checks), --save-scores PATH (CSV; default stdout)
 //
 // Every path accepted here goes through LoadDataset (graph/io/graph_io.h),
 // so text v1, binary v2, raw edge lists, and registered names (including
@@ -19,7 +26,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -28,6 +37,7 @@
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
+#include "core/model_io.h"
 #include "core/threshold.h"
 #include "core/umgad.h"
 #include "eval/experiment.h"
@@ -36,6 +46,7 @@
 #include "graph/io/binary_format.h"
 #include "graph/io/graph_io.h"
 #include "graph/io/text_format.h"
+#include "serve/online_scorer.h"
 
 namespace umgad {
 namespace {
@@ -52,6 +63,12 @@ struct CliArgs {
   std::string threshold = "inflection";
   bool time = false;
   bool inject = false;
+  std::string save_model;
+  std::string model;
+  std::string stream;
+  std::string save_scores;
+  bool naive = false;
+  bool replay_batch = false;
 };
 
 int Usage() {
@@ -68,6 +85,19 @@ int Usage() {
       "  run <path|name> [--detector NAME]... [--baseline NAME]\n"
       "                  [--seed N] [--scale S] [--epochs N]\n"
       "                  [--threshold inflection|topk] [--inject]\n"
+      "                  [--save-scores PATH]\n"
+      "  train <path|name> --save-model PATH.umgm [--seed N] [--scale S]\n"
+      "                  [--epochs N]\n"
+      "  serve <path|name> --model PATH.umgm [--stream FILE|-]\n"
+      "                  [--naive | --replay-batch] [--save-scores PATH]\n"
+      "                  [--seed N] [--scale S]\n"
+      "\n"
+      "serve applies a stream of edge updates (\"+ src dst rel\" inserts,\n"
+      "\"- src dst rel\" removes; '#' comments) with incremental re-scoring\n"
+      "and emits \"node,score\" CSV. --naive re-scores from scratch with the\n"
+      "serial oracle kernels; --replay-batch replays the artifact's batch\n"
+      "scoring pass over the final graph. All three paths agree on an\n"
+      "unmutated graph; the first two agree after any stream.\n"
       "\n"
       "<path|name> is a registered dataset name (umgad_cli list), a graph\n"
       "file in either format, or a raw edge list (src dst [relation] per\n"
@@ -132,6 +162,26 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->time = true;
     } else if (arg == "--inject") {
       args->inject = true;
+    } else if (arg == "--save-model") {
+      const char* v = next("--save-model");
+      if (v == nullptr) return false;
+      args->save_model = v;
+    } else if (arg == "--model") {
+      const char* v = next("--model");
+      if (v == nullptr) return false;
+      args->model = v;
+    } else if (arg == "--stream") {
+      const char* v = next("--stream");
+      if (v == nullptr) return false;
+      args->stream = v;
+    } else if (arg == "--save-scores") {
+      const char* v = next("--save-scores");
+      if (v == nullptr) return false;
+      args->save_scores = v;
+    } else if (arg == "--naive") {
+      args->naive = true;
+    } else if (arg == "--replay-batch") {
+      args->replay_batch = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown flag " << arg << "\n";
       return false;
@@ -293,6 +343,151 @@ int CmdInspect(const CliArgs& args) {
   return 0;
 }
 
+/// "node,<name>..." header then one row per node. Scores are printed with
+/// %.17g, which round-trips doubles exactly: diffing two of these CSVs is
+/// a bit-equality check (the CI serve-smoke job relies on it).
+Status WriteScoresCsv(const std::string& path,
+                      const std::vector<std::string>& names,
+                      const std::vector<std::vector<double>>& columns) {
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  if (!path.empty()) {
+    file.open(path);
+    if (!file) {
+      return Status::NotFound(
+          StrFormat("cannot open %s for writing", path.c_str()));
+    }
+    out = &file;
+  }
+  *out << "node";
+  for (const std::string& name : names) *out << "," << name;
+  *out << "\n";
+  const size_t n = columns.empty() ? 0 : columns[0].size();
+  for (size_t i = 0; i < n; ++i) {
+    *out << i;
+    for (const std::vector<double>& column : columns) {
+      *out << "," << StrFormat("%.17g", column[i]);
+    }
+    *out << "\n";
+  }
+  out->flush();
+  if (!out->good()) {
+    return Status::Internal(StrFormat("write to %s failed",
+                                      path.empty() ? "stdout" : path.c_str()));
+  }
+  return Status::OK();
+}
+
+int CmdTrain(const CliArgs& args) {
+  if (args.positional.size() != 1) return Usage();
+  if (args.save_model.empty()) {
+    std::cerr << "train needs --save-model PATH." << kModelExtension << "\n";
+    return 2;
+  }
+  LoadDatasetOptions load = LoadOptionsFrom(args);
+  Result<MultiplexGraph> graph = LoadDataset(args.positional[0], load);
+  if (!graph.ok()) return FailWith(graph.status());
+  // The same config surface `run` gives its UMGAD entry, so a train/run
+  // pair with identical flags produces identical scores.
+  UmgadConfig config;
+  config.seed = args.seed;
+  if (args.epochs > 0) config.epochs = args.epochs;
+  UmgadModel model(config);
+  WallTimer timer;
+  const Status fitted = model.Fit(*graph);
+  if (!fitted.ok()) return FailWith(fitted);
+  Result<TrainedModel> trained = TrainedModel::FromFitted(model, *graph);
+  if (!trained.ok()) return FailWith(trained.status());
+  const Status saved = trained->Save(args.save_model);
+  if (!saved.ok()) return FailWith(saved);
+  std::cout << args.save_model << ": " << trained->weights().size()
+            << " weight tensors (" << graph->Summary() << "; fit "
+            << FormatFloat(timer.ElapsedMillis() / 1000.0, 2) << " s)\n";
+  return 0;
+}
+
+int CmdServe(const CliArgs& args) {
+  if (args.positional.size() != 1) return Usage();
+  if (args.model.empty()) {
+    std::cerr << "serve needs --model PATH." << kModelExtension << "\n";
+    return 2;
+  }
+  if (args.naive && args.replay_batch) {
+    std::cerr << "--naive and --replay-batch are mutually exclusive\n";
+    return 2;
+  }
+  LoadDatasetOptions load = LoadOptionsFrom(args);
+  Result<MultiplexGraph> graph = LoadDataset(args.positional[0], load);
+  if (!graph.ok()) return FailWith(graph.status());
+  Result<TrainedModel> trained = TrainedModel::Load(args.model);
+  if (!trained.ok()) return FailWith(trained.status());
+  auto scorer = serve::OnlineScorer::Create(*std::move(trained), *graph);
+  if (!scorer.ok()) return FailWith(scorer.status());
+
+  if (!args.stream.empty()) {
+    std::ifstream stream_file;
+    std::istream* in = &std::cin;
+    if (args.stream != "-") {
+      stream_file.open(args.stream);
+      if (!stream_file) {
+        return FailWith(Status::NotFound(
+            StrFormat("cannot open stream file %s", args.stream.c_str())));
+      }
+      in = &stream_file;
+    }
+    WallTimer timer;
+    int64_t applied = 0;
+    int line_no = 0;
+    std::string line;
+    while (std::getline(*in, line)) {
+      ++line_no;
+      const size_t first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos || line[first] == '#') continue;
+      std::istringstream fields(line);
+      std::string op;
+      serve::EdgeUpdate update;
+      if (!(fields >> op >> update.src >> update.dst >> update.relation) ||
+          (op != "+" && op != "-")) {
+        std::cerr << args.stream << ":" << line_no
+                  << ": expected '+|- src dst rel', got: " << line << "\n";
+        return 1;
+      }
+      update.add = op == "+";
+      const Status status = (*scorer)->ApplyEdgeUpdate(update);
+      if (!status.ok()) {
+        std::cerr << args.stream << ":" << line_no << ": "
+                  << status.ToString() << "\n";
+        return 1;
+      }
+      ++applied;
+    }
+    const double seconds = timer.ElapsedMillis() / 1000.0;
+    const serve::ServeStats& stats = (*scorer)->stats();
+    std::cerr << "applied " << applied << " updates in "
+              << FormatFloat(seconds * 1000.0, 2) << " ms ("
+              << FormatFloat(seconds > 0 ? applied / seconds : 0.0, 0)
+              << " edges/s); cache " << stats.cache_hits << " hits / "
+              << stats.cache_misses << " misses\n";
+  }
+
+  std::vector<double> scores;
+  if (args.replay_batch) {
+    Result<std::vector<double>> replay = (*scorer)->BatchReplayScores();
+    if (!replay.ok()) return FailWith(replay.status());
+    scores = *std::move(replay);
+  } else if (args.naive) {
+    scores = (*scorer)->RescoreFullNaive();
+  } else {
+    scores = (*scorer)->scores();
+  }
+  const Status written = WriteScoresCsv(args.save_scores, {"score"}, {scores});
+  if (!written.ok()) return FailWith(written);
+  if (!args.save_scores.empty()) {
+    std::cerr << args.save_scores << ": " << scores.size() << " scores\n";
+  }
+  return 0;
+}
+
 int CmdRun(const CliArgs& args) {
   if (args.positional.size() != 1) return Usage();
   LoadDatasetOptions load = LoadOptionsFrom(args);
@@ -316,6 +511,8 @@ int CmdRun(const CliArgs& args) {
     table.SetHeader({"Method", "Predicted anomalies", "Threshold",
                      "Fit (s)"});
   }
+  std::vector<std::string> score_names;
+  std::vector<std::vector<double>> score_columns;
   for (const std::string& name : roster) {
     Result<std::unique_ptr<Detector>> detector = [&] {
       // --epochs steers the UMGAD run directly; baselines keep their
@@ -332,6 +529,10 @@ int CmdRun(const CliArgs& args) {
     if (!detector.ok()) return FailWith(detector.status());
     const Status fitted = (*detector)->Fit(*graph);
     if (!fitted.ok()) return FailWith(fitted);
+    if (!args.save_scores.empty()) {
+      score_names.push_back(name);
+      score_columns.push_back((*detector)->scores());
+    }
     if (labeled) {
       const RunResult run = EvaluateFitted(
           **detector, *graph,
@@ -356,6 +557,13 @@ int CmdRun(const CliArgs& args) {
     std::cout << "\n(no ground-truth labels: scores + label-free threshold "
                  "only; --inject marks up unlabeled edge-list imports)\n";
   }
+  if (!args.save_scores.empty()) {
+    const Status written =
+        WriteScoresCsv(args.save_scores, score_names, score_columns);
+    if (!written.ok()) return FailWith(written);
+    std::cerr << args.save_scores << ": raw scores for "
+              << Join(score_names, ", ") << "\n";
+  }
   return 0;
 }
 
@@ -368,6 +576,8 @@ int Main(int argc, char** argv) {
   if (args.command == "convert") return CmdConvert(args);
   if (args.command == "inspect") return CmdInspect(args);
   if (args.command == "run") return CmdRun(args);
+  if (args.command == "train") return CmdTrain(args);
+  if (args.command == "serve") return CmdServe(args);
   return Usage();
 }
 
