@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/string_util.h"
+#include "graph/io/binary_layout.h"
 #include "graph/io/io_limits.h"
 
 namespace umgad {
@@ -15,13 +16,13 @@ const char kTextGraphExtension[] = "txt";
 
 namespace {
 
-// "UMGB" in little-endian byte order, followed by the format version. v2
-// is the first binary version (v1 is the text format).
-constexpr uint32_t kMagic = 0x42474D55;  // 'U' 'M' 'G' 'B'
-constexpr uint32_t kTrailerMagic = 0x444E4547;  // 'G' 'E' 'N' 'D'
-constexpr uint32_t kVersion = 2;
-
-constexpr uint32_t kFlagHasLabels = 1u << 0;
+// Layout constants (magic/version/flags/alignment) are shared with the
+// zero-copy mapped reader via binary_layout.h.
+using binfmt::kFlagHasLabels;
+using binfmt::kMagic;
+using binfmt::kSectionAlign;
+using binfmt::kTrailerMagic;
+using binfmt::kVersion;
 
 bool HostIsLittleEndian() {
   const uint32_t probe = 1;
@@ -40,10 +41,12 @@ class Writer {
   template <typename T>
   void Pod(T value) {
     out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+    written_ += sizeof(T);
   }
 
   void Bytes(const void* data, size_t n) {
     if (n > 0) out_.write(reinterpret_cast<const char*>(data), n);
+    written_ += static_cast<int64_t>(n);
   }
 
   void String(const std::string& s) {
@@ -51,8 +54,17 @@ class Writer {
     Bytes(s.data(), s.size());
   }
 
+  /// Zero-pads to the next kSectionAlign boundary (v3 array alignment).
+  void Align() {
+    static const char zeros[kSectionAlign] = {};
+    const int64_t pad = (kSectionAlign - written_ % kSectionAlign) %
+                        kSectionAlign;
+    Bytes(zeros, static_cast<size_t>(pad));
+  }
+
  private:
   std::ofstream out_;
+  int64_t written_ = 0;
 };
 
 class Reader {
@@ -102,6 +114,17 @@ class Reader {
     }
     s->resize(len);
     return Bytes(s->empty() ? nullptr : &(*s)[0], len, what);
+  }
+
+  /// Skips v3 alignment padding (bytes the writer's Align() emitted).
+  Status Align(const char* what) {
+    const int64_t pos = static_cast<int64_t>(in_.tellg());
+    const int64_t pad = (kSectionAlign - pos % kSectionAlign) % kSectionAlign;
+    if (pad > Remaining()) {
+      return Status::InvalidArgument(StrFormat("truncated %s", what));
+    }
+    in_.seekg(pad, std::ios::cur);
+    return Status::OK();
   }
 
   template <typename T>
@@ -166,12 +189,16 @@ Status SaveGraphBinary(const MultiplexGraph& graph, const std::string& path) {
     const SparseMatrix& layer = graph.layer(r);
     w.String(graph.relation_name(r));
     w.Pod<uint64_t>(static_cast<uint64_t>(layer.nnz()));
+    // row_ptr lands 8-aligned; col_idx ((N+1) int64s later) inherits the
+    // alignment, and values only needs 4. Same invariant for attributes.
+    w.Align();
     w.Bytes(layer.row_ptr().data(),
             layer.row_ptr().size() * sizeof(int64_t));
     w.Bytes(layer.col_idx().data(), layer.col_idx().size() * sizeof(int));
     w.Bytes(layer.values().data(), layer.values().size() * sizeof(float));
   }
 
+  w.Align();
   const Tensor& x = graph.attributes();
   w.Bytes(x.data(), static_cast<size_t>(x.size()) * sizeof(float));
   if (graph.has_labels()) {
@@ -244,6 +271,7 @@ Result<MultiplexGraph> LoadGraphBinary(const std::string& path) {
     }
     uint64_t nnz = 0;
     UMGAD_RETURN_IF_ERROR(in.Pod(&nnz, "nnz"));
+    UMGAD_RETURN_IF_ERROR(in.Align("relation section"));
     std::vector<int64_t> row_ptr;
     std::vector<int> col_idx;
     std::vector<float> values;
@@ -261,6 +289,7 @@ Result<MultiplexGraph> LoadGraphBinary(const std::string& path) {
     rel_names.push_back(std::move(rel_name));
   }
 
+  UMGAD_RETURN_IF_ERROR(in.Align("attribute section"));
   Tensor x(n, d);
   UMGAD_RETURN_IF_ERROR(in.Bytes(
       x.data(), static_cast<int64_t>(x.size()) * sizeof(float),
@@ -277,9 +306,18 @@ Result<MultiplexGraph> LoadGraphBinary(const std::string& path) {
   if (trailer != kTrailerMagic) {
     return Status::InvalidArgument(path + ": bad trailer (truncated file?)");
   }
+  if (in.Remaining() != 0) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: %lld trailing bytes after trailer", path.c_str(),
+        static_cast<long long>(in.Remaining())));
+  }
 
+  // kTrustSymmetry: the writer only serialises graphs that passed the full
+  // factory checks, and every element-level CSR invariant was re-validated
+  // above — see LayerChecks.
   return MultiplexGraph::Create(name, std::move(x), std::move(layers),
-                                std::move(rel_names), std::move(labels));
+                                std::move(rel_names), std::move(labels),
+                                LayerChecks::kTrustSymmetry);
 }
 
 bool LooksLikeBinaryGraph(const std::string& path) {

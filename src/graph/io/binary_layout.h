@@ -1,0 +1,27 @@
+#ifndef UMGAD_GRAPH_IO_BINARY_LAYOUT_H_
+#define UMGAD_GRAPH_IO_BINARY_LAYOUT_H_
+
+#include <cstdint>
+
+namespace umgad {
+namespace binfmt {
+
+// Shared `.umgb` layout constants: the copying reader/writer
+// (binary_format.cc) and the zero-copy mapped reader (mmap_format.cc) must
+// agree on these byte-for-byte — both parse the same v3 layout documented
+// in docs/FORMATS.md.
+//
+// v3 zero-pads to kSectionAlign before each relation's row_ptr block and
+// before the attribute block, so every bulk array sits at a naturally
+// aligned file offset — the precondition for reading the arrays in place
+// through a mapping.
+inline constexpr uint32_t kMagic = 0x42474D55;          // 'U' 'M' 'G' 'B'
+inline constexpr uint32_t kTrailerMagic = 0x444E4547;   // 'G' 'E' 'N' 'D'
+inline constexpr uint32_t kVersion = 3;
+inline constexpr uint32_t kFlagHasLabels = 1u << 0;
+inline constexpr int64_t kSectionAlign = 8;
+
+}  // namespace binfmt
+}  // namespace umgad
+
+#endif  // UMGAD_GRAPH_IO_BINARY_LAYOUT_H_

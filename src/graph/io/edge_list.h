@@ -10,6 +10,19 @@
 
 namespace umgad {
 
+/// How ImportEdgeList decides whether the first data row is a header.
+enum class HeaderMode {
+  /// Header iff *neither* of the first two fields parses as an integer.
+  /// (A mixed row like "0,weight" is data with a bad id — an error — not a
+  /// silently dropped header; an all-numeric header needs kAlways.)
+  kAuto,
+  /// The first data row is always a header (covers all-numeric headers
+  /// like "0,1,2" that kAuto cannot distinguish from data).
+  kAlways,
+  /// Every data row is data; a textual first row fails with "bad node ids".
+  kNever,
+};
+
 /// Generic edge-list ingestion: the format real dataset dumps (Amazon,
 /// YelpChi, exported fraud graphs) actually arrive in. Each line of the
 /// edges file is
@@ -18,16 +31,35 @@ namespace umgad {
 ///
 /// with `sep` auto-detected (tab, comma, or whitespace) or forced via
 /// `delimiter`. Lines starting with '#' and blank lines are skipped; a
-/// leading non-numeric header row is skipped automatically. The optional
+/// leading non-numeric header row is skipped per `header`. The optional
 /// third column names the relation layer; without it the import is a
 /// single-relation graph. Relations appear in first-seen order unless
 /// `relation_names` pins the order up front.
+///
+/// Parsing is chunked: the file is read in one bulk read, split into
+/// newline-aligned byte ranges (line_chunks.h), and the ranges are parsed
+/// on the global ThreadPool, then merged in chunk order. The merged graph
+/// — and every error message — is bit-identical to the serial parse
+/// (`parallel = false`, equivalently one chunk) for any UMGAD_THREADS;
+/// tests/io_differential_test.cc pins that contract.
 struct EdgeListOptions {
   /// Graph name recorded in the result.
   std::string name = "imported";
 
   /// Field separator; '\0' auto-detects per file (tab > comma > spaces).
   char delimiter = '\0';
+
+  /// Header handling for the edges file (see HeaderMode).
+  HeaderMode header = HeaderMode::kAuto;
+
+  /// Parse edge/feature chunks on the ThreadPool (bit-identical to the
+  /// serial parse either way; false forces one chunk).
+  bool parallel = true;
+
+  /// Chunk-count override: 0 sizes chunks automatically from the file size
+  /// and thread count; >= 1 forces exactly that target (tests use this to
+  /// exercise multi-chunk merges on small files).
+  int import_chunks = 0;
 
   /// Node count; 0 infers (max node id + 1, or the feature-file row count
   /// when a features file is given).
@@ -59,6 +91,20 @@ struct EdgeListOptions {
 /// collapse.
 Result<MultiplexGraph> ImportEdgeList(const std::string& edges_path,
                                       const EdgeListOptions& options = {});
+
+/// Writes `graph` back out in the dialect ImportEdgeList reads: one
+/// tab-delimited `src dst relation` line per undirected edge (src <= dst,
+/// each edge once), plus optional side files — features at max_digits10
+/// (so re-importing reproduces every float bit-for-bit) and 0/1 labels one
+/// per line. Fails if any adjacency value is not 1.0 (the text dialect
+/// carries no weights) or if `labels_path` is set on an unlabeled graph.
+/// Re-import with `relation_names` pinned to the graph's relations and the
+/// exported features file (its row count preserves isolated tail nodes) to
+/// round-trip exactly.
+Status ExportEdgeList(const MultiplexGraph& graph,
+                      const std::string& edges_path,
+                      const std::string& features_path = "",
+                      const std::string& labels_path = "");
 
 }  // namespace umgad
 

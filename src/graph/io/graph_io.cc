@@ -6,6 +6,7 @@
 #include "common/string_util.h"
 #include "graph/dataset_registry.h"
 #include "graph/io/binary_format.h"
+#include "graph/io/mmap_format.h"
 #include "graph/io/text_format.h"
 
 namespace umgad {
@@ -50,12 +51,17 @@ Result<MultiplexGraph> LoadDataset(const std::string& path_or_name,
                                    const LoadDatasetOptions& options) {
   if (FileExists(path_or_name)) {
     if (LooksLikeBinaryGraph(path_or_name)) {
+      if (options.prefer_mmap) {
+        return LoadGraphMapped(path_or_name);
+      }
       return LoadGraphBinary(path_or_name);
     }
     if (LooksLikeTextGraph(path_or_name)) {
       return LoadGraph(path_or_name);
     }
-    return ImportEdgeList(path_or_name, options.edge_list);
+    EdgeListOptions edge_list = options.edge_list;
+    edge_list.parallel = options.parallel_import;
+    return ImportEdgeList(path_or_name, edge_list);
   }
 
   const DatasetRegistry& registry = DatasetRegistry::Global();

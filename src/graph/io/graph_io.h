@@ -18,6 +18,13 @@ struct LoadDatasetOptions {
   /// When false, registered names always build in-process even if
   /// UMGAD_DATASET_DIR holds a file for them.
   bool use_dataset_dir = true;
+  /// Map .umgb files read-only instead of copying them into owned memory
+  /// (falls back to the copying reader when the platform lacks mmap or
+  /// UMGAD_NO_MMAP is set). The loaded graph is bit-identical either way.
+  bool prefer_mmap = false;
+  /// Parse edge-list imports in newline-aligned chunks on the thread pool
+  /// (bit-identical to the serial parse); overrides edge_list.parallel.
+  bool parallel_import = true;
   EdgeListOptions edge_list;
 };
 

@@ -1,0 +1,35 @@
+#ifndef UMGAD_GRAPH_IO_LINE_CHUNKS_H_
+#define UMGAD_GRAPH_IO_LINE_CHUNKS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace umgad {
+
+/// Half-open byte range [begin, end) into a parse buffer.
+struct ByteRange {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Reads a whole file into `out` (binary mode, no translation). The one
+/// bulk read the chunked importer performs; everything after it is
+/// in-memory parsing.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Splits [0, size) into up to `target_chunks` newline-aligned ranges:
+/// every range except the first starts immediately after a '\n', and every
+/// range except the last ends immediately after one — so no line straddles
+/// two ranges and per-range parsers never see partial lines. Boundaries are
+/// a pure function of (data, size, target_chunks); ranges concatenate back
+/// to exactly [0, size) and empty ranges are dropped. target_chunks < 1 is
+/// treated as 1.
+std::vector<ByteRange> SplitNewlineAligned(const char* data, size_t size,
+                                           int target_chunks);
+
+}  // namespace umgad
+
+#endif  // UMGAD_GRAPH_IO_LINE_CHUNKS_H_

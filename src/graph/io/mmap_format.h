@@ -1,0 +1,98 @@
+#ifndef UMGAD_GRAPH_IO_MMAP_FORMAT_H_
+#define UMGAD_GRAPH_IO_MMAP_FORMAT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "graph/multiplex_graph.h"
+
+namespace umgad {
+
+/// Read-only memory mapping of a whole file. The mapping is PROT_READ and
+/// private; it is unmapped when the last shared_ptr holding it dies — every
+/// borrowed view created by the mapped graph loader (CSR spans, the
+/// attribute tensor) carries one as its keepalive, so the mapping strictly
+/// outlives every reader of its bytes, in any destruction order, even after
+/// the file itself is deleted or re-loaded.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Fails with IoError when the file cannot be
+  /// opened/stat'ed/mapped and InvalidArgument when it is empty (a zero-size
+  /// file cannot be mapped and is not a valid graph anyway).
+  static Result<std::shared_ptr<const MappedFile>> Open(
+      const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const unsigned char* data() const {
+    return static_cast<const unsigned char*>(map_);
+  }
+  int64_t size() const { return size_; }
+
+  /// Bytes of the mapping currently resident in physical memory (a mincore
+  /// page walk). This is the out-of-core meter: right after Load it counts
+  /// only the pages the loader faulted (header + CSR arrays + labels, plus
+  /// kernel readahead) — the attribute and value sections stay on disk
+  /// until first use. Returns size() on platforms without mincore.
+  int64_t ResidentBytes() const;
+
+ private:
+  MappedFile(void* map, int64_t size) : map_(map), size_(size) {}
+
+  void* map_;
+  int64_t size_;
+};
+
+/// True when this platform can mmap and the UMGAD_NO_MMAP env knob (set to
+/// anything but "0"/empty) does not disable it. Checked per call, so tests
+/// can toggle the knob at runtime.
+bool MmapSupported();
+
+/// A `.umgb` graph loaded through a file mapping: the CSR arrays and the
+/// attribute matrix are *views* into the mapped bytes (zero copy; labels —
+/// 4 bytes per node — are copied so `labels()` can stay a vector), with the
+/// mapping kept alive by the views themselves. Validation is identical to
+/// the copying loader's: every section is bounded by the physical file size
+/// before use, header counts are capped, the CSR invariants are checked
+/// (SparseMatrix::FromBorrowedCsr), and the graph-level factory re-checks
+/// shapes and symmetry — a corrupt file fails with a Status either way.
+///
+/// When the platform cannot map (or UMGAD_NO_MMAP disables it), Load falls
+/// back to the copying binary loader and reports mapped() == false.
+class MappedGraph {
+ public:
+  static Result<MappedGraph> Load(const std::string& path);
+
+  const MultiplexGraph& graph() const { return graph_; }
+  /// Moves the graph out. Safe: the keepalives ride inside the layers and
+  /// the attribute tensor, so the mapping survives this wrapper.
+  MultiplexGraph TakeGraph() { return std::move(graph_); }
+
+  /// False when the copying fallback path produced the graph.
+  bool mapped() const { return mapped_; }
+  /// Size of the backing file in bytes; 0 when the copying fallback ran.
+  int64_t file_bytes() const { return file_bytes_; }
+  /// Bytes of the mapping resident in memory right now (see
+  /// MappedFile::ResidentBytes); 0 when the copying fallback ran.
+  int64_t resident_bytes() const {
+    return file_ == nullptr ? 0 : file_->ResidentBytes();
+  }
+
+ private:
+  MultiplexGraph graph_;
+  std::shared_ptr<const MappedFile> file_;
+  bool mapped_ = false;
+  int64_t file_bytes_ = 0;
+};
+
+/// Convenience wrapper: MappedGraph::Load + TakeGraph. This is what
+/// LoadDataset's `prefer_mmap` option and `umgad_cli --mmap` call.
+Result<MultiplexGraph> LoadGraphMapped(const std::string& path);
+
+}  // namespace umgad
+
+#endif  // UMGAD_GRAPH_IO_MMAP_FORMAT_H_

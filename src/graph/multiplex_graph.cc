@@ -6,7 +6,8 @@ namespace umgad {
 
 Result<MultiplexGraph> MultiplexGraph::Create(
     std::string name, Tensor attributes, std::vector<SparseMatrix> layers,
-    std::vector<std::string> relation_names, std::vector<int> labels) {
+    std::vector<std::string> relation_names, std::vector<int> labels,
+    LayerChecks checks) {
   const int n = attributes.rows();
   if (layers.empty()) {
     return Status::InvalidArgument("graph needs at least one relation layer");
@@ -22,17 +23,52 @@ Result<MultiplexGraph> MultiplexGraph::Create(
           "layer %zu is %dx%d but the graph has %d nodes", r,
           layers[r].rows(), layers[r].cols(), n));
     }
-    // Symmetry check: every stored (i, j) needs a (j, i).
+    if (checks != LayerChecks::kFull) continue;
+    // Symmetry check: every stored (i, j) needs a (j, i). O(nnz) cursor
+    // merge instead of a per-edge binary search: scanning edges in row-major
+    // order visits, for each fixed j, its partners i in ascending order —
+    // exactly row j's column list when the layer is symmetric. So walking a
+    // per-row cursor in lockstep matches the pattern against its transpose
+    // without building one; any divergence means asymmetry.
     const auto& rp = layers[r].row_ptr();
     const auto& ci = layers[r].col_idx();
-    for (int i = 0; i < n; ++i) {
+    std::vector<int64_t> cursor(rp.begin(), rp.end() - 1);
+    bool symmetric = true;
+    for (int i = 0; i < n && symmetric; ++i) {
       for (int64_t k = rp[i]; k < rp[i + 1]; ++k) {
-        if (!layers[r].Has(ci[k], i)) {
-          return Status::InvalidArgument(StrFormat(
-              "layer %zu (%s) is not symmetric at (%d, %d)", r,
-              relation_names[r].c_str(), i, ci[k]));
+        const int j = ci[k];
+        if (cursor[j] >= rp[j + 1] || ci[cursor[j]] != i) {
+          symmetric = false;
+          break;
+        }
+        ++cursor[j];
+      }
+    }
+    if (symmetric) {
+      for (int j = 0; j < n; ++j) {
+        if (cursor[j] != rp[j + 1]) {
+          symmetric = false;
+          break;
         }
       }
+    }
+    if (!symmetric) {
+      // Slow re-diagnosis (error path only): report the first stored (i, j)
+      // with no (j, i), in the scan order the historical check used.
+      for (int i = 0; i < n; ++i) {
+        for (int64_t k = rp[i]; k < rp[i + 1]; ++k) {
+          if (!layers[r].Has(ci[k], i)) {
+            return Status::InvalidArgument(StrFormat(
+                "layer %zu (%s) is not symmetric at (%d, %d)", r,
+                relation_names[r].c_str(), i, ci[k]));
+          }
+        }
+      }
+      // Cursor mismatch with every (i, j) paired can't happen: the merge
+      // consumes each stored edge exactly once iff the pattern equals its
+      // transpose.
+      return Status::InvalidArgument(StrFormat(
+          "layer %zu (%s) is not symmetric", r, relation_names[r].c_str()));
     }
   }
   if (!labels.empty() && labels.size() != static_cast<size_t>(n)) {

@@ -17,16 +17,34 @@ namespace umgad {
 /// `labels` is the evaluation ground truth (1 = anomalous, 0 = normal); it
 /// is never consumed by detectors — only by metrics and by the Table V
 /// "ground-truth leakage" thresholding protocol.
+/// How much layer-content validation MultiplexGraph::Create performs beyond
+/// the shape, relation-name, and label checks (those always run).
+enum class LayerChecks {
+  /// Verify every layer is symmetric (an O(nnz) merge over each layer's
+  /// pattern). The default for graphs assembled in-process or parsed from
+  /// human-editable formats.
+  kFull,
+  /// Trust symmetry. For the .umgb readers: SaveGraphBinary only serialises
+  /// graphs that passed kFull, and both binary readers re-validate every
+  /// element-level CSR invariant memory safety depends on (section bounds,
+  /// row_ptr monotonicity, column range/ordering) — so a hand-corrupted
+  /// file can at worst yield an asymmetric graph (wrong scores), never an
+  /// unsafe one. Skipping the re-check keeps the load cost proportional to
+  /// the bytes actually validated, which is what makes the mmap path fast.
+  kTrustSymmetry,
+};
+
 class MultiplexGraph {
  public:
   MultiplexGraph() = default;
 
-  /// Validating factory: checks layer shapes, symmetry of each layer, and
-  /// attribute/label dimensions.
+  /// Validating factory: checks layer shapes, symmetry of each layer (per
+  /// `checks`), and attribute/label dimensions.
   static Result<MultiplexGraph> Create(std::string name, Tensor attributes,
                                        std::vector<SparseMatrix> layers,
                                        std::vector<std::string> relation_names,
-                                       std::vector<int> labels = {});
+                                       std::vector<int> labels = {},
+                                       LayerChecks checks = LayerChecks::kFull);
 
   const std::string& name() const { return name_; }
   int num_nodes() const { return attributes_.rows(); }
@@ -34,7 +52,14 @@ class MultiplexGraph {
   int feature_dim() const { return attributes_.cols(); }
 
   const Tensor& attributes() const { return attributes_; }
-  Tensor& mutable_attributes() { return attributes_; }
+  /// Mutable attribute access is copy-on-write: an mmap-loaded graph views
+  /// the read-only mapped section until the first mutable request, which
+  /// materialises an owned copy (so injection/perturbation work on mapped
+  /// graphs without ever writing through the mapping).
+  Tensor& mutable_attributes() {
+    attributes_.EnsureOwned();
+    return attributes_;
+  }
 
   const SparseMatrix& layer(int r) const {
     UMGAD_CHECK(r >= 0 && r < num_relations());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "common/thread_pool.h"
@@ -14,6 +15,88 @@ namespace {
 /// Rows per parallel SpMM chunk. The pool oversubscribes chunks 4x over
 /// lanes, so skewed degree distributions still balance.
 constexpr int64_t kSpmmRowGrain = 64;
+
+/// Rows per parallel CSR-validation chunk (pure read scan, memory bound).
+constexpr int64_t kValidateRowGrain = 4096;
+
+/// Shared validation behind FromCsr and FromBorrowedCsr. The row scan is
+/// parallel (chunks of rows are independent once the chunk's starting
+/// offset passes its own bounds check), with the first failing row
+/// re-diagnosed serially so the Status message is deterministic across
+/// thread counts. Each chunk is one flat cursor walk — row_ptr read once
+/// per row, columns once each — so the scan runs at memory bandwidth; this
+/// is the dominant cost of the mmap load path, which touches nothing else.
+/// It never reads outside [0, nnz) of col_idx: the cursor only advances to
+/// offsets already proven <= nnz.
+Status ValidateCsr(int rows, int cols, ConstSpan<int64_t> row_ptr,
+                   ConstSpan<int> col_idx, size_t values_size) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("negative CSR dimensions");
+  }
+  if (row_ptr.size() != static_cast<size_t>(rows) + 1) {
+    return Status::InvalidArgument("row_ptr size must be rows + 1");
+  }
+  if (col_idx.size() != values_size) {
+    return Status::InvalidArgument("col_idx/values size mismatch");
+  }
+  const int64_t nnz = static_cast<int64_t>(col_idx.size());
+  if (row_ptr.front() != 0 || row_ptr.back() != nnz) {
+    return Status::InvalidArgument("row_ptr must span [0, nnz]");
+  }
+  std::atomic<int64_t> first_bad{std::numeric_limits<int64_t>::max()};
+  ParallelFor(rows, kValidateRowGrain, [&](int64_t r0, int64_t r1) {
+    auto record = [&](int64_t i) {
+      int64_t seen = first_bad.load(std::memory_order_relaxed);
+      while (i < seen && !first_bad.compare_exchange_weak(
+                             seen, i, std::memory_order_relaxed)) {
+      }
+    };
+    int64_t k = row_ptr[r0];
+    if (k < 0 || k > nnz) {
+      record(r0);
+      return;
+    }
+    for (int64_t i = r0; i < r1; ++i) {
+      const int64_t end = row_ptr[i + 1];
+      if (end < k || end > nnz) {
+        record(i);
+        return;
+      }
+      int prev = -1;
+      for (; k < end; ++k) {
+        const int c = col_idx[k];
+        // c <= prev subsumes c < 0 on a row's first column (prev == -1).
+        if (c <= prev || c >= cols) {
+          record(i);
+          return;
+        }
+        prev = c;
+      }
+    }
+  });
+  const int64_t bad = first_bad.load(std::memory_order_relaxed);
+  if (bad == std::numeric_limits<int64_t>::max()) return Status::OK();
+  // Serial re-diagnosis of the lowest failing row: same error strings, in
+  // the same precedence, as the historical serial loop. A slice escaping
+  // [0, nnz] implies a row_ptr decrease somewhere (back() == nnz), which the
+  // historical loop reported as non-monotonic.
+  const int i = static_cast<int>(bad);
+  const int64_t begin = row_ptr[i];
+  const int64_t end = row_ptr[i + 1];
+  if (begin > end || begin < 0 || end > nnz) {
+    return Status::InvalidArgument("row_ptr is not monotonic");
+  }
+  for (int64_t k = begin; k < end; ++k) {
+    if (col_idx[k] < 0 || col_idx[k] >= cols) {
+      return Status::OutOfRange("CSR column index out of range");
+    }
+    if (k > begin && col_idx[k] <= col_idx[k - 1]) {
+      return Status::InvalidArgument(
+          "CSR columns must be strictly ascending within each row");
+    }
+  }
+  return Status::InvalidArgument("row_ptr is not monotonic");
+}
 
 }  // namespace
 
@@ -35,9 +118,9 @@ SparseMatrix SparseMatrix::FromCoo(int rows, int cols,
   SparseMatrix m;
   m.rows_ = rows;
   m.cols_ = cols;
-  m.row_ptr_.assign(rows + 1, 0);
-  m.col_idx_.reserve(nnz_in);
-  m.values_.reserve(nnz_in);
+  m.row_ptr_store_.assign(rows + 1, 0);
+  m.col_idx_store_.reserve(nnz_in);
+  m.values_store_.reserve(nnz_in);
 
   int prev_r = -1;
   int prev_c = -1;
@@ -47,16 +130,17 @@ SparseMatrix SparseMatrix::FromCoo(int rows, int cols,
     const float v = values[order[k]];
     UMGAD_CHECK(r >= 0 && r < rows && c >= 0 && c < cols);
     if (r == prev_r && c == prev_c) {
-      m.values_.back() += v;  // merge duplicates
+      m.values_store_.back() += v;  // merge duplicates
       continue;
     }
-    m.col_idx_.push_back(c);
-    m.values_.push_back(v);
-    m.row_ptr_[r + 1] += 1;
+    m.col_idx_store_.push_back(c);
+    m.values_store_.push_back(v);
+    m.row_ptr_store_[r + 1] += 1;
     prev_r = r;
     prev_c = c;
   }
-  for (int i = 0; i < rows; ++i) m.row_ptr_[i + 1] += m.row_ptr_[i];
+  for (int i = 0; i < rows; ++i) m.row_ptr_store_[i + 1] += m.row_ptr_store_[i];
+  m.SyncSpans();
   return m;
 }
 
@@ -77,7 +161,7 @@ SparseMatrix SparseMatrix::FromEdges(int n, const std::vector<Edge>& edges,
   std::vector<float> v(r.size(), 1.0f);
   SparseMatrix m = FromCoo(n, n, r, c, v);
   // Clamp merged duplicates back to 1 so the result stays a 0/1 adjacency.
-  for (auto& val : m.values_) val = 1.0f;
+  for (auto& val : m.values_store_) val = 1.0f;
   return m;
 }
 
@@ -85,54 +169,56 @@ Result<SparseMatrix> SparseMatrix::FromCsr(int rows, int cols,
                                            std::vector<int64_t> row_ptr,
                                            std::vector<int> col_idx,
                                            std::vector<float> values) {
-  if (rows < 0 || cols < 0) {
-    return Status::InvalidArgument("negative CSR dimensions");
-  }
-  if (row_ptr.size() != static_cast<size_t>(rows) + 1) {
-    return Status::InvalidArgument("row_ptr size must be rows + 1");
-  }
-  if (col_idx.size() != values.size()) {
-    return Status::InvalidArgument("col_idx/values size mismatch");
-  }
-  const int64_t nnz = static_cast<int64_t>(col_idx.size());
-  if (row_ptr.front() != 0 || row_ptr.back() != nnz) {
-    return Status::InvalidArgument("row_ptr must span [0, nnz]");
-  }
-  for (int i = 0; i < rows; ++i) {
-    if (row_ptr[i] > row_ptr[i + 1]) {
-      return Status::InvalidArgument("row_ptr is not monotonic");
-    }
-    for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
-      if (col_idx[k] < 0 || col_idx[k] >= cols) {
-        return Status::OutOfRange("CSR column index out of range");
-      }
-      if (k > row_ptr[i] && col_idx[k] <= col_idx[k - 1]) {
-        return Status::InvalidArgument(
-            "CSR columns must be strictly ascending within each row");
-      }
-    }
-  }
+  UMGAD_RETURN_IF_ERROR(
+      ValidateCsr(rows, cols, row_ptr, col_idx, values.size()));
   SparseMatrix m;
   m.rows_ = rows;
   m.cols_ = cols;
-  m.row_ptr_ = std::move(row_ptr);
-  m.col_idx_ = std::move(col_idx);
-  m.values_ = std::move(values);
+  m.row_ptr_store_ = std::move(row_ptr);
+  m.col_idx_store_ = std::move(col_idx);
+  m.values_store_ = std::move(values);
+  m.SyncSpans();
   return m;
+}
+
+Result<SparseMatrix> SparseMatrix::FromBorrowedCsr(
+    int rows, int cols, ConstSpan<int64_t> row_ptr, ConstSpan<int> col_idx,
+    ConstSpan<float> values, std::shared_ptr<const void> payload) {
+  UMGAD_CHECK(payload != nullptr);
+  UMGAD_RETURN_IF_ERROR(
+      ValidateCsr(rows, cols, row_ptr, col_idx, values.size()));
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.payload_ = std::move(payload);
+  m.row_ptr_ = row_ptr;
+  m.col_idx_ = col_idx;
+  m.values_ = values;
+  return m;
+}
+
+void SparseMatrix::MaterializeOwned() {
+  if (payload_ == nullptr) return;
+  row_ptr_store_.assign(row_ptr_.begin(), row_ptr_.end());
+  col_idx_store_.assign(col_idx_.begin(), col_idx_.end());
+  values_store_.assign(values_.begin(), values_.end());
+  payload_.reset();
+  SyncSpans();
 }
 
 SparseMatrix SparseMatrix::Identity(int n) {
   SparseMatrix m;
   m.rows_ = n;
   m.cols_ = n;
-  m.row_ptr_.resize(n + 1);
-  m.col_idx_.resize(n);
-  m.values_.assign(n, 1.0f);
+  m.row_ptr_store_.resize(n + 1);
+  m.col_idx_store_.resize(n);
+  m.values_store_.assign(n, 1.0f);
   for (int i = 0; i < n; ++i) {
-    m.row_ptr_[i] = i;
-    m.col_idx_[i] = i;
+    m.row_ptr_store_[i] = i;
+    m.col_idx_store_[i] = i;
   }
-  m.row_ptr_[n] = n;
+  m.row_ptr_store_[n] = n;
+  m.SyncSpans();
   return m;
 }
 
@@ -315,11 +401,12 @@ SparseMatrix SparseMatrix::NormalizedWithSelfLoops() const {
 SparseMatrix SparseMatrix::RowNormalized() const {
   std::vector<double> deg = RowSums();
   SparseMatrix m = *this;
+  m.MaterializeOwned();  // copies of borrowed matrices stay views; unshare
   for (int i = 0; i < rows_; ++i) {
     if (deg[i] <= 0.0) continue;
     const float inv = static_cast<float>(1.0 / deg[i]);
     for (int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      m.values_[k] *= inv;
+      m.values_store_[k] *= inv;
     }
   }
   return m;

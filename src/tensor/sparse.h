@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/span.h"
 #include "tensor/tensor.h"
 
 namespace umgad {
@@ -50,15 +51,30 @@ class SparseMatrix {
                                       std::vector<int> col_idx,
                                       std::vector<float> values);
 
+  /// Adopt CSR arrays the matrix does not own — the mmap loader's view
+  /// straight into a mapped `.umgb` section. Runs the same validation as
+  /// FromCsr; `payload` keeps the backing storage (the file mapping) alive
+  /// for as long as this matrix — or any copy-on-write descendant that
+  /// still shares the view — exists. The matrix is read-only like every
+  /// other; mutating factories (RowNormalized) transparently materialise an
+  /// owned copy first.
+  static Result<SparseMatrix> FromBorrowedCsr(
+      int rows, int cols, ConstSpan<int64_t> row_ptr, ConstSpan<int> col_idx,
+      ConstSpan<float> values, std::shared_ptr<const void> payload);
+
   static SparseMatrix Identity(int n);
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
 
-  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
-  const std::vector<int>& col_idx() const { return col_idx_; }
-  const std::vector<float>& values() const { return values_; }
+  /// True when the CSR arrays alias external storage (FromBorrowedCsr) and
+  /// are kept alive by the payload rather than owned vectors.
+  bool borrowed() const { return payload_ != nullptr; }
+
+  ConstSpan<int64_t> row_ptr() const { return row_ptr_; }
+  ConstSpan<int> col_idx() const { return col_idx_; }
+  ConstSpan<float> values() const { return values_; }
 
   int RowNnz(int i) const {
     return static_cast<int>(row_ptr_[i + 1] - row_ptr_[i]);
@@ -137,18 +153,24 @@ class SparseMatrix {
   /// Dense copy (tests and small-graph scoring only).
   Tensor ToDense() const;
 
+  // Copies drop the lazy caches; a copy of a borrowed matrix stays borrowed
+  // (it shares the payload keepalive instead of materialising the arrays).
   SparseMatrix(const SparseMatrix& o)
-      : rows_(o.rows_), cols_(o.cols_), row_ptr_(o.row_ptr_),
-        col_idx_(o.col_idx_), values_(o.values_) {}  // cache not copied
-  SparseMatrix& operator=(const SparseMatrix& o) {
-    if (this != &o) {
-      rows_ = o.rows_;
-      cols_ = o.cols_;
+      : rows_(o.rows_), cols_(o.cols_), row_ptr_store_(o.row_ptr_store_),
+        col_idx_store_(o.col_idx_store_), values_store_(o.values_store_),
+        payload_(o.payload_) {
+    if (payload_ != nullptr) {
       row_ptr_ = o.row_ptr_;
       col_idx_ = o.col_idx_;
       values_ = o.values_;
-      transposed_.reset();
-      incoming_.reset();
+    } else {
+      SyncSpans();
+    }
+  }
+  SparseMatrix& operator=(const SparseMatrix& o) {
+    if (this != &o) {
+      SparseMatrix copy(o);
+      *this = std::move(copy);
     }
     return *this;
   }
@@ -156,6 +178,17 @@ class SparseMatrix {
   SparseMatrix& operator=(SparseMatrix&&) = default;
 
  private:
+  /// Re-points the span views at the owned vectors (after any store write).
+  void SyncSpans() {
+    row_ptr_ = row_ptr_store_;
+    col_idx_ = col_idx_store_;
+    values_ = values_store_;
+  }
+
+  /// Deep-copies borrowed arrays into the owned vectors and drops the
+  /// payload. Called by mutating factories before they write; no-op for
+  /// owned matrices.
+  void MaterializeOwned();
   /// CSR of S^T: per original column, the (row, value) entries in ascending
   /// row order. Built lazily by EnsureTransposedIndex().
   struct TransposedIndex {
@@ -166,9 +199,16 @@ class SparseMatrix {
 
   int rows_;
   int cols_;
-  std::vector<int64_t> row_ptr_;
-  std::vector<int> col_idx_;
-  std::vector<float> values_;
+  // Owned storage (empty while borrowing) plus the span views every reader
+  // goes through. For owned matrices the spans alias the vectors below; for
+  // borrowed ones they alias external storage kept alive by payload_.
+  std::vector<int64_t> row_ptr_store_;
+  std::vector<int> col_idx_store_;
+  std::vector<float> values_store_;
+  std::shared_ptr<const void> payload_;
+  ConstSpan<int64_t> row_ptr_;
+  ConstSpan<int> col_idx_;
+  ConstSpan<float> values_;
   // Mutable caches: logically const (derived from the CSR arrays, which are
   // immutable after construction). Concurrent lazy builds use the
   // shared_ptr atomic free functions (acquire load + CAS publication);

@@ -340,7 +340,9 @@ TEST(BinaryFormatTest, RejectsCorruptCsr) {
   const std::string path = TempPath("corrupt_csr.umgb");
   ASSERT_TRUE(SaveGraphBinary(g, path).ok());
   std::string bytes = ReadFile(path);
-  const size_t row_ptr_offset = 12 + 8 + 24 + 9 + 8;
+  // v3 zero-pads to an 8-byte boundary between the nnz field (ends at 61)
+  // and the row_ptr array, so row_ptr starts at 64.
+  const size_t row_ptr_offset = 12 + 8 + 24 + 9 + 8 + 3;
   // row_ptr[0] must be 0; make it wild.
   bytes[row_ptr_offset] = 0x33;
   WriteFile(path, bytes);
@@ -434,6 +436,67 @@ TEST(EdgeListTest, ImportsCsvAndWhitespaceWithoutSideFiles) {
   ASSERT_TRUE(from_spaces.ok()) << from_spaces.status().ToString();
   EXPECT_EQ(from_spaces->num_nodes(), 3);
   std::remove(spaces.c_str());
+}
+
+TEST(EdgeListTest, HeaderAutoDetectionRegressions) {
+  // Regression: the old heuristic skipped the first row when *either* of
+  // its first two fields failed to parse as an integer, so a data row like
+  // "0,weight" was silently dropped instead of rejected. kAuto now skips
+  // only when NEITHER parses; a mixed row is data with a bad id.
+  const std::string mixed = TempPath("header_mixed.csv");
+  WriteFile(mixed, "0,weight\n1,2\n");
+  auto from_mixed = ImportEdgeList(mixed);
+  ASSERT_FALSE(from_mixed.ok());
+  EXPECT_NE(from_mixed.status().message().find("line 1"), std::string::npos)
+      << from_mixed.status().message();
+  EXPECT_NE(from_mixed.status().message().find("bad node ids"),
+            std::string::npos)
+      << from_mixed.status().message();
+  std::remove(mixed.c_str());
+
+  // kAuto keeps an all-numeric first row as data...
+  const std::string numeric = TempPath("header_numeric.tsv");
+  WriteFile(numeric, "0\t1\n1\t2\n");
+  auto from_auto = ImportEdgeList(numeric);
+  ASSERT_TRUE(from_auto.ok()) << from_auto.status().ToString();
+  EXPECT_EQ(from_auto->num_nodes(), 3);
+  EXPECT_EQ(from_auto->total_edges(), 2);
+
+  // ...while kAlways skips it (the only way to consume a header that
+  // happens to be all digits, e.g. column indices).
+  EdgeListOptions always;
+  always.header = HeaderMode::kAlways;
+  auto skipped = ImportEdgeList(numeric, always);
+  ASSERT_TRUE(skipped.ok()) << skipped.status().ToString();
+  EXPECT_EQ(skipped->num_nodes(), 3);
+  EXPECT_EQ(skipped->total_edges(), 1);
+  std::remove(numeric.c_str());
+
+  // kAlways on a header-only file: nothing left to import.
+  const std::string only_header = TempPath("header_only.tsv");
+  WriteFile(only_header, "src\tdst\n");
+  auto empty = ImportEdgeList(only_header, always);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.status().message().find("no edges after header"),
+            std::string::npos)
+      << empty.status().message();
+  std::remove(only_header.c_str());
+
+  // kNever never skips: a textual first row is malformed data.
+  const std::string textual = TempPath("header_textual.tsv");
+  WriteFile(textual, "src\tdst\n0\t1\n");
+  EdgeListOptions never;
+  never.header = HeaderMode::kNever;
+  auto rejected = ImportEdgeList(textual, never);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("bad node ids"),
+            std::string::npos)
+      << rejected.status().message();
+  // Same file under kAuto: the textual header is skipped.
+  auto accepted = ImportEdgeList(textual);
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  EXPECT_EQ(accepted->total_edges(), 1);
+  std::remove(textual.c_str());
 }
 
 TEST(EdgeListTest, AcceptsSubnormalFeatureValues) {

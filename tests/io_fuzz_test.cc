@@ -1,0 +1,232 @@
+// Corruption fuzzing for the .umgb readers: every mutation of a valid
+// image — truncation at every byte length, seeded random byte flips,
+// hostile header counts at computed offsets — must come back as a Status
+// (or as a successfully loaded graph, for flips in sections whose bits are
+// not structurally validated), never as a crash, a hang, or an attempted
+// huge allocation. The copying reader and the mmap reader validate the
+// same invariants, so the two must also *agree*: same ok-ness on every
+// mutant, bit-identical graphs whenever both accept.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/datasets.h"
+#include "graph/io/binary_format.h"
+#include "graph/io/edge_list.h"
+#include "graph/io/line_chunks.h"
+#include "graph/io/mmap_format.h"
+#include "graph/multiplex_graph.h"
+#include "oracle_harness.h"
+#include "tensor/init.h"
+
+namespace umgad {
+namespace {
+
+using umgad::testing::ExpectGraphsBitIdentical;
+
+/// Small on purpose: the truncation sweep writes one file per byte of
+/// image, so the fixture graph keeps the image in the low kilobytes while
+/// still exercising every section (two relations, attributes, labels).
+MultiplexGraph FuzzGraph() {
+  Rng rng(11);
+  Tensor x = RandomNormal(6, 3, 0, 1, &rng);
+  SparseMatrix a = SparseMatrix::FromEdges(
+      6, {Edge{0, 1}, Edge{1, 2}, Edge{2, 3}, Edge{0, 5}}, true);
+  SparseMatrix b = SparseMatrix::FromEdges(6, {Edge{3, 4}, Edge{4, 5}}, true);
+  auto g = MultiplexGraph::Create("fuzz", x, {a, b}, {"r1", "r2"},
+                                  {0, 0, 1, 0, 0, 1});
+  UMGAD_CHECK(g.ok());
+  return std::move(*g);
+}
+
+void WriteImage(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+class IoFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Each test case runs as its own ctest process, concurrently under
+    // `ctest -j` — the scratch file must be per-test, or one process
+    // truncates the mutant another has mapped (SIGBUS).
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = ::testing::TempDir() + "/umgad_fuzz_" + info->name() + ".umgb";
+    const MultiplexGraph g = FuzzGraph();
+    ASSERT_TRUE(SaveGraphBinary(g, path_).ok());
+    ASSERT_TRUE(ReadFileToString(path_, &image_).ok());
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Loads the current on-disk mutant through both readers and enforces
+  /// the agreement contract. Returns the copying reader's verdict.
+  bool LoadBothAndCheckAgreement(const std::string& what) {
+    Result<MultiplexGraph> copy = LoadGraphBinary(path_);
+    Result<MappedGraph> mapped = MappedGraph::Load(path_);
+    EXPECT_EQ(copy.ok(), mapped.ok())
+        << what << ": copying reader says "
+        << (copy.ok() ? "ok" : copy.status().message())
+        << ", mmap reader says "
+        << (mapped.ok() ? "ok" : mapped.status().message());
+    if (copy.ok() && mapped.ok()) {
+      ExpectGraphsBitIdentical(what, mapped->graph(), *copy);
+    }
+    return copy.ok();
+  }
+
+  std::string path_;
+  std::string image_;
+};
+
+TEST_F(IoFuzzTest, TruncationAtEveryLengthIsAStatus) {
+  // Every strict prefix of a valid image is invalid: the reader consumes
+  // sections in order and the trailer magic sits at the very end, so a
+  // truncation either starves a bounded read or loses the trailer.
+  for (size_t len = 0; len < image_.size(); ++len) {
+    WriteImage(path_, image_.substr(0, len));
+    Result<MultiplexGraph> copy = LoadGraphBinary(path_);
+    Result<MappedGraph> mapped = MappedGraph::Load(path_);
+    EXPECT_FALSE(copy.ok()) << "copying reader accepted a " << len
+                            << "-byte prefix of a " << image_.size()
+                            << "-byte image";
+    EXPECT_FALSE(mapped.ok()) << "mmap reader accepted a " << len
+                              << "-byte prefix of a " << image_.size()
+                              << "-byte image";
+  }
+}
+
+TEST_F(IoFuzzTest, SeededByteFlipsNeverCrashAndReadersAgree) {
+  Rng rng(0xF0552ULL);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutant = image_;
+    // One to three byte flips per trial; xor with a nonzero mask so every
+    // flip really changes the image.
+    const int flips = 1 + static_cast<int>(rng.UniformInt(3));
+    std::string what = "flip trial " + std::to_string(trial) + " @";
+    for (int f = 0; f < flips; ++f) {
+      const size_t at = static_cast<size_t>(rng.UniformInt(mutant.size()));
+      const unsigned char mask =
+          static_cast<unsigned char>(1 + rng.UniformInt(255));
+      mutant[at] = static_cast<char>(
+          static_cast<unsigned char>(mutant[at]) ^ mask);
+      what += " " + std::to_string(at);
+    }
+    WriteImage(path_, mutant);
+    LoadBothAndCheckAgreement(what);
+  }
+}
+
+TEST_F(IoFuzzTest, SeededTailGrowthAndShrink) {
+  // Appending junk leaves the trailer in the wrong place; doubling the
+  // image embeds a second header the reader must never reach.
+  WriteImage(path_, image_ + std::string(17, '\x5a'));
+  EXPECT_FALSE(LoadBothAndCheckAgreement("17 junk bytes appended"));
+  WriteImage(path_, image_ + image_);
+  EXPECT_FALSE(LoadBothAndCheckAgreement("image doubled"));
+}
+
+/// Offset of the u64 node-count field: magic + version + flags (12), then
+/// the length-prefixed name.
+size_t NodeCountOffset(const std::string& image) {
+  uint32_t name_len = 0;
+  std::memcpy(&name_len, image.data() + 12, sizeof(name_len));
+  return 12 + 4 + name_len;
+}
+
+TEST_F(IoFuzzTest, HostileHeaderCountsAreAStatusNotAnAllocation) {
+  const size_t nodes_at = NodeCountOffset(image_);
+  const size_t features_at = nodes_at + 8;
+  const size_t relations_at = nodes_at + 16;
+  // First relation: length-prefixed name then the u64 nnz.
+  uint32_t rel_name_len = 0;
+  std::memcpy(&rel_name_len, image_.data() + nodes_at + 24,
+              sizeof(rel_name_len));
+  const size_t nnz_at = nodes_at + 24 + 4 + rel_name_len;
+
+  const uint64_t hostile[] = {
+      0,                         // empty — "oversized or empty header"
+      1ULL << 32,                // past every io_limits cap
+      1ULL << 62,                // would overflow a size computation
+      1ULL << 63,                // negative once cast to int64
+      0xFFFFFFFFFFFFFFFFULL,
+  };
+  for (const size_t field_at : {nodes_at, features_at, relations_at, nnz_at}) {
+    for (const uint64_t value : hostile) {
+      std::string mutant = image_;
+      std::memcpy(&mutant[field_at], &value, sizeof(value));
+      WriteImage(path_, mutant);
+      EXPECT_FALSE(LoadBothAndCheckAgreement(
+          "hostile count " + std::to_string(value) + " at offset " +
+          std::to_string(field_at)))
+          << "a reader accepted a hostile section count";
+    }
+  }
+
+  // A hostile string length: the name's own length prefix pointing past
+  // the end of the file.
+  std::string mutant = image_;
+  const uint32_t huge_len = 0xFFFFFFFFu;
+  std::memcpy(&mutant[12], &huge_len, sizeof(huge_len));
+  WriteImage(path_, mutant);
+  EXPECT_FALSE(LoadBothAndCheckAgreement("hostile name length"));
+}
+
+TEST_F(IoFuzzTest, EdgeListFuzzNeverCrashes) {
+  // The text importer gets the same treatment: seeded mutations of a valid
+  // export — truncations and byte flips, including ones that corrupt ids,
+  // field counts, and relation names — must parse or fail cleanly, and the
+  // serial and chunked parsers must agree on every mutant.
+  const MultiplexGraph g = FuzzGraph();
+  const std::string edges_path = ::testing::TempDir() + "/umgad_fuzz.tsv";
+  ASSERT_TRUE(ExportEdgeList(g, edges_path).ok());
+  std::string text;
+  ASSERT_TRUE(ReadFileToString(edges_path, &text).ok());
+
+  Rng rng(0xED6E5ULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutant = text;
+    const size_t at = static_cast<size_t>(rng.UniformInt(mutant.size()));
+    if (rng.Bernoulli(0.5)) {
+      mutant[at] = static_cast<char>(
+          static_cast<unsigned char>(mutant[at]) ^
+          static_cast<unsigned char>(1 + rng.UniformInt(255)));
+    } else {
+      mutant.resize(at);
+    }
+    {
+      std::ofstream out(edges_path, std::ios::binary | std::ios::trunc);
+      out.write(mutant.data(), static_cast<std::streamsize>(mutant.size()));
+    }
+    EdgeListOptions serial;
+    serial.parallel = false;
+    EdgeListOptions chunked;
+    chunked.import_chunks = 4;
+    Result<MultiplexGraph> s = ImportEdgeList(edges_path, serial);
+    Result<MultiplexGraph> c = ImportEdgeList(edges_path, chunked);
+    ASSERT_EQ(s.ok(), c.ok())
+        << "trial " << trial << ": serial says "
+        << (s.ok() ? "ok" : s.status().message()) << ", chunked says "
+        << (c.ok() ? "ok" : c.status().message());
+    if (!s.ok()) {
+      EXPECT_EQ(s.status().message(), c.status().message())
+          << "trial " << trial;
+    } else {
+      ExpectGraphsBitIdentical("edge-list flip trial " + std::to_string(trial),
+                               *c, *s);
+    }
+  }
+  std::remove(edges_path.c_str());
+}
+
+}  // namespace
+}  // namespace umgad

@@ -24,6 +24,7 @@
 // and leaf gradients) get a fresh transient arena each time. Shape sweeps
 // stay with the caller (gtest TEST_P), thread/arena sweeps live here.
 
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
@@ -31,6 +32,7 @@
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.h"
+#include "graph/multiplex_graph.h"
 #include "tensor/autograd.h"
 #include "tensor/pool.h"
 #include "tensor/tensor.h"
@@ -80,6 +82,42 @@ inline void ExpectBitIdentical(const std::string& label,
   ag::Tape::Global().Reset();
   SetNumThreads(1);
   SetArenaEnabled(prev_arena);
+}
+
+/// Asserts two graphs are bit-for-bit identical: same name, shapes,
+/// relation names, labels, CSR arrays, and attribute *bytes*. Floats are
+/// compared through memcmp, not ==, so the check is exact and NaN-proof —
+/// the contract of the io differential harness is "every loader yields the
+/// same bits", not "approximately the same graph".
+inline void ExpectGraphsBitIdentical(const std::string& label,
+                                     const MultiplexGraph& actual,
+                                     const MultiplexGraph& expected) {
+  EXPECT_EQ(actual.name(), expected.name()) << label;
+  ASSERT_EQ(actual.num_nodes(), expected.num_nodes()) << label;
+  ASSERT_EQ(actual.feature_dim(), expected.feature_dim()) << label;
+  ASSERT_EQ(actual.num_relations(), expected.num_relations()) << label;
+  EXPECT_EQ(actual.labels(), expected.labels()) << label;
+  for (int r = 0; r < expected.num_relations(); ++r) {
+    EXPECT_EQ(actual.relation_name(r), expected.relation_name(r))
+        << label << ": relation " << r;
+    const SparseMatrix& a = actual.layer(r);
+    const SparseMatrix& e = expected.layer(r);
+    EXPECT_EQ(a.row_ptr(), e.row_ptr())
+        << label << ": layer " << r << " row_ptr";
+    EXPECT_EQ(a.col_idx(), e.col_idx())
+        << label << ": layer " << r << " col_idx";
+    ASSERT_EQ(a.nnz(), e.nnz()) << label << ": layer " << r;
+    EXPECT_EQ(std::memcmp(a.values().data(), e.values().data(),
+                          static_cast<size_t>(e.nnz()) * sizeof(float)),
+              0)
+        << label << ": layer " << r << " values differ";
+  }
+  const size_t attr_bytes = static_cast<size_t>(expected.num_nodes()) *
+                            expected.feature_dim() * sizeof(float);
+  EXPECT_EQ(std::memcmp(actual.attributes().data(),
+                        expected.attributes().data(), attr_bytes),
+            0)
+      << label << ": attribute bytes differ";
 }
 
 }  // namespace testing

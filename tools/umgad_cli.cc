@@ -10,7 +10,10 @@
 //   umgad_cli serve <path|name> [flags]     online scoring from an artifact
 //
 // Common flags: --seed N, --scale S (registered generators only),
-// --inject (edge-list imports without labels get injected anomalies).
+// --inject (edge-list imports without labels get injected anomalies),
+// --mmap (map .umgb inputs read-only instead of copying them),
+// --header auto|always|never (edge-list header row handling),
+// --serial-import (disable the chunked parallel edge-list parser).
 // gen:   --out PATH_OR_DIR, --format binary|text
 // run:   --detector NAME (repeatable), --baseline NAME, --epochs N,
 //        --threshold inflection|topk, --save-scores PATH (CSV)
@@ -21,7 +24,7 @@
 //        checks), --save-scores PATH (CSV; default stdout)
 //
 // Every path accepted here goes through LoadDataset (graph/io/graph_io.h),
-// so text v1, binary v2, raw edge lists, and registered names (including
+// so text v1, binary v3, raw edge lists, and registered names (including
 // UMGAD_DATASET_DIR resolution) all behave identically across subcommands.
 
 #include <algorithm>
@@ -69,6 +72,9 @@ struct CliArgs {
   std::string save_scores;
   bool naive = false;
   bool replay_batch = false;
+  bool mmap = false;
+  std::string header = "auto";
+  bool serial_import = false;
 };
 
 int Usage() {
@@ -80,7 +86,7 @@ int Usage() {
       "  gen <name|all> [--seed N] [--scale S] [--format binary|text]\n"
       "                 [--out PATH_OR_DIR]\n"
       "  convert <in> <out>           re-encode (format from <out> extension:\n"
-      "                               .umgb = binary v2, else text v1)\n"
+      "                               .umgb = binary v3, else text v1)\n"
       "  inspect <path|name> [--seed N] [--scale S] [--time]\n"
       "  run <path|name> [--detector NAME]... [--baseline NAME]\n"
       "                  [--seed N] [--scale S] [--epochs N]\n"
@@ -91,6 +97,12 @@ int Usage() {
       "  serve <path|name> --model PATH.umgm [--stream FILE|-]\n"
       "                  [--naive | --replay-batch] [--save-scores PATH]\n"
       "                  [--seed N] [--scale S]\n"
+      "\n"
+      "load flags (any command that loads a graph): --mmap maps .umgb\n"
+      "inputs read-only (zero-copy; UMGAD_NO_MMAP=1 forces the copying\n"
+      "fallback), --header auto|always|never controls edge-list header-row\n"
+      "detection, --serial-import disables chunked parallel parsing (the\n"
+      "loaded graph is bit-identical either way).\n"
       "\n"
       "serve applies a stream of edge updates (\"+ src dst rel\" inserts,\n"
       "\"- src dst rel\" removes; '#' comments) with incremental re-scoring\n"
@@ -182,6 +194,19 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->naive = true;
     } else if (arg == "--replay-batch") {
       args->replay_batch = true;
+    } else if (arg == "--mmap") {
+      args->mmap = true;
+    } else if (arg == "--serial-import") {
+      args->serial_import = true;
+    } else if (arg == "--header") {
+      const char* v = next("--header");
+      if (v == nullptr) return false;
+      args->header = v;
+      if (args->header != "auto" && args->header != "always" &&
+          args->header != "never") {
+        std::cerr << "--header must be auto, always, or never\n";
+        return false;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown flag " << arg << "\n";
       return false;
@@ -196,8 +221,13 @@ LoadDatasetOptions LoadOptionsFrom(const CliArgs& args) {
   LoadDatasetOptions load;
   load.seed = args.seed;
   load.scale = args.scale;
+  load.prefer_mmap = args.mmap;
+  load.parallel_import = !args.serial_import;
   load.edge_list.inject_if_unlabeled = args.inject;
   load.edge_list.injection_seed = args.seed;
+  load.edge_list.header = args.header == "always" ? HeaderMode::kAlways
+                          : args.header == "never" ? HeaderMode::kNever
+                                                   : HeaderMode::kAuto;
   return load;
 }
 
