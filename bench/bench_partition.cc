@@ -1,0 +1,172 @@
+// Partitioned-training bench (docs/PERFORMANCE.md §10): builds the DBH and
+// HDRF partitions of a registry dataset and reports (a) partition quality —
+// build time, replication, edge/row balance, and the per-block SpMM working
+// set from the materialised PartitionedCsr; (b) the SpMM hot-path time with
+// the block-affine schedule attached vs the flat engine; and (c) full
+// training epochs flat vs partitioned. Every partitioned run produces the
+// same floats as flat (tests/partition_oracle_test.cc); this harness
+// measures what the schedule buys in cache locality and thread affinity.
+//
+// Sweep UMGAD_THREADS {1, 4} for the multi-core column (the bench resizes
+// the pool itself around each timed section); UMGAD_SCALE grows the graphs.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "graph/partition/partitioner.h"
+#include "tensor/init.h"
+
+namespace umgad {
+namespace {
+
+constexpr int kFeatureDim = 48;
+constexpr int kSpmmIters = 30;
+
+/// Best-of-k wall time of one blocked/flat SpMM over the whole operator
+/// stack (all relations), the per-epoch inner loop shape.
+double SpmmSeconds(
+    const std::vector<std::shared_ptr<const SparseMatrix>>& adjs,
+    const Tensor& x) {
+  double best = 1e100;
+  for (int it = 0; it < kSpmmIters; ++it) {
+    WallTimer timer;
+    for (const auto& adj : adjs) {
+      Tensor y = adj->Multiply(x);
+      (void)y;
+    }
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+void BenchDataset(const std::string& name, double scale) {
+  MultiplexGraph graph = bench::LoadBenchDataset(name, /*seed=*/1, scale);
+  std::cout << "Dataset " << name << ": " << graph.Summary() << "\n\n";
+  const int n = graph.num_nodes();
+
+  std::vector<std::shared_ptr<const SparseMatrix>> adjs;
+  for (int r = 0; r < graph.num_relations(); ++r) {
+    adjs.push_back(std::make_shared<const SparseMatrix>(
+        graph.layer(r).NormalizedWithSelfLoops()));
+  }
+  const int64_t flat_ws =
+      static_cast<int64_t>(n) * kFeatureDim * sizeof(float);
+
+  // --- (a) partition quality -----------------------------------------------
+  TablePrinter quality;
+  quality.SetHeader({"Method", "P", "Build (ms)", "Replication",
+                     "Edge bal", "Row bal", "Block WS (KiB)"});
+  std::vector<std::pair<PartitionMethod, int>> grid;
+  for (PartitionMethod method :
+       {PartitionMethod::kDbh, PartitionMethod::kHdrf}) {
+    for (int p : {2, 8}) grid.emplace_back(method, p);
+  }
+  std::vector<std::shared_ptr<const RowBlocks>> schedules;
+  for (const auto& [method, p] : grid) {
+    PartitionOptions options;
+    options.num_blocks = p;
+    options.method = method;
+    options.seed = 1;
+    WallTimer build;
+    Result<VertexPartition> part = PartitionGraph(graph, options);
+    const double build_ms = build.ElapsedMillis();
+    UMGAD_CHECK(part.ok());
+    Result<PartitionedCsr> pcsr =
+        BuildPartitionedCsr(*adjs[0], *part.value().blocks);
+    UMGAD_CHECK(pcsr.ok());
+    const PartitionStats& stats = part.value().stats;
+    quality.AddRow({PartitionMethodName(method), StrFormat("%d", p),
+                    FormatFloat(build_ms, 2),
+                    FormatFloat(pcsr.value().replication_factor, 3),
+                    FormatFloat(stats.edge_balance, 3),
+                    FormatFloat(stats.row_balance, 3),
+                    FormatFloat(pcsr.value().MaxWorkingSetBytes(kFeatureDim) /
+                                    1024.0,
+                                1)});
+    schedules.push_back(part.value().blocks);
+  }
+  quality.Print(std::cout);
+  std::cout << "Flat working set: " << FormatFloat(flat_ws / 1024.0, 1)
+            << " KiB over " << n << " rows x " << kFeatureDim << " features\n\n";
+
+  // --- (b) SpMM hot path ---------------------------------------------------
+  Rng rng(2);
+  const Tensor x = RandomNormal(n, kFeatureDim, 0.0, 1.0, &rng);
+  TablePrinter spmm;
+  spmm.SetHeader({"Threads", "Flat (ms)", "dbh P=2", "dbh P=8", "hdrf P=2",
+                  "hdrf P=8", "Best speedup"});
+  const int prev_threads = NumThreads();
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    for (const auto& adj : adjs) adj->AttachRowBlocks(nullptr);
+    const double flat = SpmmSeconds(adjs, x);
+    std::vector<double> blocked;
+    for (const auto& schedule : schedules) {
+      for (const auto& adj : adjs) adj->AttachRowBlocks(schedule);
+      blocked.push_back(SpmmSeconds(adjs, x));
+    }
+    const double best = *std::min_element(blocked.begin(), blocked.end());
+    spmm.AddRow({StrFormat("%d", threads), FormatFloat(flat * 1e3, 3),
+                 FormatFloat(blocked[0] * 1e3, 3),
+                 FormatFloat(blocked[1] * 1e3, 3),
+                 FormatFloat(blocked[2] * 1e3, 3),
+                 FormatFloat(blocked[3] * 1e3, 3),
+                 FormatFloat(flat / best, 2) + "x"});
+  }
+  for (const auto& adj : adjs) adj->AttachRowBlocks(nullptr);
+  spmm.Print(std::cout);
+  std::cout << "(best of " << kSpmmIters
+            << " full-operator-stack SpMM sweeps per cell)\n\n";
+
+  // --- (c) training epochs -------------------------------------------------
+  TablePrinter train;
+  train.SetHeader({"Threads", "Partitions", "Epoch (s)", "Fit (s)",
+                   "Speedup vs flat"});
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    double flat_epoch = 0.0;
+    for (int p : {0, 2, 8}) {
+      UmgadConfig config = bench::BenchUmgadConfig(/*seed=*/7,
+                                                   /*default_epochs=*/5);
+      config.partitions = p;
+      UmgadModel model(config);
+      UMGAD_CHECK(model.Fit(graph).ok());
+      if (p == 0) flat_epoch = model.epoch_seconds();
+      train.AddRow(
+          {StrFormat("%d", threads), p == 0 ? "flat" : StrFormat("%d", p),
+           FormatFloat(model.epoch_seconds(), 3),
+           FormatFloat(model.fit_seconds(), 2),
+           p == 0 ? "1.00x"
+                  : FormatFloat(flat_epoch /
+                                    std::max(model.epoch_seconds(), 1e-12),
+                                2) +
+                        "x"});
+    }
+  }
+  SetNumThreads(prev_threads);
+  train.Print(std::cout);
+  std::cout << "\n";
+}
+
+int Main() {
+  SetLogLevel(LogLevel::kWarning);
+  bench::PrintHeader(
+      "Partitioned training — cache-blocked relation sharding",
+      "perf subsystem (no paper analogue); docs/PERFORMANCE.md §10");
+  const double scale = BenchScale(1.0);
+  for (const std::string& name : {std::string("Amazon"),
+                                  std::string("DG-Fin")}) {
+    BenchDataset(name, scale);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace umgad
+
+int main() { return umgad::Main(); }

@@ -19,8 +19,16 @@ std::vector<int> AllNodes(int n) {
 namespace {
 
 /// Normalised operator for a perturbed adjacency, shared into the tape.
-std::shared_ptr<const SparseMatrix> NormShared(const SparseMatrix& adj) {
-  return std::make_shared<const SparseMatrix>(adj.NormalizedWithSelfLoops());
+/// When the full operators carry a partition schedule, the perturbed
+/// per-repeat operator reuses it — masking removes edges, never nodes, so
+/// the row ownership still applies.
+std::shared_ptr<const SparseMatrix> NormShared(
+    const SparseMatrix& adj,
+    std::shared_ptr<const RowBlocks> blocks = nullptr) {
+  auto op =
+      std::make_shared<const SparseMatrix>(adj.NormalizedWithSelfLoops());
+  if (blocks != nullptr) op->AttachRowBlocks(std::move(blocks));
+  return op;
 }
 
 /// Uniform subsample of `edges` down to `cap` (order not preserved).
@@ -156,6 +164,9 @@ ViewForward ReconstructionView::ForwardOriginal(
     }
   }
 
+  // Partition schedule shared by all relations (null when unpartitioned).
+  const std::shared_ptr<const RowBlocks> blocks =
+      norm_adjs.empty() ? nullptr : norm_adjs[0]->row_blocks();
   std::vector<std::vector<ag::VarPtr>> recons(
       repeats, std::vector<ag::VarPtr>(r_count));
   std::vector<std::vector<ag::VarPtr>> per_relation(
@@ -175,10 +186,11 @@ ViewForward ReconstructionView::ForwardOriginal(
           per_relation[k][r] = ag::Constant(Tensor(1, 1));
         } else {
           std::shared_ptr<const SparseMatrix> op =
-              draw.perturbed ? NormShared(draw.remaining) : norm_adjs[r];
+              draw.perturbed ? NormShared(draw.remaining, blocks)
+                             : norm_adjs[r];
           ag::VarPtr z = struct_gmae_[r]->Embed(op, x);
           per_relation[k][r] =
-              ag::MaskedEdgeSoftmaxCE(z, std::move(draw.cands));
+              ag::MaskedEdgeSoftmaxCE(z, std::move(draw.cands), blocks);
         }
       }
     }
@@ -197,7 +209,7 @@ ViewForward ReconstructionView::ForwardOriginal(
       const std::vector<int>& loss_idx =
           config_.use_masking ? attr_masks[k] : AllNodes(n);
       attr_losses.push_back(
-          ag::ScaledCosineLoss(fused, x, loss_idx, config_.eta));
+          ag::ScaledCosineLoss(fused, x, loss_idx, config_.eta, blocks));
       last_fused = fused;
     }
     if (config_.use_structure_recon) {
@@ -250,11 +262,13 @@ ViewForward ReconstructionView::ForwardAttrAugmented(
 
   std::vector<ag::VarPtr> losses;
   ag::VarPtr last_fused;
+  const std::shared_ptr<const RowBlocks> blocks =
+      norm_adjs.empty() ? nullptr : norm_adjs[0]->row_blocks();
   for (int k = 0; k < repeats; ++k) {
     ag::VarPtr fused = fusion_a_->FuseTensors(recons[k]);
     // Eq. 13: the target is the *original* attribute matrix.
     losses.push_back(ag::ScaledCosineLoss(fused, x, swaps[k].swapped_nodes,
-                                          config_.eta));
+                                          config_.eta, blocks));
     last_fused = fused;
   }
 
@@ -268,9 +282,13 @@ ViewForward ReconstructionView::ForwardSubgraphAugmented(
     const MultiplexGraph& graph,
     const std::vector<std::shared_ptr<const SparseMatrix>>& norm_adjs,
     Rng* rng) const {
-  (void)norm_adjs;
   const Tensor& x = graph.attributes();
   const int r_count = graph.num_relations();
+  // Partition schedule shared by all relations (null when unpartitioned);
+  // this view builds only perturbed operators, so the schedule is the sole
+  // thing it takes from the full ones.
+  const std::shared_ptr<const RowBlocks> blocks =
+      norm_adjs.empty() ? nullptr : norm_adjs[0]->row_blocks();
 
   const int repeats = config_.mask_repeats;
 
@@ -323,7 +341,7 @@ ViewForward ReconstructionView::ForwardSubgraphAugmented(
       const int k = static_cast<int>(t / r_count);
       const int r = static_cast<int>(t % r_count);
       std::shared_ptr<const SparseMatrix> op =
-          NormShared(masks[k][r].remaining);
+          NormShared(masks[k][r].remaining, blocks);
       if (config_.use_attribute_recon) {
         recons[k][r] = attr_gmae_[r]->ReconstructAttributes(
             op, x,
@@ -335,7 +353,8 @@ ViewForward ReconstructionView::ForwardSubgraphAugmented(
         } else {
           ag::VarPtr z = attr_gmae_[r]->Embed(op, x);
           per_relation_struct[k][r] =
-              ag::MaskedEdgeSoftmaxCE(z, std::move(draws[k][r].cands));
+              ag::MaskedEdgeSoftmaxCE(z, std::move(draws[k][r].cands),
+                                      blocks);
         }
       }
     }
@@ -348,8 +367,8 @@ ViewForward ReconstructionView::ForwardSubgraphAugmented(
     if (config_.use_attribute_recon && r_count > 0) {
       ag::VarPtr fused = fusion_a_->FuseTensors(recons[k]);
       if (!union_masked[k].empty()) {
-        attr_losses.push_back(
-            ag::ScaledCosineLoss(fused, x, union_masked[k], config_.eta));
+        attr_losses.push_back(ag::ScaledCosineLoss(
+            fused, x, union_masked[k], config_.eta, blocks));
       }
       last_fused = fused;
     }

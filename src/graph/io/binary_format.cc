@@ -246,8 +246,9 @@ Result<MultiplexGraph> LoadGraphBinary(const std::string& path) {
       nodes > static_cast<uint64_t>(io_limits::kMaxNodes) ||
       features > static_cast<uint64_t>(io_limits::kMaxFeatures) ||
       relations > static_cast<uint64_t>(io_limits::kMaxRelations) ||
-      nodes * features >
-          static_cast<uint64_t>(io_limits::kMaxAttributeEntries)) {
+      io_limits::CheckedElemCount(static_cast<int64_t>(nodes),
+                                  static_cast<int64_t>(features),
+                                  io_limits::kMaxAttributeEntries) < 0) {
     return Status::InvalidArgument(StrFormat(
         "oversized or empty header: %llu nodes x %llu features, "
         "%llu relations",

@@ -165,8 +165,9 @@ Result<MultiplexGraph> ParseMappedImage(
       nodes > static_cast<uint64_t>(io_limits::kMaxNodes) ||
       features > static_cast<uint64_t>(io_limits::kMaxFeatures) ||
       relations > static_cast<uint64_t>(io_limits::kMaxRelations) ||
-      nodes * features >
-          static_cast<uint64_t>(io_limits::kMaxAttributeEntries)) {
+      io_limits::CheckedElemCount(static_cast<int64_t>(nodes),
+                                  static_cast<int64_t>(features),
+                                  io_limits::kMaxAttributeEntries) < 0) {
     return Status::InvalidArgument(StrFormat(
         "oversized or empty header: %llu nodes x %llu features, "
         "%llu relations",

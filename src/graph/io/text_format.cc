@@ -112,7 +112,8 @@ Result<MultiplexGraph> LoadGraph(const std::string& path) {
   }
   if (nodes > io_limits::kMaxNodes || features > io_limits::kMaxFeatures ||
       relations > io_limits::kMaxRelations ||
-      nodes * features > io_limits::kMaxAttributeEntries) {
+      io_limits::CheckedElemCount(nodes, features,
+                                  io_limits::kMaxAttributeEntries) < 0) {
     return Status::InvalidArgument(StrFormat(
         "oversized header: %lld nodes x %lld features, %lld relations",
         static_cast<long long>(nodes), static_cast<long long>(features),

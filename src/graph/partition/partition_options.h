@@ -1,0 +1,43 @@
+#ifndef UMGAD_GRAPH_PARTITION_PARTITION_OPTIONS_H_
+#define UMGAD_GRAPH_PARTITION_PARTITION_OPTIONS_H_
+
+#include <cstdint>
+
+namespace umgad {
+
+/// Streaming edge-partitioner family (src/graph/partition/partitioner.h).
+/// Both are one-pass heuristics from the edge-partitioning literature:
+///
+///   kDbh   degree-based hashing — assign each edge by hashing its
+///          lower-degree endpoint. Cheap, well balanced, no locality
+///          objective (hubs are replicated, everything else scatters).
+///   kHdrf  high-degree-replicated-first — greedy score combining a
+///          replication term (prefer blocks that already host an
+///          endpoint, weighted toward replicating the *higher*-degree
+///          one) with a balance term. Produces community-coherent
+///          blocks, which is what the cache-blocked training schedule
+///          actually profits from.
+///
+/// The choice never changes training results — a partition is only an
+/// iteration schedule (tensor/sparse.h RowBlocks) — it changes cache
+/// behaviour and the replication stats.
+enum class PartitionMethod { kDbh, kHdrf };
+
+/// Knobs for PartitionGraph. Kept header-light so core/config.h can embed
+/// them without dragging graph headers everywhere.
+struct PartitionOptions {
+  /// Number of cache-sized blocks P. 1 is a valid degenerate partition
+  /// (everything in block 0); the flat/unpartitioned engine is selected
+  /// one level up by not attaching a schedule at all.
+  int num_blocks = 1;
+  PartitionMethod method = PartitionMethod::kDbh;
+  /// HDRF balance weight (lambda of the HDRF score; larger pushes edges
+  /// harder toward under-full blocks at the cost of locality).
+  double hdrf_lambda = 1.1;
+  /// Salt for the DBH vertex hash.
+  uint64_t seed = 0;
+};
+
+}  // namespace umgad
+
+#endif  // UMGAD_GRAPH_PARTITION_PARTITION_OPTIONS_H_

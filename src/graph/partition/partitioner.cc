@@ -1,0 +1,299 @@
+#include "graph/partition/partitioner.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/string_util.h"
+#include "graph/io/io_limits.h"
+
+namespace umgad {
+
+namespace {
+
+/// splitmix64 finaliser: the DBH vertex hash. Statistically uniform over
+/// blocks for any block count, unlike `id % P` which would alias the
+/// generators' id structure.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Total degree per vertex across all relations (stored CSR entries).
+std::vector<int64_t> TotalDegrees(const MultiplexGraph& graph) {
+  std::vector<int64_t> deg(graph.num_nodes(), 0);
+  for (int r = 0; r < graph.num_relations(); ++r) {
+    const SparseMatrix& layer = graph.layer(r);
+    for (int i = 0; i < layer.rows(); ++i) deg[i] += layer.RowNnz(i);
+  }
+  return deg;
+}
+
+}  // namespace
+
+Result<VertexPartition> PartitionGraph(const MultiplexGraph& graph,
+                                       const PartitionOptions& options) {
+  const int n = graph.num_nodes();
+  const int p = options.num_blocks;
+  if (p < 1) {
+    return Status::InvalidArgument("partition needs at least one block");
+  }
+  if (p > io_limits::kMaxPartitions) {
+    return Status::InvalidArgument(
+        StrFormat("%d partitions exceeds the cap of %lld", p,
+                  static_cast<long long>(io_limits::kMaxPartitions)));
+  }
+  // Shared overflow-guarded size check (io_limits.h): the per-vertex x
+  // per-block incidence counters are the partitioner's only superlinear
+  // allocation.
+  const int64_t counter_entries =
+      io_limits::CheckedElemCount(n, p, io_limits::kMaxAttributeEntries);
+  if (counter_entries < 0) {
+    return Status::InvalidArgument(
+        StrFormat("partition bookkeeping overflows: %d vertices x %d blocks",
+                  n, p));
+  }
+
+  const std::vector<int64_t> deg = TotalDegrees(graph);
+  // counts[v * p + b]: stored entries incident to v that landed in block b.
+  std::vector<int32_t> counts(static_cast<size_t>(counter_entries), 0);
+  std::vector<int64_t> load(p, 0);  // entries per block
+  int64_t total_edges = 0;
+
+  // One deterministic serial pass over every relation's stored entries in
+  // (relation, row, column) order. Exact degrees are already materialised,
+  // so the heuristics run in their "streaming" form at one-pass cost
+  // without the approximation.
+  const bool hdrf = options.method == PartitionMethod::kHdrf;
+  int64_t max_load = 0;
+  int64_t min_load = 0;  // maintained only for HDRF's balance term
+  std::vector<double> score(p, 0.0);
+  for (int r = 0; r < graph.num_relations(); ++r) {
+    const SparseMatrix& layer = graph.layer(r);
+    const auto& row_ptr = layer.row_ptr();
+    const auto& cols = layer.col_idx();
+    for (int u = 0; u < layer.rows(); ++u) {
+      for (int64_t k = row_ptr[u]; k < row_ptr[u + 1]; ++k) {
+        const int v = cols[k];
+        int b = 0;
+        if (!hdrf) {
+          // DBH: hash the lower-degree endpoint (replicate the hub);
+          // lowest id breaks degree ties so (u,v) and (v,u) agree.
+          const int anchor = deg[u] < deg[v]          ? u
+                             : deg[v] < deg[u]        ? v
+                             : std::min(u, v);
+          b = static_cast<int>(
+              Mix64(static_cast<uint64_t>(anchor) ^ options.seed) %
+              static_cast<uint64_t>(p));
+        } else if (p > 1) {
+          // HDRF greedy score: replication term g(u,b) + g(v,b) with the
+          // degree-normalised preference for replicating the higher-degree
+          // endpoint, plus the lambda-weighted balance term. Highest score
+          // wins, lowest block id on ties — fully deterministic.
+          const double du = static_cast<double>(deg[u]);
+          const double dv = static_cast<double>(deg[v]);
+          const double theta_u = du / std::max(1.0, du + dv);
+          const double theta_v = 1.0 - theta_u;
+          const double spread =
+              static_cast<double>(max_load - min_load) + 1.0;
+          double best = -1.0;
+          for (int c = 0; c < p; ++c) {
+            double s = 0.0;
+            if (counts[static_cast<size_t>(u) * p + c] > 0) {
+              s += 1.0 + (1.0 - theta_u);
+            }
+            if (counts[static_cast<size_t>(v) * p + c] > 0) {
+              s += 1.0 + (1.0 - theta_v);
+            }
+            s += options.hdrf_lambda *
+                 (static_cast<double>(max_load - load[c]) / spread);
+            score[c] = s;
+            if (s > best) best = s;
+          }
+          for (int c = 0; c < p; ++c) {
+            if (score[c] == best) {
+              b = c;
+              break;
+            }
+          }
+        }
+        ++counts[static_cast<size_t>(u) * p + b];
+        ++counts[static_cast<size_t>(v) * p + b];
+        ++load[b];
+        ++total_edges;
+        if (load[b] > max_load) max_load = load[b];
+        if (hdrf) min_load = *std::min_element(load.begin(), load.end());
+      }
+    }
+  }
+
+  // Derive whole-row ownership: plurality block per vertex, lowest block
+  // on ties, v % p for isolated vertices (deterministic spread).
+  auto blocks = std::make_shared<RowBlocks>();
+  blocks->num_blocks = p;
+  blocks->block_of.resize(n);
+  double replicated = 0.0;
+  int64_t non_isolated = 0;
+  for (int v = 0; v < n; ++v) {
+    const int32_t* row = counts.data() + static_cast<size_t>(v) * p;
+    int owner = -1;
+    int32_t best = 0;
+    int distinct = 0;
+    for (int b = 0; b < p; ++b) {
+      if (row[b] > 0) ++distinct;
+      if (row[b] > best) {
+        best = row[b];
+        owner = b;
+      }
+    }
+    if (owner < 0) {
+      owner = v % p;
+    } else {
+      replicated += distinct;
+      ++non_isolated;
+    }
+    blocks->block_of[v] = owner;
+  }
+  // Counting-sort vertices by block; ascending id within each block.
+  blocks->block_ptr.assign(p + 1, 0);
+  for (int v = 0; v < n; ++v) ++blocks->block_ptr[blocks->block_of[v] + 1];
+  for (int b = 0; b < p; ++b) blocks->block_ptr[b + 1] += blocks->block_ptr[b];
+  blocks->order.resize(n);
+  {
+    std::vector<int64_t> fill(blocks->block_ptr.begin(),
+                              blocks->block_ptr.end() - 1);
+    for (int v = 0; v < n; ++v) {
+      blocks->order[fill[blocks->block_of[v]]++] = v;
+    }
+  }
+
+  VertexPartition out;
+  out.stats.num_blocks = p;
+  out.stats.total_edges = total_edges;
+  out.stats.replication_factor =
+      non_isolated > 0 ? replicated / static_cast<double>(non_isolated) : 0.0;
+  const double mean_load =
+      total_edges > 0 ? static_cast<double>(total_edges) / p : 0.0;
+  out.stats.max_block_edges =
+      *std::max_element(load.begin(), load.end());
+  out.stats.edge_balance =
+      mean_load > 0.0 ? static_cast<double>(out.stats.max_block_edges) /
+                            mean_load
+                      : 1.0;
+  int64_t max_rows = 0;
+  for (int b = 0; b < p; ++b) {
+    max_rows = std::max<int64_t>(
+        max_rows, blocks->block_ptr[b + 1] - blocks->block_ptr[b]);
+  }
+  out.stats.row_balance =
+      n > 0 ? static_cast<double>(max_rows) * p / n : 1.0;
+  out.blocks = std::move(blocks);
+  return out;
+}
+
+int64_t PartitionedCsr::MaxWorkingSetBytes(int feature_dim) const {
+  int64_t max_locals = 0;
+  for (const Block& b : blocks) {
+    max_locals = std::max<int64_t>(max_locals,
+                                   static_cast<int64_t>(b.locals.size()));
+  }
+  return max_locals * feature_dim * static_cast<int64_t>(sizeof(float));
+}
+
+Result<PartitionedCsr> BuildPartitionedCsr(const SparseMatrix& adj,
+                                           const RowBlocks& blocks) {
+  const int n = adj.rows();
+  if (adj.cols() != n ||
+      static_cast<int64_t>(blocks.block_of.size()) != n ||
+      blocks.num_blocks < 1) {
+    return Status::InvalidArgument(
+        "partition schedule does not cover the adjacency");
+  }
+  const int p = blocks.num_blocks;
+  PartitionedCsr out;
+  out.blocks.resize(p);
+  // Per-block build; `local_of` is one n-sized scratch reused across
+  // blocks (reset after each block via the block's own `locals` list).
+  std::vector<int> local_of(n, -1);
+  std::vector<int> touched;
+  int64_t total_locals = 0;
+  const auto& row_ptr = adj.row_ptr();
+  const auto& cols = adj.col_idx();
+  const auto& values = adj.values();
+  for (int b = 0; b < p; ++b) {
+    PartitionedCsr::Block& block = out.blocks[b];
+    const int64_t begin = blocks.block_ptr[b];
+    const int64_t end = blocks.block_ptr[b + 1];
+    block.rows.assign(blocks.order.begin() + begin,
+                      blocks.order.begin() + end);
+    // Owned vertices take the first local ids, ascending (block order is
+    // ascending within a block by construction).
+    block.locals = block.rows;
+    block.num_owned = static_cast<int>(block.rows.size());
+    for (int i = 0; i < block.num_owned; ++i) local_of[block.locals[i]] = i;
+    // Ghosts: referenced columns owned elsewhere, ascending in global id.
+    touched.clear();
+    for (int gr : block.rows) {
+      for (int64_t k = row_ptr[gr]; k < row_ptr[gr + 1]; ++k) {
+        const int c = cols[k];
+        if (local_of[c] == -1) {
+          local_of[c] = -2;  // seen ghost; local id assigned after sort
+          touched.push_back(c);
+        }
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (int c : touched) {
+      local_of[c] = static_cast<int>(block.locals.size());
+      block.locals.push_back(c);
+    }
+    // Sub-CSR: rows in block order, entries in the original column order.
+    block.row_ptr.assign(block.rows.size() + 1, 0);
+    int64_t nnz = 0;
+    for (size_t i = 0; i < block.rows.size(); ++i) {
+      nnz += row_ptr[block.rows[i] + 1] - row_ptr[block.rows[i]];
+      block.row_ptr[i + 1] = nnz;
+    }
+    block.col_idx.reserve(nnz);
+    block.values.reserve(nnz);
+    for (int gr : block.rows) {
+      for (int64_t k = row_ptr[gr]; k < row_ptr[gr + 1]; ++k) {
+        block.col_idx.push_back(local_of[cols[k]]);
+        block.values.push_back(values[k]);
+      }
+    }
+    total_locals += static_cast<int64_t>(block.locals.size());
+    // Reset the scratch for the next block.
+    for (int v : block.locals) local_of[v] = -1;
+  }
+  out.replication_factor =
+      n > 0 ? static_cast<double>(total_locals) / n : 0.0;
+  return out;
+}
+
+int ResolvePartitionCount(int configured) {
+  if (configured > 0) return configured;
+  const char* env = std::getenv("UMGAD_PARTITIONS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 0) return 0;
+  return static_cast<int>(v);
+}
+
+PartitionMethod ResolvePartitionMethod(PartitionMethod configured) {
+  const char* env = std::getenv("UMGAD_PARTITION_METHOD");
+  if (env == nullptr) return configured;
+  if (std::strcmp(env, "dbh") == 0) return PartitionMethod::kDbh;
+  if (std::strcmp(env, "hdrf") == 0) return PartitionMethod::kHdrf;
+  return configured;
+}
+
+const char* PartitionMethodName(PartitionMethod method) {
+  return method == PartitionMethod::kHdrf ? "hdrf" : "dbh";
+}
+
+}  // namespace umgad

@@ -1,0 +1,140 @@
+#ifndef UMGAD_GRAPH_PARTITION_PARTITIONER_H_
+#define UMGAD_GRAPH_PARTITION_PARTITIONER_H_
+
+// Cache-blocked graph partitioning for thread-affine training.
+//
+// UMGAD trains over every relation's full CSR on every epoch and masking
+// repeat, so the SpMM / edge-softmax / loss-scatter hot loops stream the
+// whole feature matrix through cache K x R times per epoch. This subsystem
+// shards the *vertex set* into P cache-sized blocks, derived from a
+// one-pass streaming **edge** partition (DBH or HDRF) over all relations
+// at once:
+//
+//   1. stream every stored CSR entry of every relation, assigning it a
+//      block with the chosen heuristic (exact degrees are available — the
+//      CSR is already materialised — so "streaming" buys one-pass cost,
+//      not approximation);
+//   2. derive whole-row vertex ownership: owner(v) is the block holding
+//      the plurality of v's incident entries (lowest block on ties,
+//      v % P for isolated vertices), so every CSR row stays intact in
+//      one block;
+//   3. publish the ownership as a tensor-layer RowBlocks schedule
+//      (tensor/sparse.h) that the hot kernels iterate block-affinely.
+//
+// Deriving *row* ownership from the *edge* partition is the move that
+// squares cache blocking with this repo's bit-identity contract: a true
+// edge partition would split rows across blocks and merge per-block
+// partial sums — a different float accumulation order than the flat
+// engine. Whole rows keep every per-row reduction in its serial order, so
+// partitioned training is bit-identical to flat for any P, UMGAD_THREADS,
+// and arena mode (pinned by tests/partition_oracle_test.cc).
+//
+// The partition is computed once per MultiplexGraph (the node set is
+// shared by all R relations) and reused across relations x views x K
+// masking repeats; per-repeat perturbed operators get the same schedule
+// attached. PartitionedCsr additionally materialises per-block sub-CSRs
+// with a block-local vertex remap — the on-disk/NUMA-shippable artifact
+// (and the source of the replication / working-set stats reported by
+// bench_partition).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/multiplex_graph.h"
+#include "graph/partition/partition_options.h"
+#include "tensor/sparse.h"
+
+namespace umgad {
+
+/// Quality metrics of the streaming edge partition a VertexPartition was
+/// derived from, plus the derived row ownership's balance.
+struct PartitionStats {
+  int num_blocks = 0;
+  /// Stored CSR entries streamed across all relations.
+  int64_t total_edges = 0;
+  /// Mean over non-isolated vertices of the number of distinct blocks
+  /// their incident entries landed in (1 = perfectly local edge
+  /// partition; DBH typically sits well above HDRF here).
+  double replication_factor = 0.0;
+  /// Max block edge load / mean block edge load (1 = perfectly balanced).
+  double edge_balance = 0.0;
+  /// Max owned rows per block / mean owned rows per block.
+  double row_balance = 0.0;
+  int64_t max_block_edges = 0;
+};
+
+/// A whole-graph vertex partition: the RowBlocks schedule the tensor layer
+/// iterates (shared across all relations, views, and masking repeats) plus
+/// the stats of the edge partition it was derived from.
+struct VertexPartition {
+  std::shared_ptr<const RowBlocks> blocks;
+  PartitionStats stats;
+};
+
+/// Partition `graph`'s vertex set into options.num_blocks blocks with the
+/// selected streaming heuristic. Deterministic: one serial pass over the
+/// relations' CSR entries in (relation, row, column) order. Errors on a
+/// non-positive or absurd block count (io_limits::kMaxPartitions) or when
+/// the vertices x blocks bookkeeping would overflow.
+Result<VertexPartition> PartitionGraph(const MultiplexGraph& graph,
+                                       const PartitionOptions& options);
+
+/// Per-block materialisation of one relation's CSR under a RowBlocks
+/// ownership: each block carries its owned rows as a compact sub-CSR whose
+/// columns are remapped to block-local vertex ids (owned vertices first,
+/// then replicated ghosts, both ascending in global id). This is the
+/// shippable per-block artifact; the training kernels themselves iterate
+/// the original CSR through the RowBlocks schedule, which is what keeps
+/// them bit-identical to the flat engine.
+struct PartitionedCsr {
+  struct Block {
+    /// Global ids of the rows this block owns, ascending.
+    std::vector<int> rows;
+    /// Local CSR over `rows`: row_ptr.size() == rows.size() + 1.
+    std::vector<int64_t> row_ptr;
+    /// Block-local vertex ids (indices into `locals`).
+    std::vector<int> col_idx;
+    std::vector<float> values;
+    /// Block-local id -> global vertex id. The first `num_owned` entries
+    /// are the block's owned vertices; the rest are ghosts replicated
+    /// from other blocks. Each span is ascending in global id.
+    std::vector<int> locals;
+    int num_owned = 0;
+  };
+  std::vector<Block> blocks;
+  /// Sum over blocks of locals.size() / num vertices: the vertex
+  /// replication factor of the materialised sub-CSRs, ghosts included.
+  double replication_factor = 0.0;
+
+  /// Feature-row bytes the largest block touches during an SpMM at
+  /// feature width `feature_dim` — the per-worker working set the blocks
+  /// are sized to keep cache-resident.
+  int64_t MaxWorkingSetBytes(int feature_dim) const;
+};
+
+/// Materialise `adj` (square, rows == blocks->block_of.size()) into
+/// per-block sub-CSRs under `blocks`. Errors when the schedule does not
+/// cover the matrix.
+Result<PartitionedCsr> BuildPartitionedCsr(const SparseMatrix& adj,
+                                           const RowBlocks& blocks);
+
+/// Effective block count: `configured` when > 0, else the UMGAD_PARTITIONS
+/// environment variable, else 0. A result <= 1 means "run flat" (0) or
+/// "single-block partitioned path" (1); negative or unparsable inputs
+/// resolve to 0.
+int ResolvePartitionCount(int configured);
+
+/// Effective method: the UMGAD_PARTITION_METHOD environment variable
+/// ("dbh" | "hdrf") when set and valid, else `configured`. The method is
+/// perf-only — results are bit-identical either way — so the env override
+/// always wins, making sweeps cheap.
+PartitionMethod ResolvePartitionMethod(PartitionMethod configured);
+
+/// Printable method name ("dbh" / "hdrf").
+const char* PartitionMethodName(PartitionMethod method);
+
+}  // namespace umgad
+
+#endif  // UMGAD_GRAPH_PARTITION_PARTITIONER_H_

@@ -257,7 +257,8 @@ struct OnlineScorer::Impl {
   void Combine(EngineState& st) const;
   void FullCompute(EngineState* st, bool parallel) const;
   void EvictNonResident(EngineState* st) const;
-  Status Apply(const EdgeUpdate& update, ServeStats* stats);
+  Status ApplyBatch(const std::vector<EdgeUpdate>& updates,
+                    ServeStats* stats);
 };
 
 EngineState OnlineScorer::Impl::MakeEmptyState() const {
@@ -641,60 +642,110 @@ void OnlineScorer::Impl::EvictNonResident(EngineState* st) const {
   }
 }
 
-Status OnlineScorer::Impl::Apply(const EdgeUpdate& update,
-                                 ServeStats* stats) {
-  if (update.relation < 0 || update.relation >= r_count) {
-    return Status::InvalidArgument("edge update: relation out of range");
-  }
-  if (update.src < 0 || update.src >= n || update.dst < 0 ||
-      update.dst >= n) {
-    return Status::InvalidArgument("edge update: endpoint out of range");
-  }
-  if (update.src == update.dst) {
-    return Status::InvalidArgument("edge update: self loops not allowed");
-  }
-  const int u = update.src;
-  const int v = update.dst;
-  const int rel = update.relation;
-  DynamicAdjacency& a = adj[rel];
-  const bool present = a.Has(u, v);
-  if (update.add && present) {
-    return Status::FailedPrecondition("edge update: edge already present");
-  }
-  if (!update.add && !present) {
-    return Status::NotFound("edge update: edge not present");
-  }
+Status OnlineScorer::Impl::ApplyBatch(const std::vector<EdgeUpdate>& updates,
+                                      ServeStats* stats) {
+  if (updates.empty()) return Status::OK();
 
-  // Rows of the normalised operator whose entries change: the endpoints
-  // (pattern + own degree) and every neighbour of an endpoint before or
-  // after the mutation (the 1/sqrt(deg) factor of the shared entry moves).
-  NodeSet s_norm(n);
-  s_norm.Add(u);
-  s_norm.Add(v);
-  for (int j : a.neighbors(u)) s_norm.Add(j);
-  for (int j : a.neighbors(v)) s_norm.Add(j);
-  if (update.add) {
-    a.AddEntry(u, v, 1.0f);
-    a.AddEntry(v, u, 1.0f);
-  } else {
-    a.RemoveEntry(u, v);
-    a.RemoveEntry(v, u);
+  // Phase A — validate and mutate the adjacency sequentially, coalescing
+  // each relation's dirty fronts. Validation is against the already-mutated
+  // prefix, so a burst may legally add then remove the same edge. On the
+  // first bad update the applied prefix is rolled back in reverse and the
+  // cached state — untouched so far — stays exactly as before the call.
+  //
+  // s_norm[r]: rows of relation r's normalised operator whose entries
+  // change — every update's endpoints (pattern + own degree) plus every
+  // neighbour of an endpoint immediately before or after that mutation
+  // (the 1/sqrt(deg) factor of the shared entry moves). Each update logs
+  // its own before/after snapshot, so the union covers every row that
+  // differs between the initial and final adjacency.
+  // endpoints[r]: distinct endpoint nodes of relation r's updates — the
+  // nodes whose own adjacency row (and negative stream) changed.
+  std::vector<NodeSet> s_norm;
+  std::vector<NodeSet> endpoints;
+  s_norm.reserve(r_count);
+  endpoints.reserve(r_count);
+  for (int r = 0; r < r_count; ++r) {
+    s_norm.emplace_back(n);
+    endpoints.emplace_back(n);
   }
-  for (int j : a.neighbors(u)) s_norm.Add(j);
-  for (int j : a.neighbors(v)) s_norm.Add(j);
+  Status error = Status::OK();
+  size_t applied = 0;
+  for (; applied < updates.size(); ++applied) {
+    const EdgeUpdate& update = updates[applied];
+    if (update.relation < 0 || update.relation >= r_count) {
+      error = Status::InvalidArgument("edge update: relation out of range");
+      break;
+    }
+    if (update.src < 0 || update.src >= n || update.dst < 0 ||
+        update.dst >= n) {
+      error = Status::InvalidArgument("edge update: endpoint out of range");
+      break;
+    }
+    if (update.src == update.dst) {
+      error = Status::InvalidArgument("edge update: self loops not allowed");
+      break;
+    }
+    const int u = update.src;
+    const int v = update.dst;
+    const int rel = update.relation;
+    DynamicAdjacency& a = adj[rel];
+    const bool present = a.Has(u, v);
+    if (update.add && present) {
+      error = Status::FailedPrecondition("edge update: edge already present");
+      break;
+    }
+    if (!update.add && !present) {
+      error = Status::NotFound("edge update: edge not present");
+      break;
+    }
+    NodeSet& sn = s_norm[rel];
+    sn.Add(u);
+    sn.Add(v);
+    for (int j : a.neighbors(u)) sn.Add(j);
+    for (int j : a.neighbors(v)) sn.Add(j);
+    if (update.add) {
+      a.AddEntry(u, v, 1.0f);
+      a.AddEntry(v, u, 1.0f);
+    } else {
+      a.RemoveEntry(u, v);
+      a.RemoveEntry(v, u);
+    }
+    for (int j : a.neighbors(u)) sn.Add(j);
+    for (int j : a.neighbors(v)) sn.Add(j);
+    endpoints[rel].Add(u);
+    endpoints[rel].Add(v);
+  }
+  if (!error.ok()) {
+    for (size_t i = applied; i-- > 0;) {
+      const EdgeUpdate& update = updates[i];
+      DynamicAdjacency& a = adj[update.relation];
+      if (update.add) {
+        a.RemoveEntry(update.src, update.dst);
+        a.RemoveEntry(update.dst, update.src);
+      } else {
+        a.AddEntry(update.src, update.dst, 1.0f);
+        a.AddEntry(update.dst, update.src, 1.0f);
+      }
+    }
+    return error;
+  }
 
   int64_t invalidated = 0;
   int64_t rescored = 0;
 
-  // Phase 1 — propagate the dirty front through every stage of the updated
-  // relation's chains (all views) and invalidate those cache rows. All
-  // invalidation happens before any recomputation so EnsureRow never reads
-  // a stale-but-valid dependency.
+  // Phase B.1 — propagate the dirty fronts through every stage of each
+  // updated relation's chains (all views) and invalidate those cache rows.
+  // All invalidation across every relation happens before any
+  // recomputation so EnsureRow never reads a stale-but-valid dependency
+  // (ComputeAttrValNode fuses across all relations' chains).
   struct ChainDirty {
     std::vector<int> embed;
     std::vector<int> final;
   };
-  auto propagate = [&](const ChainPlan& cp, ChainState& cs) {
+  auto propagate = [&](const ChainPlan& cp, ChainState& cs, int rel) {
+    const DynamicAdjacency& a = adj[rel];
+    const NodeSet& sn = s_norm[rel];
+    const std::vector<int>& ends = endpoints[rel].items();
     ChainDirty out;
     std::vector<int> cur;
     for (size_t s = 0; s < cp.stages.size(); ++s) {
@@ -708,7 +759,7 @@ Status OnlineScorer::Impl::Apply(const EdgeUpdate& update,
           break;
         case StageKind::kSpmm: {
           NodeSet set(n);
-          for (int i : s_norm.items()) set.Add(i);
+          for (int i : sn.items()) set.Add(i);
           for (int d : cur) {
             set.Add(d);
             for (int j : a.neighbors(d)) set.Add(j);
@@ -722,8 +773,7 @@ Status OnlineScorer::Impl::Apply(const EdgeUpdate& update,
           // projection row.
           for (int d : cur) ss.st_valid[d] = 0;
           NodeSet set(n);
-          set.Add(u);
-          set.Add(v);
+          for (int d : ends) set.Add(d);
           for (int d : cur) {
             set.Add(d);
             for (int j : a.neighbors(d)) set.Add(j);
@@ -745,74 +795,95 @@ Status OnlineScorer::Impl::Apply(const EdgeUpdate& update,
     return out;
   };
 
-  std::vector<ChainDirty> attr_dirty(plans.size());
-  std::vector<ChainDirty> struct_dirty(plans.size());
+  std::vector<std::vector<ChainDirty>> attr_dirty(
+      plans.size(), std::vector<ChainDirty>(r_count));
+  std::vector<std::vector<ChainDirty>> struct_dirty(
+      plans.size(), std::vector<ChainDirty>(r_count));
   for (size_t w = 0; w < plans.size(); ++w) {
     ViewPlan& vp = plans[w];
     ViewState& vs = state.views[w];
-    if (!vp.attr_chains.empty()) {
-      attr_dirty[w] = propagate(vp.attr_chains[rel], vs.attr_chains[rel]);
-    }
-    if (vp.separate_struct) {
-      struct_dirty[w] =
-          propagate(vp.struct_chains[rel], vs.struct_chains[rel]);
+    for (int rel = 0; rel < r_count; ++rel) {
+      if (endpoints[rel].items().empty()) continue;
+      if (!vp.attr_chains.empty()) {
+        attr_dirty[w][rel] =
+            propagate(vp.attr_chains[rel], vs.attr_chains[rel], rel);
+      }
+      if (vp.separate_struct) {
+        struct_dirty[w][rel] =
+            propagate(vp.struct_chains[rel], vs.struct_chains[rel], rel);
+      }
     }
   }
 
-  // Phase 2 — recompute the affected per-node score components.
+  // Phase B.2 — recompute the affected per-node score components, once per
+  // node per component for the whole burst.
   for (size_t w = 0; w < plans.size(); ++w) {
     const ViewPlan& vp = plans[w];
     ViewState& vs = state.views[w];
     if (vp.struct_used) {
-      const std::vector<int>& embed_dirty = vp.separate_struct
-                                                ? struct_dirty[w].embed
-                                                : attr_dirty[w].embed;
-      // The endpoints' own adjacency rows changed, so their negative draws
-      // re-run against the new rows (clean nodes' draws are unaffected —
-      // each stream only rejects against its own row).
-      for (int node : {u, v}) {
-        std::vector<std::vector<int>>& samplers = vs.samplers[rel];
-        for (int old : vs.negatives[rel][node]) {
-          std::vector<int>& list = samplers[old];
-          auto it = std::find(list.begin(), list.end(), node);
-          if (it != list.end()) {
-            *it = list.back();
-            list.pop_back();
+      for (int rel = 0; rel < r_count; ++rel) {
+        const std::vector<int>& ends = endpoints[rel].items();
+        if (ends.empty()) continue;
+        const DynamicAdjacency& a = adj[rel];
+        const std::vector<int>& embed_dirty =
+            vp.separate_struct ? struct_dirty[w][rel].embed
+                               : attr_dirty[w][rel].embed;
+        // The endpoints' own adjacency rows changed, so their negative
+        // draws re-run against the new rows (clean nodes' draws are
+        // unaffected — each stream only rejects against its own row, and
+        // each stream is stateless, so one redraw against the final row
+        // matches replaying every intermediate redraw).
+        for (int node : ends) {
+          std::vector<std::vector<int>>& samplers = vs.samplers[rel];
+          for (int old : vs.negatives[rel][node]) {
+            std::vector<int>& list = samplers[old];
+            auto it = std::find(list.begin(), list.end(), node);
+            if (it != list.end()) {
+              *it = list.back();
+              list.pop_back();
+            }
+          }
+          vs.negatives[rel][node] =
+              DrawNegatives(static_cast<int>(w), rel, node);
+          for (int nu : vs.negatives[rel][node]) {
+            samplers[nu].push_back(node);
           }
         }
-        vs.negatives[rel][node] =
-            DrawNegatives(static_cast<int>(w), rel, node);
-        for (int nu : vs.negatives[rel][node]) samplers[nu].push_back(node);
+        // Residuals to recompute: the endpoints (adjacency row + negatives
+        // changed), nodes with a dirty embedding, their neighbours (the
+        // edge-error term reads neighbour embeddings), and nodes whose
+        // negative set contains a dirty-embedding node.
+        NodeSet dirty_res(n);
+        for (int node : ends) dirty_res.Add(node);
+        for (int d : embed_dirty) {
+          dirty_res.Add(d);
+          for (int j : a.neighbors(d)) dirty_res.Add(j);
+          for (int i : vs.samplers[rel][d]) dirty_res.Add(i);
+        }
+        for (int i : dirty_res.items()) {
+          ComputeResidualNode(state, static_cast<int>(w), rel, i, stats);
+        }
+        rescored += static_cast<int64_t>(dirty_res.items().size());
       }
-      // Residuals to recompute: the endpoints (adjacency row + negatives
-      // changed), nodes with a dirty embedding, their neighbours (the
-      // edge-error term reads neighbour embeddings), and nodes whose
-      // negative set contains a dirty-embedding node.
-      NodeSet dirty_res(n);
-      dirty_res.Add(u);
-      dirty_res.Add(v);
-      for (int d : embed_dirty) {
-        dirty_res.Add(d);
-        for (int j : a.neighbors(d)) dirty_res.Add(j);
-        for (int i : vs.samplers[rel][d]) dirty_res.Add(i);
-      }
-      for (int i : dirty_res.items()) {
-        ComputeResidualNode(state, static_cast<int>(w), rel, i, stats);
-      }
-      rescored += static_cast<int64_t>(dirty_res.items().size());
     }
     if (vp.attr_used) {
-      for (int i : attr_dirty[w].final) {
+      // One attribute-value pass over the union of every updated
+      // relation's final dirty front (the fused value reads all chains).
+      NodeSet attr_final(n);
+      for (int rel = 0; rel < r_count; ++rel) {
+        for (int i : attr_dirty[w][rel].final) attr_final.Add(i);
+      }
+      for (int i : attr_final.items()) {
         ComputeAttrValNode(state, static_cast<int>(w), i, stats);
       }
-      rescored += static_cast<int64_t>(attr_dirty[w].final.size());
+      rescored += static_cast<int64_t>(attr_final.items().size());
     }
   }
 
   Combine(state);
   EvictNonResident(&state);
   if (stats != nullptr) {
-    ++stats->updates_applied;
+    stats->updates_applied += static_cast<int64_t>(updates.size());
     stats->last_dirty_rows = invalidated;
     stats->last_rescored_nodes = rescored;
   }
@@ -937,7 +1008,11 @@ Result<std::vector<double>> OnlineScorer::Query(
 }
 
 Status OnlineScorer::ApplyEdgeUpdate(const EdgeUpdate& update) {
-  return impl_->Apply(update, &stats_);
+  return impl_->ApplyBatch({update}, &stats_);
+}
+
+Status OnlineScorer::ApplyEdgeUpdates(const std::vector<EdgeUpdate>& updates) {
+  return impl_->ApplyBatch(updates, &stats_);
 }
 
 std::vector<double> OnlineScorer::RescoreFullNaive() const {

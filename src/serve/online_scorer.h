@@ -102,6 +102,14 @@ class OnlineScorer {
   /// error).
   Status ApplyEdgeUpdate(const EdgeUpdate& update);
 
+  /// Apply a burst of edge updates as one coalesced re-score pass: the
+  /// updates are validated and applied sequentially first (rolling back the
+  /// applied prefix if one fails, so the state is untouched on error), then
+  /// each relation's dirty fronts are unioned and every affected row is
+  /// invalidated and recomputed once for the whole burst. Bit-identical to
+  /// applying the updates one at a time through ApplyEdgeUpdate.
+  Status ApplyEdgeUpdates(const std::vector<EdgeUpdate>& updates);
+
   /// Serial from-scratch batch recompute with the serving kernels and
   /// per-node negative streams: the differential oracle the incremental
   /// path is pinned against (mirrors the repo's *Naive convention). Does

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "common/thread_pool.h"
+#include "graph/io/io_limits.h"
 
 namespace umgad {
 
@@ -32,6 +33,14 @@ Status ValidateCsr(int rows, int cols, ConstSpan<int64_t> row_ptr,
                    ConstSpan<int> col_idx, size_t values_size) {
   if (rows < 0 || cols < 0) {
     return Status::InvalidArgument("negative CSR dimensions");
+  }
+  // Shared overflow guard (io_limits.h): the loaders hand this validator
+  // attacker-controlled dimensions, and downstream consumers form rows x
+  // cols products (dense bounds, per-block partition bookkeeping), so the
+  // product must fit int64 before any per-row scan runs.
+  if (io_limits::CheckedElemCount(rows, cols,
+                                  std::numeric_limits<int64_t>::max()) < 0) {
+    return Status::InvalidArgument("CSR dimension product overflows");
   }
   if (row_ptr.size() != static_cast<size_t>(rows) + 1) {
     return Status::InvalidArgument("row_ptr size must be rows + 1");
@@ -233,16 +242,18 @@ Tensor SparseMatrix::Multiply(const Tensor& x) const {
   UMGAD_CHECK_EQ(cols_, x.rows());
   const int d = x.cols();
   Tensor y(rows_, d);
-  // Row-partitioned: each output row is produced by exactly one thread with
-  // the same nonzero order, so results are invariant to the thread count.
-  ParallelFor(rows_, kSpmmRowGrain, [&](int64_t r0, int64_t r1) {
-    for (int i = static_cast<int>(r0); i < r1; ++i) {
-      float* yrow = y.row(i);
-      for (int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-        const float v = values_[k];
-        const float* xrow = x.row(col_idx_[k]);
-        for (int j = 0; j < d; ++j) yrow[j] += v * xrow[j];
-      }
+  // Row-partitioned: each output row is produced by exactly one task with
+  // the same nonzero order, so results are invariant to the thread count
+  // and to the schedule — flat row ranges, or block-affine when a
+  // partition schedule is attached (each lane then walks whole blocks
+  // whose neighbourhoods stay cache-resident).
+  const std::shared_ptr<const RowBlocks> blocks = row_blocks();
+  ForEachRowBlocked(rows_, blocks.get(), kSpmmRowGrain, [&](int i) {
+    float* yrow = y.row(i);
+    for (int64_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const float v = values_[k];
+      const float* xrow = x.row(col_idx_[k]);
+      for (int j = 0; j < d; ++j) yrow[j] += v * xrow[j];
     }
   });
   return y;
@@ -336,6 +347,14 @@ SparseMatrix::incoming_index() const {
   return std::atomic_load_explicit(&incoming_, std::memory_order_acquire);
 }
 
+void SparseMatrix::AttachRowBlocks(
+    std::shared_ptr<const RowBlocks> blocks) const {
+  UMGAD_CHECK(blocks == nullptr ||
+              static_cast<int64_t>(blocks->block_of.size()) == rows_);
+  std::atomic_store_explicit(&blocks_, std::move(blocks),
+                             std::memory_order_release);
+}
+
 Tensor SparseMatrix::MultiplyTransposed(const Tensor& x) const {
   UMGAD_CHECK_EQ(rows_, x.rows());
   EnsureTransposedIndex();
@@ -344,17 +363,17 @@ Tensor SparseMatrix::MultiplyTransposed(const Tensor& x) const {
   const int d = x.cols();
   Tensor y(cols_, d);
   // Row-partitioned over *output* rows (= original columns): each output
-  // row is produced by exactly one thread in ascending original-row order,
+  // row is produced by exactly one task in ascending original-row order,
   // so results are bit-identical to MultiplyTransposedNaive and invariant
-  // to UMGAD_THREADS.
-  ParallelFor(cols_, kSpmmRowGrain, [&](int64_t c0, int64_t c1) {
-    for (int c = static_cast<int>(c0); c < c1; ++c) {
-      float* yrow = y.row(c);
-      for (int64_t k = t->col_ptr[c]; k < t->col_ptr[c + 1]; ++k) {
-        const float v = t->values[k];
-        const float* xrow = x.row(t->row_idx[k]);
-        for (int j = 0; j < d; ++j) yrow[j] += v * xrow[j];
-      }
+  // to UMGAD_THREADS and the schedule (flat or block-affine; square
+  // operators reuse the row schedule for their columns).
+  const std::shared_ptr<const RowBlocks> blocks = row_blocks();
+  ForEachRowBlocked(cols_, blocks.get(), kSpmmRowGrain, [&](int c) {
+    float* yrow = y.row(c);
+    for (int64_t k = t->col_ptr[c]; k < t->col_ptr[c + 1]; ++k) {
+      const float v = t->values[k];
+      const float* xrow = x.row(t->row_idx[k]);
+      for (int j = 0; j < d; ++j) yrow[j] += v * xrow[j];
     }
   });
   return y;

@@ -5,8 +5,10 @@
 // combination (the grid comes from tests/oracle_harness.h) and every
 // cache-budget setting. Also covers the batch-replay path against the
 // fitted model's scores, the num_score_negatives == 0 equivalence with
-// training-time scoring, ApplyEdgeUpdate's error paths, and the
-// DynamicAdjacency bit-compatibility contract.
+// training-time scoring, batched bursts (ApplyEdgeUpdates ==
+// one-at-a-time == full rescore, with prefix rollback on error),
+// ApplyEdgeUpdate's error paths, and the DynamicAdjacency
+// bit-compatibility contract.
 
 #include <string>
 #include <tuple>
@@ -236,6 +238,105 @@ TEST(ServeOracleTest, RevertedUpdateRestoresScores) {
 
   ExpectSameBits((*scorer)->scores(), initial, "reverted update");
   EXPECT_EQ((*scorer)->stats().updates_applied, 2);
+}
+
+// ------------------------- batched updates --------------------------------
+
+TEST(ServeOracleTest, BatchedUpdatesMatchSequentialAndFullRescore) {
+  const std::vector<EdgeUpdate> updates =
+      MakeUpdateSequence(Fixture().graph, 12, /*seed=*/61);
+
+  // Reference: the same burst applied one update at a time.
+  auto sequential =
+      OnlineScorer::Create(Fixture().trained, Fixture().graph);
+  ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+  for (const EdgeUpdate& u : updates) {
+    ASSERT_TRUE((*sequential)->ApplyEdgeUpdate(u).ok());
+  }
+
+  // One coalesced pass over the whole burst (and a split into two bursts,
+  // which must land on the same scores via a different coalescing).
+  for (size_t split : {updates.size(), updates.size() / 2}) {
+    auto scorer = OnlineScorer::Create(Fixture().trained, Fixture().graph);
+    ASSERT_TRUE(scorer.ok()) << scorer.status().ToString();
+    const std::string label = "split=" + std::to_string(split);
+    std::vector<EdgeUpdate> head(updates.begin(),
+                                 updates.begin() + static_cast<long>(split));
+    std::vector<EdgeUpdate> tail(updates.begin() + static_cast<long>(split),
+                                 updates.end());
+    ASSERT_TRUE((*scorer)->ApplyEdgeUpdates(head).ok()) << label;
+    if (!tail.empty()) {
+      ASSERT_TRUE((*scorer)->ApplyEdgeUpdates(tail).ok()) << label;
+    }
+    EXPECT_EQ((*scorer)->stats().updates_applied,
+              static_cast<int64_t>(updates.size()))
+        << label;
+    ExpectSameBits((*scorer)->scores(), (*sequential)->scores(),
+                   label + " vs sequential");
+    ExpectSameBits((*scorer)->scores(), (*scorer)->RescoreFullNaive(),
+                   label + " vs full rescore");
+  }
+}
+
+TEST(ServeOracleTest, BatchedUpdatesAllowToggleWithinBurst) {
+  // A burst may insert an edge and remove it again: validation runs against
+  // the mutated prefix, so both legs are legal and the net effect is zero.
+  auto scorer = OnlineScorer::Create(Fixture().trained, Fixture().graph);
+  ASSERT_TRUE(scorer.ok()) << scorer.status().ToString();
+  const std::vector<double> initial = (*scorer)->scores();
+  const MultiplexGraph& graph = Fixture().graph;
+
+  EdgeUpdate insert;
+  insert.relation = 0;
+  insert.src = 0;
+  for (insert.dst = 1; insert.dst < graph.num_nodes(); ++insert.dst) {
+    if (!graph.layer(0).Has(insert.src, insert.dst)) break;
+  }
+  ASSERT_LT(insert.dst, graph.num_nodes());
+  insert.add = true;
+  EdgeUpdate remove = insert;
+  remove.add = false;
+
+  ASSERT_TRUE((*scorer)->ApplyEdgeUpdates({insert, remove}).ok());
+  EXPECT_EQ((*scorer)->stats().updates_applied, 2);
+  ExpectSameBits((*scorer)->scores(), initial, "toggle burst");
+  ExpectSameBits((*scorer)->scores(), (*scorer)->RescoreFullNaive(),
+                 "toggle burst vs full rescore");
+
+  // An empty burst is a no-op.
+  ASSERT_TRUE((*scorer)->ApplyEdgeUpdates({}).ok());
+  EXPECT_EQ((*scorer)->stats().updates_applied, 2);
+}
+
+TEST(ServeOracleTest, BatchedUpdatesRollBackOnError) {
+  // A bad update mid-burst rolls back the applied prefix: the adjacency,
+  // the cached state, and the stats all stay exactly as before the call.
+  auto scorer = OnlineScorer::Create(Fixture().trained, Fixture().graph);
+  ASSERT_TRUE(scorer.ok()) << scorer.status().ToString();
+  const std::vector<double> initial = (*scorer)->scores();
+  const MultiplexGraph& graph = Fixture().graph;
+
+  EdgeUpdate good;
+  good.relation = 0;
+  good.src = 0;
+  for (good.dst = 1; good.dst < graph.num_nodes(); ++good.dst) {
+    if (!graph.layer(0).Has(good.src, good.dst)) break;
+  }
+  ASSERT_LT(good.dst, graph.num_nodes());
+  good.add = true;
+
+  EdgeUpdate duplicate = good;  // second insert of the same edge fails
+  Status burst = (*scorer)->ApplyEdgeUpdates({good, duplicate});
+  ASSERT_FALSE(burst.ok());
+  EXPECT_EQ(burst.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*scorer)->stats().updates_applied, 0);
+  ExpectSameBits((*scorer)->scores(), initial, "after failed burst");
+  ExpectSameBits((*scorer)->scores(), (*scorer)->RescoreFullNaive(),
+                 "state consistency after failed burst");
+
+  // The rolled-back edge is still absent, so the insert succeeds now.
+  ASSERT_TRUE((*scorer)->ApplyEdgeUpdate(good).ok());
+  EXPECT_EQ((*scorer)->stats().updates_applied, 1);
 }
 
 // ------------------------- error paths ------------------------------------

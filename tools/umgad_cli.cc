@@ -63,6 +63,8 @@ struct CliArgs {
   std::string format = "binary";
   std::vector<std::string> detectors;
   int epochs = 0;
+  int partitions = 0;
+  std::string partition_method;  // empty = config default (dbh)
   std::string threshold = "inflection";
   bool time = false;
   bool inject = false;
@@ -90,10 +92,12 @@ int Usage() {
       "  inspect <path|name> [--seed N] [--scale S] [--time]\n"
       "  run <path|name> [--detector NAME]... [--baseline NAME]\n"
       "                  [--seed N] [--scale S] [--epochs N]\n"
+      "                  [--partitions P] [--partition-method dbh|hdrf]\n"
       "                  [--threshold inflection|topk] [--inject]\n"
       "                  [--save-scores PATH]\n"
       "  train <path|name> --save-model PATH.umgm [--seed N] [--scale S]\n"
-      "                  [--epochs N]\n"
+      "                  [--epochs N] [--partitions P]\n"
+      "                  [--partition-method dbh|hdrf]\n"
       "  serve <path|name> --model PATH.umgm [--stream FILE|-]\n"
       "                  [--naive | --replay-batch] [--save-scores PATH]\n"
       "                  [--seed N] [--scale S]\n"
@@ -162,6 +166,23 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next("--epochs");
       if (v == nullptr) return false;
       args->epochs = std::atoi(v);
+    } else if (arg == "--partitions") {
+      const char* v = next("--partitions");
+      if (v == nullptr) return false;
+      args->partitions = std::atoi(v);
+      if (args->partitions < 1) {
+        std::cerr << "--partitions must be >= 1\n";
+        return false;
+      }
+    } else if (arg == "--partition-method") {
+      const char* v = next("--partition-method");
+      if (v == nullptr) return false;
+      args->partition_method = v;
+      if (args->partition_method != "dbh" &&
+          args->partition_method != "hdrf") {
+        std::cerr << "--partition-method must be dbh or hdrf\n";
+        return false;
+      }
     } else if (arg == "--threshold") {
       const char* v = next("--threshold");
       if (v == nullptr) return false;
@@ -422,6 +443,10 @@ int CmdTrain(const CliArgs& args) {
   UmgadConfig config;
   config.seed = args.seed;
   if (args.epochs > 0) config.epochs = args.epochs;
+  config.partitions = args.partitions;
+  if (args.partition_method == "hdrf") {
+    config.partition_method = PartitionMethod::kHdrf;
+  }
   UmgadModel model(config);
   WallTimer timer;
   const Status fitted = model.Fit(*graph);
@@ -545,12 +570,16 @@ int CmdRun(const CliArgs& args) {
   std::vector<std::vector<double>> score_columns;
   for (const std::string& name : roster) {
     Result<std::unique_ptr<Detector>> detector = [&] {
-      // --epochs steers the UMGAD run directly; baselines keep their
-      // published training budgets.
-      if (name == "UMGAD" && args.epochs > 0) {
+      // --epochs/--partitions steer the UMGAD run directly; baselines keep
+      // their published training budgets (and have no partitioned path).
+      if (name == "UMGAD" && (args.epochs > 0 || args.partitions > 0)) {
         UmgadConfig config;
         config.seed = args.seed;
-        config.epochs = args.epochs;
+        if (args.epochs > 0) config.epochs = args.epochs;
+        config.partitions = args.partitions;
+        if (args.partition_method == "hdrf") {
+          config.partition_method = PartitionMethod::kHdrf;
+        }
         return Result<std::unique_ptr<Detector>>(
             std::unique_ptr<Detector>(new UmgadModel(config)));
       }
