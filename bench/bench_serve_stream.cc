@@ -5,8 +5,17 @@
 // serial re-score (RescoreFullNaive) the incremental path replaces. Run
 // with an unlimited row cache and with a 25% hot-node budget to expose the
 // memory/latency trade. Numbers land in docs/PERFORMANCE.md.
+//
+// Part two stands up the ShardRouter over DG-Fin and sweeps the shard
+// count {1, 2, 4}, reporting per-update p50/p99 latency, queue peaks, and
+// cache hit rates from ShardRouter::Stats(), verifying the drained
+// snapshot is bit-identical to the flat scorer, and enforcing a p99 SLO:
+// the sharded update path must beat the serial full re-score by at least
+// 2x per update (override the bound with UMGAD_SLO_P99_MS=<millis>). A
+// gate failure exits nonzero so CI can hold the line.
 
 #include <algorithm>
+#include <cstdlib>
 #include <vector>
 
 #include "bench_util.h"
@@ -14,6 +23,8 @@
 #include "common/timer.h"
 #include "core/model_io.h"
 #include "serve/online_scorer.h"
+#include "serve/serve_metrics.h"
+#include "serve/shard_router.h"
 
 namespace umgad {
 namespace {
@@ -86,6 +97,106 @@ StreamResult RunStream(OnlineScorer* scorer,
   return result;
 }
 
+/// Sharded serving at DG-Fin scale: shard-count sweep, latency metrics,
+/// the drained-bit-equality check, and the p99 SLO gate. Returns the
+/// process exit code (nonzero = SLO or equality violation).
+int ShardSweep() {
+  std::cout << "\n=== Sharded serving (ShardRouter) — DG-Fin ===\n\n";
+  const double scale = BenchScale(0.05);
+  const int stream_len = 200;
+  MultiplexGraph graph = bench::LoadBenchDataset("DG-Fin", /*seed=*/3, scale);
+  std::cout << "Graph: " << graph.Summary() << "\n";
+
+  UmgadModel model(bench::BenchUmgadConfig(/*seed=*/11, /*default_epochs=*/5));
+  UMGAD_CHECK(model.Fit(graph).ok());
+  Result<TrainedModel> trained = TrainedModel::FromFitted(model, graph);
+  UMGAD_CHECK(trained.ok());
+
+  const std::vector<EdgeUpdate> updates = MakeStream(graph, stream_len, 41);
+
+  // The flat reference: the same stream through one scorer, plus the
+  // serial full-rescore cost the p99 SLO is judged against.
+  Result<std::unique_ptr<OnlineScorer>> flat =
+      OnlineScorer::Create(*trained, graph);
+  UMGAD_CHECK(flat.ok());
+  WallTimer naive_timer;
+  (void)(*flat)->RescoreFullNaive();
+  const double naive_ms = naive_timer.ElapsedMillis();
+  for (const EdgeUpdate& u : updates) {
+    UMGAD_CHECK((*flat)->ApplyEdgeUpdate(u).ok());
+  }
+  const std::vector<double>& reference = (*flat)->scores();
+
+  // Absolute override, else relative: p99 must undercut half the full
+  // re-score (the sharded path is pointless the moment it loses to
+  // recompute-from-scratch).
+  double slo_p99_ms = naive_ms / 2.0;
+  if (const char* env = std::getenv("UMGAD_SLO_P99_MS")) {
+    const double v = std::atof(env);
+    if (v > 0.0) slo_p99_ms = v;
+  }
+
+  TablePrinter table;
+  table.SetHeader({"Shards", "Edges/s", "p50 (us)", "p99 (us)",
+                   "Publish p99 (us)", "Queue peak", "Hit rate", "Drained"});
+  bool gate_ok = true;
+  double worst_p99_us = 0.0;
+  for (int shards : {1, 2, 4}) {
+    serve::RouterOptions options;
+    options.num_shards = shards;
+    options.max_burst = 16;
+    auto router = serve::ShardRouter::Create(*trained, graph, options);
+    UMGAD_CHECK_MSG(router.ok(), router.status().ToString().c_str());
+
+    WallTimer timer;
+    for (size_t k = 0; k < updates.size(); k += 16) {
+      const size_t end = std::min(updates.size(), k + 16);
+      (*router)->Submit(std::vector<EdgeUpdate>(
+          updates.begin() + static_cast<long>(k),
+          updates.begin() + static_cast<long>(end)));
+    }
+    (*router)->Flush();
+    const double seconds = timer.ElapsedSeconds();
+
+    const serve::RouterStats stats = (*router)->Stats();
+    UMGAD_CHECK(stats.stream_consistent);
+    int64_t queue_peak = 0;
+    for (const auto& s : stats.shards) {
+      queue_peak = std::max(queue_peak, s.queue_peak);
+    }
+    const std::vector<double>& drained = (*router)->Snapshot()->scores;
+    bool identical = drained.size() == reference.size();
+    for (size_t i = 0; identical && i < drained.size(); ++i) {
+      identical = drained[i] == reference[i];
+    }
+    gate_ok = gate_ok && identical;
+    worst_p99_us = std::max(worst_p99_us, stats.update_latency.p99_us);
+    table.AddRow({StrFormat("%d", shards),
+                  FormatFloat(seconds > 0 ? updates.size() / seconds : 0.0, 0),
+                  FormatFloat(stats.update_latency.p50_us, 1),
+                  FormatFloat(stats.update_latency.p99_us, 1),
+                  FormatFloat(stats.publish_latency.p99_us, 1),
+                  StrFormat("%lld", static_cast<long long>(queue_peak)),
+                  FormatFloat(100.0 * stats.cache_hit_rate, 1) + "%",
+                  identical ? "bit-identical" : "MISMATCH"});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nSLO gate: worst p99 " << FormatFloat(worst_p99_us / 1000.0, 3)
+            << " ms vs bound " << FormatFloat(slo_p99_ms, 3) << " ms ("
+            << (std::getenv("UMGAD_SLO_P99_MS") != nullptr
+                    ? "UMGAD_SLO_P99_MS"
+                    : "half the serial full re-score")
+            << ")\n";
+  if (worst_p99_us / 1000.0 > slo_p99_ms) {
+    std::cout << "SLO VIOLATION: sharded p99 exceeds the bound\n";
+    gate_ok = false;
+  }
+  if (!gate_ok) return 1;
+  std::cout << "SLO + drained bit-equality: PASS\n";
+  return 0;
+}
+
 int Main() {
   SetLogLevel(LogLevel::kWarning);
   bench::PrintHeader("Online serving — streamed edge updates",
@@ -137,7 +248,7 @@ int Main() {
             << FormatFloat(naive_ms, 2) << " ms ("
             << FormatFloat(1000.0 / std::max(naive_ms, 1e-9), 1)
             << " updates/s if recomputed per edge)\n";
-  return 0;
+  return ShardSweep();
 }
 
 }  // namespace

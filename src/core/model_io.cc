@@ -16,9 +16,28 @@ const char kModelExtension[] = "umgm";
 namespace {
 
 // "UMGM" little-endian, versioned like the graph container (docs/FORMATS.md).
+//
+// Config-evolution policy (v2, docs/FORMATS.md):
+//  - The config block is length-prefixed. New *optional* config fields are
+//    appended to the block and bump only the length — an older server
+//    reads the fields it knows and skips the unknown tail (it serves the
+//    artifact with the new knobs at their defaults, which is safe exactly
+//    when the field is optional).
+//  - A field whose misinterpretation would change results (new encoder
+//    kind, changed field width, reordered layout, new weight framing)
+//    must bump the format version instead. Loaders reject any version
+//    above kVersion with a clear "newer than this build" Status rather
+//    than misparsing (v1 servers predate the policy and reject v2
+//    outright — that hard wall is why the prefix exists from v2 on).
+//  - v1 files (fixed 116-byte config, no length prefix) load forever.
 constexpr uint32_t kMagic = 0x4D474D55;         // 'U' 'M' 'G' 'M'
 constexpr uint32_t kTrailerMagic = 0x444E454D;  // 'M' 'E' 'N' 'D'
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
+// Bytes of the config fields this build knows (the v1 fixed block).
+constexpr uint32_t kConfigCoreBytes = 116;
+// Sanity cap on a declared config block: a future build appending enough
+// optional fields to cross this is lying or corrupt.
+constexpr uint32_t kMaxConfigBytes = 1 << 16;
 
 // A model tensor axis never exceeds the feature cap (weights are
 // in_dim x out_dim with in_dim <= kMaxFeatures), but hidden_dim is
@@ -86,6 +105,16 @@ class Reader {
     if (n > 0 && !in_.read(reinterpret_cast<char*>(dst), n)) {
       return Status::InvalidArgument(StrFormat("truncated %s", what));
     }
+    return Status::OK();
+  }
+
+  Status Skip(int64_t n, const char* what) {
+    if (n > Remaining()) {
+      return Status::InvalidArgument(StrFormat(
+          "truncated %s: need %lld bytes, %lld left", what,
+          static_cast<long long>(n), static_cast<long long>(Remaining())));
+    }
+    if (n > 0) in_.seekg(n, std::ios::cur);
     return Status::OK();
   }
 
@@ -262,6 +291,9 @@ Status TrainedModel::Save(const std::string& path) const {
   w.Pod<uint32_t>(kMagic);
   w.Pod<uint32_t>(kVersion);
   w.Pod<uint32_t>(0);  // flags, reserved
+  // v2: the config block is length-prefixed so future optional trailing
+  // fields stay readable by this build (see the policy note at the top).
+  w.Pod<uint32_t>(kConfigCoreBytes);
   WriteConfig(&w, config_);
 
   w.Pod<int32_t>(fingerprint_.num_nodes);
@@ -302,14 +334,43 @@ Result<TrainedModel> TrainedModel::Load(const std::string& path) {
         StrFormat("%s is not a umgad model file (bad magic)", path.c_str()));
   }
   UMGAD_RETURN_IF_ERROR(r.Pod(&version, "header"));
-  if (version != kVersion) {
+  if (version > kVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: model format version %u is newer than this build supports "
+        "(max %u); upgrade the server or re-export the artifact with this "
+        "build",
+        path.c_str(), version, kVersion));
+  }
+  if (version < 1) {
     return Status::InvalidArgument(
         StrFormat("unsupported model format version %u", version));
   }
   UMGAD_RETURN_IF_ERROR(r.Pod(&flags, "header"));
 
   TrainedModel out;
-  UMGAD_RETURN_IF_ERROR(ReadConfig(&r, &out.config_));
+  if (version >= 2) {
+    // Length-prefixed config: read the fields this build knows, tolerate
+    // (skip) optional trailing fields a newer minor revision appended.
+    uint32_t config_bytes = 0;
+    UMGAD_RETURN_IF_ERROR(r.Pod(&config_bytes, "config length"));
+    if (config_bytes < kConfigCoreBytes) {
+      return Status::InvalidArgument(StrFormat(
+          "corrupt model: config block of %u bytes is smaller than the %u "
+          "this format version requires",
+          config_bytes, kConfigCoreBytes));
+    }
+    if (config_bytes > kMaxConfigBytes) {
+      return Status::InvalidArgument(StrFormat(
+          "corrupt model: absurd config block of %u bytes declared",
+          config_bytes));
+    }
+    UMGAD_RETURN_IF_ERROR(ReadConfig(&r, &out.config_));
+    UMGAD_RETURN_IF_ERROR(
+        r.Skip(config_bytes - kConfigCoreBytes, "config trailing fields"));
+  } else {
+    // v1: fixed-size config block, no prefix.
+    UMGAD_RETURN_IF_ERROR(ReadConfig(&r, &out.config_));
+  }
 
   GraphFingerprint& fp = out.fingerprint_;
   UMGAD_RETURN_IF_ERROR(r.Pod(&fp.num_nodes, "fingerprint.num_nodes"));
@@ -436,27 +497,36 @@ Result<std::vector<double>> TrainedModel::Score(const MultiplexGraph& graph,
     return Status::InvalidArgument(
         "graph shape is incompatible with the stored model weights");
   }
-  Result<std::vector<std::unique_ptr<ReconstructionView>>> views =
-      BuildViews();
-  UMGAD_RETURN_IF_ERROR(views.status());
+  // The rebuilt views' parameters are persistent tape leaves; the scope
+  // reclaims them once scoring is done, so repeated Load/Score cycles in a
+  // long-running process are leak-free. The views (and every transient node
+  // their forward passes build) must be gone before the scope closes, hence
+  // the inner block: Reset() drops the transients, the block end drops the
+  // views, the scope end rewinds the leaves.
+  ag::ParamScope params;
+  std::vector<double> scores;
+  {
+    Result<std::vector<std::unique_ptr<ReconstructionView>>> views =
+        BuildViews();
+    UMGAD_RETURN_IF_ERROR(views.status());
 
-  std::vector<std::shared_ptr<const SparseMatrix>> norm_adjs;
-  for (int r = 0; r < graph.num_relations(); ++r) {
-    norm_adjs.push_back(std::make_shared<const SparseMatrix>(
-        graph.layer(r).NormalizedWithSelfLoops()));
+    std::vector<std::shared_ptr<const SparseMatrix>> norm_adjs;
+    for (int r = 0; r < graph.num_relations(); ++r) {
+      norm_adjs.push_back(std::make_shared<const SparseMatrix>(
+          graph.layer(r).NormalizedWithSelfLoops()));
+    }
+    // Exactly the Fit scoring block: deterministic view passes, then the
+    // residual negatives drawn from the checkpointed stream.
+    std::vector<ViewScoring> scorings;
+    for (const auto& view : *views) {
+      scorings.push_back(view->Score(graph, norm_adjs));
+    }
+    Rng rng;
+    rng.set_state(rng_state_);
+    scores = ComputeAnomalyScores(graph, scorings, config_.epsilon,
+                                  config_.num_score_negatives, &rng);
+    ag::Tape::Global().Reset();
   }
-  // Exactly the Fit scoring block: deterministic view passes, then the
-  // residual negatives drawn from the checkpointed stream.
-  std::vector<ViewScoring> scorings;
-  for (const auto& view : *views) {
-    scorings.push_back(view->Score(graph, norm_adjs));
-  }
-  Rng rng;
-  rng.set_state(rng_state_);
-  std::vector<double> scores =
-      ComputeAnomalyScores(graph, scorings, config_.epsilon,
-                           config_.num_score_negatives, &rng);
-  ag::Tape::Global().Reset();
   return scores;
 }
 

@@ -8,6 +8,7 @@
 #include "core/scorer.h"
 #include "core/views.h"
 #include "nn/gcn.h"
+#include "tensor/autograd.h"
 
 namespace umgad {
 namespace serve {
@@ -222,6 +223,42 @@ class NodeSet {
 
 }  // namespace
 
+std::vector<double> CombineComponents(const std::vector<ViewComponents>& views,
+                                      int num_nodes, int num_relations,
+                                      float epsilon) {
+  const int n = num_nodes;
+  std::vector<double> total(n, 0.0);
+  int contributing = 0;
+  for (const ViewComponents& vc : views) {
+    const bool has_attr = vc.attr_used;
+    const bool has_struct = vc.struct_used;
+    if (!has_attr && !has_struct) continue;
+    ++contributing;
+    std::vector<double> attr_part(n, 0.0);
+    if (has_attr) attr_part = Standardize(*vc.attr_val);
+    std::vector<double> struct_part(n, 0.0);
+    if (has_struct) {
+      for (int r = 0; r < num_relations; ++r) {
+        const std::vector<double>& res = (*vc.residual)[r];
+        for (int i = 0; i < n; ++i) struct_part[i] += res[i] / num_relations;
+      }
+      struct_part = Standardize(struct_part);
+    }
+    for (int i = 0; i < n; ++i) {
+      if (has_attr && has_struct) {
+        total[i] += epsilon * attr_part[i] + (1.0f - epsilon) * struct_part[i];
+      } else if (has_attr) {
+        total[i] += attr_part[i];
+      } else {
+        total[i] += struct_part[i];
+      }
+    }
+  }
+  UMGAD_CHECK_GT(contributing, 0);
+  for (double& s : total) s /= contributing;
+  return total;
+}
+
 // ---------------------------------------------------------------------------
 // Impl
 // ---------------------------------------------------------------------------
@@ -238,7 +275,15 @@ struct OnlineScorer::Impl {
   std::vector<ViewPlan> plans;
   bool budgeted = false;
   std::vector<uint8_t> resident;
+  // Owner mask (ServeOptions::owned_nodes): empty = every node owned.
+  // Component maintenance (negatives, residuals, attribute distances) and
+  // the global Combine are restricted to owned nodes; stage rows stay
+  // global (a residual reads neighbour/negative embeddings anywhere).
+  std::vector<uint8_t> owned;
+  bool component_only = false;
   EngineState state;
+
+  bool Owned(int i) const { return owned.empty() || owned[i] != 0; }
 
   EngineState MakeEmptyState() const;
   void ComputeST(const ChainPlan& plan, ChainState& cs, int stage,
@@ -532,40 +577,26 @@ void OnlineScorer::Impl::ComputeAttrValNode(EngineState& st, int view, int i,
 void OnlineScorer::Impl::Combine(EngineState& st) const {
   // ComputeAnomalyScores (Eq. 19) over the cached per-node parts: the raw
   // components are maintained incrementally; standardisation and the
-  // epsilon mix are cheap O(n) double passes.
-  std::vector<double> total(n, 0.0);
-  int contributing = 0;
-  for (size_t v = 0; v < plans.size(); ++v) {
-    const ViewPlan& vp = plans[v];
-    ViewState& vs = st.views[v];
-    const bool has_attr = vp.attr_used;
-    const bool has_struct = vp.struct_used;
-    if (!has_attr && !has_struct) continue;
-    ++contributing;
-    std::vector<double> attr_part(n, 0.0);
-    if (has_attr) attr_part = Standardize(vs.attr_val);
-    std::vector<double> struct_part(n, 0.0);
-    if (has_struct) {
-      for (int r = 0; r < r_count; ++r) {
-        const std::vector<double>& res = vs.residual[r];
-        for (int i = 0; i < n; ++i) struct_part[i] += res[i] / r_count;
-      }
-      struct_part = Standardize(struct_part);
-    }
-    const float epsilon = config.epsilon;
-    for (int i = 0; i < n; ++i) {
-      if (has_attr && has_struct) {
-        total[i] += epsilon * attr_part[i] + (1.0f - epsilon) * struct_part[i];
-      } else if (has_attr) {
-        total[i] += attr_part[i];
-      } else {
-        total[i] += struct_part[i];
-      }
-    }
+  // epsilon mix are cheap O(n) double passes. The standardisation is
+  // *global* (a z-score over all nodes), so an owner-masked shard — which
+  // only maintains its own nodes' components — cannot combine; ShardRouter
+  // gathers every shard's owned slices and runs the same CombineComponents
+  // over the full board instead.
+  if (component_only) {
+    st.scores.clear();
+    return;
   }
-  UMGAD_CHECK_GT(contributing, 0);
-  for (double& s : total) s /= contributing;
-  st.scores = std::move(total);
+  std::vector<ViewComponents> views;
+  views.reserve(plans.size());
+  for (size_t v = 0; v < plans.size(); ++v) {
+    ViewComponents vc;
+    vc.attr_used = plans[v].attr_used;
+    vc.struct_used = plans[v].struct_used;
+    if (vc.attr_used) vc.attr_val = &st.views[v].attr_val;
+    if (vc.struct_used) vc.residual = &st.views[v].residual;
+    views.push_back(vc);
+  }
+  st.scores = CombineComponents(views, n, r_count, config.epsilon);
 }
 
 void OnlineScorer::Impl::FullCompute(EngineState* st, bool parallel) const {
@@ -604,22 +635,30 @@ void OnlineScorer::Impl::FullCompute(EngineState* st, bool parallel) const {
     };
     run_chains(vp.attr_chains, vs.attr_chains);
     run_chains(vp.struct_chains, vs.struct_chains);
+    // Per-node score components only exist for owned nodes: each node's
+    // negative stream and component are independent of every other node's,
+    // so the owned slice of a masked shard is bit-identical to the same
+    // slice of an unmasked scorer.
     if (vp.struct_used) {
       for (int r = 0; r < r_count; ++r) {
         for_rows([&](int i) {
-          vs.negatives[r][i] = DrawNegatives(static_cast<int>(v), r, i);
+          vs.negatives[r][i] =
+              Owned(i) ? DrawNegatives(static_cast<int>(v), r, i)
+                       : std::vector<int>();
         });
         for (auto& list : vs.samplers[r]) list.clear();
         for (int i = 0; i < n; ++i) {
           for (int u : vs.negatives[r][i]) vs.samplers[r][u].push_back(i);
         }
         for_rows([&](int i) {
+          if (!Owned(i)) return;
           ComputeResidualNode(*st, static_cast<int>(v), r, i, nullptr);
         });
       }
     }
     if (vp.attr_used) {
       for_rows([&](int i) {
+        if (!Owned(i)) return;
         ComputeAttrValNode(*st, static_cast<int>(v), i, nullptr);
       });
     }
@@ -832,8 +871,11 @@ Status OnlineScorer::Impl::ApplyBatch(const std::vector<EdgeUpdate>& updates,
         // draws re-run against the new rows (clean nodes' draws are
         // unaffected — each stream only rejects against its own row, and
         // each stream is stateless, so one redraw against the final row
-        // matches replaying every intermediate redraw).
+        // matches replaying every intermediate redraw). Non-owned
+        // endpoints carry no stream (their component lives on another
+        // shard), so there is nothing to redraw.
         for (int node : ends) {
+          if (!Owned(node)) continue;
           std::vector<std::vector<int>>& samplers = vs.samplers[rel];
           for (int old : vs.negatives[rel][node]) {
             std::vector<int>& list = samplers[old];
@@ -861,9 +903,10 @@ Status OnlineScorer::Impl::ApplyBatch(const std::vector<EdgeUpdate>& updates,
           for (int i : vs.samplers[rel][d]) dirty_res.Add(i);
         }
         for (int i : dirty_res.items()) {
+          if (!Owned(i)) continue;
           ComputeResidualNode(state, static_cast<int>(w), rel, i, stats);
+          ++rescored;
         }
-        rescored += static_cast<int64_t>(dirty_res.items().size());
       }
     }
     if (vp.attr_used) {
@@ -874,9 +917,10 @@ Status OnlineScorer::Impl::ApplyBatch(const std::vector<EdgeUpdate>& updates,
         for (int i : attr_dirty[w][rel].final) attr_final.Add(i);
       }
       for (int i : attr_final.items()) {
+        if (!Owned(i)) continue;
         ComputeAttrValNode(state, static_cast<int>(w), i, stats);
+        ++rescored;
       }
-      rescored += static_cast<int64_t>(attr_final.items().size());
     }
   }
 
@@ -903,10 +947,6 @@ Result<std::unique_ptr<OnlineScorer>> OnlineScorer::Create(
     return Status::FailedPrecondition(
         "graph does not match the model's training fingerprint");
   }
-  UMGAD_ASSIGN_OR_RETURN(
-      std::vector<std::unique_ptr<ReconstructionView>> views,
-      model.BuildViews());
-
   std::unique_ptr<OnlineScorer> scorer(new OnlineScorer());
   scorer->model_ = std::move(model);
   scorer->impl_ = std::make_unique<Impl>();
@@ -924,37 +964,53 @@ Result<std::unique_ptr<OnlineScorer>> OnlineScorer::Create(
     impl.relation_names.push_back(graph.relation_name(r));
     impl.adj.emplace_back(graph.layer(r));
   }
+  if (!options.owned_nodes.empty()) {
+    if (static_cast<int>(options.owned_nodes.size()) != impl.n) {
+      return Status::InvalidArgument(
+          "ServeOptions::owned_nodes size does not match the graph");
+    }
+    impl.owned = options.owned_nodes;
+    impl.component_only = true;
+  }
 
   // Unroll the views into stage plans; the weight tensors are copied out of
-  // the reconstructed modules, so the views themselves are discarded here.
-  for (const auto& view : views) {
-    ViewPlan vp;
-    vp.attr_used = config.use_attribute_recon;
-    vp.struct_used = config.use_structure_recon;
-    vp.separate_struct =
-        config.use_structure_recon &&
-        view->kind() == ReconstructionView::Kind::kOriginal;
-    // Attr chains double as the shared structure encoder for non-original
-    // views; they are not built at all when nothing reads them (the
-    // structure-only pipeline on the original view).
-    const bool need_attr_chains =
-        vp.attr_used || (vp.struct_used && !vp.separate_struct);
-    for (int r = 0; r < impl.r_count; ++r) {
-      if (need_attr_chains) {
-        vp.attr_chains.push_back(
-            BuildChain(view->attr_gmae(r), /*with_decoder=*/vp.attr_used));
+  // the reconstructed modules (Tensor is a deep-copy value type), so the
+  // views are discarded before this block ends and the ParamScope reclaims
+  // their persistent parameter leaves — repeated scorer (re)builds in a
+  // long-running server allocate no lasting tape memory.
+  {
+    ag::ParamScope params;
+    UMGAD_ASSIGN_OR_RETURN(
+        std::vector<std::unique_ptr<ReconstructionView>> views,
+        scorer->model_.BuildViews());
+    for (const auto& view : views) {
+      ViewPlan vp;
+      vp.attr_used = config.use_attribute_recon;
+      vp.struct_used = config.use_structure_recon;
+      vp.separate_struct =
+          config.use_structure_recon &&
+          view->kind() == ReconstructionView::Kind::kOriginal;
+      // Attr chains double as the shared structure encoder for non-original
+      // views; they are not built at all when nothing reads them (the
+      // structure-only pipeline on the original view).
+      const bool need_attr_chains =
+          vp.attr_used || (vp.struct_used && !vp.separate_struct);
+      for (int r = 0; r < impl.r_count; ++r) {
+        if (need_attr_chains) {
+          vp.attr_chains.push_back(
+              BuildChain(view->attr_gmae(r), /*with_decoder=*/vp.attr_used));
+        }
+        if (vp.separate_struct) {
+          vp.struct_chains.push_back(
+              BuildChain(*view->struct_gmae(r), /*with_decoder=*/false));
+        }
       }
-      if (vp.separate_struct) {
-        vp.struct_chains.push_back(
-            BuildChain(*view->struct_gmae(r), /*with_decoder=*/false));
+      if (vp.attr_used) {
+        vp.fusion_w = SoftmaxWeights(view->fusion_a().logits_value());
       }
+      impl.plans.push_back(std::move(vp));
     }
-    if (vp.attr_used) {
-      vp.fusion_w = SoftmaxWeights(view->fusion_a().logits_value());
-    }
-    impl.plans.push_back(std::move(vp));
   }
-  views.clear();
 
   // Hot-node cache: the budget keeps the highest-(total-)degree nodes'
   // rows resident between updates.
@@ -993,6 +1049,10 @@ const std::vector<double>& OnlineScorer::scores() const {
 
 Result<std::vector<double>> OnlineScorer::Query(
     const std::vector<int>& nodes) const {
+  if (impl_->component_only) {
+    return Status::FailedPrecondition(
+        "owner-masked scorer has no combined scores; query the ShardRouter");
+  }
   const std::vector<double>& s = impl_->state.scores;
   for (int node : nodes) {
     if (node < 0 || node >= impl_->n) {
@@ -1037,6 +1097,22 @@ MultiplexGraph OnlineScorer::SnapshotGraph() const {
   UMGAD_CHECK(g.ok());
   return std::move(g).value();
 }
+
+std::vector<ViewComponents> OnlineScorer::Components() const {
+  std::vector<ViewComponents> out;
+  out.reserve(impl_->plans.size());
+  for (size_t v = 0; v < impl_->plans.size(); ++v) {
+    ViewComponents vc;
+    vc.attr_used = impl_->plans[v].attr_used;
+    vc.struct_used = impl_->plans[v].struct_used;
+    if (vc.attr_used) vc.attr_val = &impl_->state.views[v].attr_val;
+    if (vc.struct_used) vc.residual = &impl_->state.views[v].residual;
+    out.push_back(vc);
+  }
+  return out;
+}
+
+bool OnlineScorer::component_only() const { return impl_->component_only; }
 
 int OnlineScorer::num_nodes() const { return impl_->n; }
 int OnlineScorer::num_relations() const { return impl_->r_count; }

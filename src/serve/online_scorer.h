@@ -24,6 +24,22 @@ struct ServeOptions {
   /// changes memory and latency only — never scores (asserted in
   /// tests/serve_oracle_test.cc).
   int cache_budget_nodes = -1;
+
+  /// Owner mask for sharded serving (ShardRouter). Empty (the default)
+  /// means "this scorer owns every node" — the flat, self-contained mode.
+  /// When set (size num_nodes, non-zero = owned), the scorer becomes a
+  /// *component provider*: it still replicates the full graph (stage rows
+  /// are global — a residual reads neighbour and negative embeddings
+  /// anywhere), but maintains the per-node score components (attribute
+  /// distances, structure residuals) and negative-sample streams only for
+  /// owned nodes, and skips the global Combine entirely — scores() stays
+  /// empty and Query() errors. The per-node components of owned nodes are
+  /// bit-identical to an unmasked scorer's (each node's negatives come
+  /// from its own stream; each component is a pure function of the
+  /// adjacency, the weights, and that stream), which is what lets
+  /// ShardRouter stitch S masked scorers back into the flat oracle's
+  /// exact score vector.
+  std::vector<uint8_t> owned_nodes;
 };
 
 /// One undirected edge mutation of a relation layer. `add == false`
@@ -49,6 +65,32 @@ struct ServeStats {
   int64_t last_dirty_rows = 0;
   int64_t last_rescored_nodes = 0;
 };
+
+/// Read-only borrow of one view's raw per-node score components, as
+/// maintained by an OnlineScorer (attribute reconstruction distances and
+/// per-relation structure residuals — the inputs of Eq. 19 *before*
+/// standardisation). Pointers are null for parts the view does not use and
+/// are invalidated by the next Apply* call on the owning scorer.
+struct ViewComponents {
+  bool attr_used = false;
+  bool struct_used = false;
+  /// num_nodes attribute distances (null unless attr_used).
+  const std::vector<double>* attr_val = nullptr;
+  /// [relation][node] structure residuals (null unless struct_used).
+  const std::vector<std::vector<double>>* residual = nullptr;
+};
+
+/// ComputeAnomalyScores (Eq. 19) over raw per-node components: per view,
+/// standardise the attribute distances and the relation-averaged residuals
+/// globally (z-score over all nodes), mix with epsilon, then average over
+/// contributing views. This is the exact float path Impl-side Combine used
+/// to inline — extracted so ShardRouter can run the identical global
+/// combine over components gathered from S masked shards and stay
+/// bit-identical to the flat scorer. Checks that at least one view
+/// contributes.
+std::vector<double> CombineComponents(const std::vector<ViewComponents>& views,
+                                      int num_nodes, int num_relations,
+                                      float epsilon);
 
 /// Online anomaly-scoring service over a trained-model artifact (Sec. IV-E
 /// applied at serving time): load a TrainedModel (.umgm) plus the graph,
@@ -80,6 +122,21 @@ struct ServeStats {
 /// The two paths differ only in where the residual's negative samples come
 /// from; the training-time sampler walks one sequential stream node-major,
 /// which cannot be replayed for a single node in isolation.
+///
+/// Thread-safety contract: an OnlineScorer is **not** internally
+/// synchronised. ApplyEdgeUpdate(s) mutates the adjacency replicas, the
+/// row caches, and the score vector in place, so
+///   - at most one thread may be inside Apply* at a time, and
+///   - no thread may call scores(), Query(), Components(),
+///     RescoreFullNaive(), BatchReplayScores(), SnapshotGraph(), or stats()
+///     while another is inside Apply* — a concurrent read observes torn
+///     intermediate state (a data race, flagged by TSan).
+/// Distinct OnlineScorer instances share no mutable state and may be
+/// driven from different threads freely. Concurrent serving goes through
+/// serve/shard_router.h, which serialises writes per shard behind bounded
+/// queues and publishes immutable score snapshots that readers access
+/// without ever blocking on an update (tests/serve_concurrency_test.cc
+/// hammers that path under TSan).
 class OnlineScorer {
  public:
   /// Build the serving state: verifies the artifact fingerprint against
@@ -90,11 +147,23 @@ class OnlineScorer {
 
   ~OnlineScorer();
 
-  /// Current anomaly scores (Eq. 19) for all nodes.
+  /// Current anomaly scores (Eq. 19) for all nodes. Empty in owner-masked
+  /// component mode (the mask makes the global Combine impossible — see
+  /// ServeOptions::owned_nodes).
   const std::vector<double>& scores() const;
 
   /// Batched score lookup (fans the gather across the thread pool).
+  /// FailedPrecondition in owner-masked component mode.
   Result<std::vector<double>> Query(const std::vector<int>& nodes) const;
+
+  /// Borrowed per-view raw score components (see ViewComponents). In
+  /// owner-masked mode only owned nodes' entries are maintained; the rest
+  /// hold stale or initial values. Invalidated by the next Apply* call.
+  std::vector<ViewComponents> Components() const;
+
+  /// True when ServeOptions::owned_nodes restricted this scorer to a
+  /// component provider.
+  bool component_only() const;
 
   /// Apply one undirected edge insert/removal and re-score the affected
   /// nodes. Rejects out-of-range endpoints/relation, self loops, inserting
@@ -113,7 +182,9 @@ class OnlineScorer {
   /// Serial from-scratch batch recompute with the serving kernels and
   /// per-node negative streams: the differential oracle the incremental
   /// path is pinned against (mirrors the repo's *Naive convention). Does
-  /// not touch the cached state.
+  /// not touch the cached state. In owner-masked mode the result is empty
+  /// (no global Combine); the sharded oracle comparisons run against a
+  /// separate unmasked scorer instead (tests/shard_router_test.cc).
   std::vector<double> RescoreFullNaive() const;
 
   /// TrainedModel::Score over the current graph snapshot (training-time

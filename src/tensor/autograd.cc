@@ -159,6 +159,44 @@ Tape::Stats Tape::stats() const {
 }
 
 // ---------------------------------------------------------------------------
+// ParamScope: scoped persistent region
+// ---------------------------------------------------------------------------
+
+ParamScope::ParamScope() {
+  Tape::Impl* impl = Tape::Global().impl_;
+  std::lock_guard<std::mutex> lock(impl->mu);
+  slab_mark_ = impl->persistent_count;
+  heap_mark_ = impl->heap_persistent.size();
+}
+
+ParamScope::~ParamScope() {
+  Tape::Impl* impl = Tape::Global().impl_;
+  std::lock_guard<std::mutex> lock(impl->mu);
+  // LIFO discipline: an inner scope must have already rewound past its own
+  // marks, never below ours.
+  UMGAD_CHECK_GE(impl->persistent_count, slab_mark_);
+  UMGAD_CHECK_GE(impl->heap_persistent.size(), heap_mark_);
+  int64_t destroyed = 0;
+  // Slab mode: destroy the scope's suffix in reverse and rewind the bump
+  // count; the slabs themselves are kept for the next construction.
+  for (size_t i = impl->persistent_count; i-- > slab_mark_;) {
+    Node* n = reinterpret_cast<Node*>(
+                  impl->persistent_slabs[i / kNodesPerSlab]) +
+              i % kNodesPerSlab;
+    n->~Node();
+    ++destroyed;
+  }
+  impl->persistent_count = slab_mark_;
+  // Heap mode (arena off): the scope's suffix is individually freed.
+  while (impl->heap_persistent.size() > heap_mark_) {
+    delete impl->heap_persistent.back();
+    impl->heap_persistent.pop_back();
+    ++destroyed;
+  }
+  impl->stats.persistent_nodes -= destroyed;
+}
+
+// ---------------------------------------------------------------------------
 // Leaves
 // ---------------------------------------------------------------------------
 

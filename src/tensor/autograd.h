@@ -201,11 +201,44 @@ class Tape {
   Tape& operator=(const Tape&) = delete;
 
  private:
+  friend class ParamScope;
+
   Tape();
   ~Tape();
 
   struct Impl;
   Impl* impl_;
+};
+
+/// RAII scoped persistent region: persistent nodes (Leaf /
+/// PersistentConstant) created while a ParamScope is open are destroyed —
+/// and their value/grad buffers returned to the TensorPool — when it
+/// closes, instead of living for the process. This is what keeps
+/// long-running servers leak-free across repeated model constructions
+/// (TrainedModel::Load / BuildViews / OnlineScorer rebuilds): wrap the
+/// construction + weight extraction in a scope and the parameter set's
+/// arena slots are rewound on exit (ASan/LSan-verified by the rebuild
+/// loop in tests/serve_concurrency_test.cc).
+///
+/// Rules (UMGAD_CHECK-enforced where possible):
+///  - Scopes are process-global and strictly nested (LIFO). Closing an
+///    outer scope before an inner one fails fast.
+///  - Every VarPtr to a node allocated inside the scope must be dropped
+///    before the scope closes; surviving handles dangle.
+///  - No other thread may allocate persistent nodes while a scope is
+///    open (the persistent arena is a bump region; a concurrent
+///    allocation would be destroyed with the scope). Transient
+///    allocation and Reset() are unaffected.
+class ParamScope {
+ public:
+  ParamScope();
+  ~ParamScope();
+  ParamScope(const ParamScope&) = delete;
+  ParamScope& operator=(const ParamScope&) = delete;
+
+ private:
+  size_t slab_mark_ = 0;
+  size_t heap_mark_ = 0;
 };
 
 /// Trainable leaf (parameter). Persistent: survives Tape::Reset().

@@ -441,6 +441,56 @@ TEST(TapeTest, PersistentConstantSurvivesReset) {
   EXPECT_FALSE(frozen->requires_grad());
 }
 
+TEST(TapeTest, ParamScopeReclaimsPersistentLeaves) {
+  const int64_t baseline = Tape::Global().stats().persistent_nodes;
+  {
+    ParamScope scope;
+    VarPtr w = Leaf(Rand(4, 4, 101));
+    VarPtr frozen = PersistentConstant(Rand(4, 4, 102));
+    EXPECT_EQ(Tape::Global().stats().persistent_nodes, baseline + 2);
+    // Scoped leaves behave like any other: forward + backward works and
+    // the transient graph still dies at Reset as usual.
+    Backward(Sum(MatMul(frozen, w)));
+    EXPECT_EQ(w->grad().rows(), 4);
+    Tape::Global().Reset();
+    // VarPtr is non-owning; simply stop using the handles past this point.
+  }
+  EXPECT_EQ(Tape::Global().stats().persistent_nodes, baseline);
+
+  // Enough leaves to cross slab boundaries: the rewind must walk the
+  // whole suffix, not just the tail slab.
+  {
+    ParamScope scope;
+    std::vector<VarPtr> leaves;
+    for (int i = 0; i < 300; ++i) leaves.push_back(Leaf(Rand(1, 1, 200 + i)));
+    EXPECT_EQ(Tape::Global().stats().persistent_nodes, baseline + 300);
+    leaves.clear();
+  }
+  EXPECT_EQ(Tape::Global().stats().persistent_nodes, baseline);
+}
+
+TEST(TapeTest, ParamScopesNestLifo) {
+  const int64_t baseline = Tape::Global().stats().persistent_nodes;
+  {
+    ParamScope outer;
+    VarPtr a = Leaf(Rand(2, 2, 111));
+    const Tensor a_before = a->value();
+    {
+      ParamScope inner;
+      VarPtr b = Leaf(Rand(2, 2, 112));
+      VarPtr c = Leaf(Rand(2, 2, 113));
+      EXPECT_EQ(b->value().rows(), 2);
+      EXPECT_EQ(c->value().cols(), 2);
+      EXPECT_EQ(Tape::Global().stats().persistent_nodes, baseline + 3);
+    }
+    // The inner rewind reclaimed exactly its own suffix; the outer
+    // scope's leaf is untouched and still readable.
+    EXPECT_EQ(Tape::Global().stats().persistent_nodes, baseline + 1);
+    EXPECT_EQ(MaxAbsDiff(a->value(), a_before), 0.0);
+  }
+  EXPECT_EQ(Tape::Global().stats().persistent_nodes, baseline);
+}
+
 }  // namespace
 }  // namespace ag
 }  // namespace umgad

@@ -1,8 +1,10 @@
 // The trained-model artifact (.umgm): bit-exact round trips of weights,
 // config, fingerprint, and scoring Rng state; Score() replaying the fitted
-// scores exactly; and the malformed-file matrix (bad magic/version,
+// scores exactly; the malformed-file matrix (bad magic/version,
 // truncation sweep, hostile counts, corrupt config, trailer damage)
-// mirroring the graph container's coverage in graph_io_test.cc.
+// mirroring the graph container's coverage in graph_io_test.cc; and the
+// version-evolution matrix (v1 back-compat, trailing-config tolerance,
+// future-version rejection) backing the policy in docs/FORMATS.md.
 
 #include <cstdio>
 #include <cstring>
@@ -71,19 +73,24 @@ const Fitted& GetFitted() {
   return *fitted;
 }
 
-/// Byte offsets inside a v1 .umgm file (docs/FORMATS.md). The config block
-/// is fixed-size; the fingerprint's layer_nnz array makes everything after
-/// it depend on the relation count.
+/// Byte offsets inside a v2 .umgm file (docs/FORMATS.md). The config block
+/// is length-prefixed (core 116 bytes today); the fingerprint's layer_nnz
+/// array makes everything after it depend on the relation count.
 struct Layout {
   static constexpr size_t kVersion = 4;
-  static constexpr size_t kConfigEncoder = 12;
-  static constexpr size_t kConfigHiddenDim = 16;
+  static constexpr size_t kConfigLength = 12;
+  static constexpr size_t kConfigEncoder = 16;
+  static constexpr size_t kConfigHiddenDim = 20;
+  static constexpr uint32_t kConfigCoreBytes = 116;
+  size_t config_end;
   size_t tensor_count;
   size_t first_tensor_shape;
 
   explicit Layout(int num_relations) {
-    // header 12 + config 116 + fingerprint (12 + 8R + 8) + rng (32 + 1 + 8).
-    tensor_count = 12 + 116 + 12 + 8 * static_cast<size_t>(num_relations) +
+    // header 12 + config length 4 + config 116 +
+    // fingerprint (12 + 8R + 8) + rng (32 + 1 + 8).
+    config_end = 12 + 4 + 116;
+    tensor_count = config_end + 12 + 8 * static_cast<size_t>(num_relations) +
                    8 + 41;
     first_tensor_shape = tensor_count + 8;
   }
@@ -247,10 +254,78 @@ TEST(ModelIoTest, RejectsBadMagicAndVersion) {
             std::string::npos);
 
   std::string bytes = SavedArtifactBytes("bad_version");
-  bytes[Layout::kVersion] = 0x7f;
+  bytes[Layout::kVersion] = 0x00;
   auto result = LoadBytes("bad_version", bytes);
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.status().message().find("unsupported model format"),
+            std::string::npos);
+}
+
+// --------------------- version evolution (FORMATS.md) ---------------------
+
+TEST(ModelIoTest, RejectsFutureVersionWithUpgradeHint) {
+  // An old server handed a v3 artifact must fail closed with a message
+  // that names the fix, not limp along misparsing bytes.
+  std::string bytes = SavedArtifactBytes("future_version");
+  PatchPod<uint32_t>(&bytes, Layout::kVersion, 3);
+  auto result = LoadBytes("future_version", bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("newer than this build supports"),
+            std::string::npos);
+}
+
+TEST(ModelIoTest, LoadsV1ArtifactsForever) {
+  // v1 had no config length prefix: excise it and stamp version 1. The
+  // loader must read the fixed-size config path and produce a model that
+  // re-saves byte-identically to the v2 original.
+  const std::string v2 = SavedArtifactBytes("v1_compat");
+  std::string v1 = v2.substr(0, Layout::kConfigLength) +
+                   v2.substr(Layout::kConfigLength + 4);
+  PatchPod<uint32_t>(&v1, Layout::kVersion, 1);
+  auto loaded = LoadBytes("v1_compat", v1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->config().hidden_dim, SmallConfig().hidden_dim);
+
+  const std::string path = TempPath("v1_resaved.umgm");
+  ASSERT_TRUE(loaded->Save(path).ok());
+  const std::string resaved = ReadFile(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(resaved, v2);
+}
+
+TEST(ModelIoTest, SkipsUnknownTrailingConfigFields) {
+  // Forward compatibility within v2: a newer minor revision may append
+  // optional config fields and bump only the length prefix. This build
+  // must load the core fields and skip the rest.
+  std::string bytes = SavedArtifactBytes("trailing_config");
+  const Layout layout(GetFitted().trained.fingerprint().num_relations);
+  const std::string extra(12, '\x5a');
+  bytes.insert(layout.config_end, extra);
+  PatchPod<uint32_t>(&bytes, Layout::kConfigLength,
+                     Layout::kConfigCoreBytes + 12);
+  auto loaded = LoadBytes("trailing_config", bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->config().hidden_dim, SmallConfig().hidden_dim);
+  EXPECT_EQ(loaded->config().seed, SmallConfig().seed);
+  EXPECT_TRUE(
+      loaded->fingerprint().Matches(GetFitted().trained.fingerprint()));
+}
+
+TEST(ModelIoTest, RejectsCorruptConfigLength) {
+  // Shorter than the core this version requires: a semantic change snuck
+  // in without a version bump, or plain corruption. Either way, refuse.
+  std::string bytes = SavedArtifactBytes("bad_config_len");
+  PatchPod<uint32_t>(&bytes, Layout::kConfigLength, 4);
+  auto too_small = LoadBytes("bad_config_len", bytes);
+  ASSERT_FALSE(too_small.ok());
+  EXPECT_NE(too_small.status().message().find("smaller than"),
+            std::string::npos);
+
+  bytes = SavedArtifactBytes("bad_config_len");
+  PatchPod<uint32_t>(&bytes, Layout::kConfigLength, 1u << 20);
+  auto absurd = LoadBytes("bad_config_len", bytes);
+  ASSERT_FALSE(absurd.ok());
+  EXPECT_NE(absurd.status().message().find("absurd config block"),
             std::string::npos);
 }
 

@@ -226,7 +226,9 @@ TEST(PartitionInvariantsTest, PartitionedCsrRoundTripsTheMatrix) {
         EXPECT_EQ(blk.locals[k], blk.rows[k]);
         EXPECT_EQ(blocks->block_of[blk.rows[k]], b);
         ++row_seen[blk.rows[k]];
-        if (k > 0) EXPECT_LT(blk.rows[k - 1], blk.rows[k]);
+        if (k > 0) {
+          EXPECT_LT(blk.rows[k - 1], blk.rows[k]);
+        }
       }
       for (size_t k = blk.rows.size() + 1; k < blk.locals.size(); ++k) {
         EXPECT_LT(blk.locals[k - 1], blk.locals[k]);

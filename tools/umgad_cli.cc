@@ -21,7 +21,10 @@
 // serve: --model PATH.umgm, --stream FILE|- ("+ src dst rel" inserts an
 //        edge, "- src dst rel" removes one, applied incrementally),
 //        --naive / --replay-batch (score-path selection for differential
-//        checks), --save-scores PATH (CSV; default stdout)
+//        checks), --shards S / --queue-capacity N (concurrent sharded
+//        serving; drained output byte-identical to the flat path),
+//        --metrics (counters + latency percentiles to stderr),
+//        --save-scores PATH (CSV; default stdout)
 //
 // Every path accepted here goes through LoadDataset (graph/io/graph_io.h),
 // so text v1, binary v3, raw edge lists, and registered names (including
@@ -30,6 +33,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -50,6 +54,8 @@
 #include "graph/io/graph_io.h"
 #include "graph/io/text_format.h"
 #include "serve/online_scorer.h"
+#include "serve/serve_metrics.h"
+#include "serve/shard_router.h"
 
 namespace umgad {
 namespace {
@@ -74,6 +80,9 @@ struct CliArgs {
   std::string save_scores;
   bool naive = false;
   bool replay_batch = false;
+  int shards = 0;  // 0 = flat single-scorer path
+  int queue_capacity = 0;  // 0 = RouterOptions default
+  bool metrics = false;
   bool mmap = false;
   std::string header = "auto";
   bool serial_import = false;
@@ -100,6 +109,7 @@ int Usage() {
       "                  [--partition-method dbh|hdrf]\n"
       "  serve <path|name> --model PATH.umgm [--stream FILE|-]\n"
       "                  [--naive | --replay-batch] [--save-scores PATH]\n"
+      "                  [--shards S] [--queue-capacity N] [--metrics]\n"
       "                  [--seed N] [--scale S]\n"
       "\n"
       "load flags (any command that loads a graph): --mmap maps .umgb\n"
@@ -113,7 +123,11 @@ int Usage() {
       "and emits \"node,score\" CSV. --naive re-scores from scratch with the\n"
       "serial oracle kernels; --replay-batch replays the artifact's batch\n"
       "scoring pass over the final graph. All three paths agree on an\n"
-      "unmutated graph; the first two agree after any stream.\n"
+      "unmutated graph; the first two agree after any stream. --shards S\n"
+      "routes the stream through S concurrent scorer shards instead — the\n"
+      "drained CSV is byte-identical to the single-scorer path (the CI\n"
+      "cli-smoke job diffs them). --metrics prints serving counters and\n"
+      "latency percentiles to stderr.\n"
       "\n"
       "<path|name> is a registered dataset name (umgad_cli list), a graph\n"
       "file in either format, or a raw edge list (src dst [relation] per\n"
@@ -215,6 +229,24 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->naive = true;
     } else if (arg == "--replay-batch") {
       args->replay_batch = true;
+    } else if (arg == "--shards") {
+      const char* v = next("--shards");
+      if (v == nullptr) return false;
+      args->shards = std::atoi(v);
+      if (args->shards < 1) {
+        std::cerr << "--shards must be >= 1\n";
+        return false;
+      }
+    } else if (arg == "--queue-capacity") {
+      const char* v = next("--queue-capacity");
+      if (v == nullptr) return false;
+      args->queue_capacity = std::atoi(v);
+      if (args->queue_capacity < 1) {
+        std::cerr << "--queue-capacity must be >= 1\n";
+        return false;
+      }
+    } else if (arg == "--metrics") {
+      args->metrics = true;
     } else if (arg == "--mmap") {
       args->mmap = true;
     } else if (arg == "--serial-import") {
@@ -461,6 +493,98 @@ int CmdTrain(const CliArgs& args) {
   return 0;
 }
 
+/// Reads the --stream input ("+|- src dst rel" lines) and hands every
+/// update to `apply` in order. Returns the number of updates delivered,
+/// or -1 after reporting a parse/apply error to stderr.
+int64_t ReplayStream(const CliArgs& args,
+                     const std::function<Status(const serve::EdgeUpdate&)>&
+                         apply) {
+  std::ifstream stream_file;
+  std::istream* in = &std::cin;
+  if (args.stream != "-") {
+    stream_file.open(args.stream);
+    if (!stream_file) {
+      std::cerr << "cannot open stream file " << args.stream << "\n";
+      return -1;
+    }
+    in = &stream_file;
+  }
+  int64_t delivered = 0;
+  int line_no = 0;
+  std::string line;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    std::string op;
+    serve::EdgeUpdate update;
+    if (!(fields >> op >> update.src >> update.dst >> update.relation) ||
+        (op != "+" && op != "-")) {
+      std::cerr << args.stream << ":" << line_no
+                << ": expected '+|- src dst rel', got: " << line << "\n";
+      return -1;
+    }
+    update.add = op == "+";
+    const Status status = apply(update);
+    if (!status.ok()) {
+      std::cerr << args.stream << ":" << line_no << ": " << status.ToString()
+                << "\n";
+      return -1;
+    }
+    ++delivered;
+  }
+  return delivered;
+}
+
+/// The --shards path: the same stream replayed through a ShardRouter.
+/// Once drained, the published snapshot is bit-identical to the flat
+/// scorer's, so the CSV byte-diffs clean against the single-scorer run
+/// (the CI cli-smoke job holds us to that).
+int ServeSharded(const CliArgs& args, TrainedModel trained,
+                 const MultiplexGraph& graph) {
+  serve::RouterOptions options;
+  options.num_shards = args.shards;
+  if (args.queue_capacity > 0) options.queue_capacity = args.queue_capacity;
+  auto router = serve::ShardRouter::Create(std::move(trained), graph, options);
+  if (!router.ok()) return FailWith(router.status());
+
+  if (!args.stream.empty()) {
+    WallTimer timer;
+    const int64_t submitted =
+        ReplayStream(args, [&](const serve::EdgeUpdate& update) {
+          (*router)->Submit({update});
+          return Status::OK();
+        });
+    if (submitted < 0) return 1;
+    (*router)->Flush();
+    const double seconds = timer.ElapsedMillis() / 1000.0;
+    const serve::RouterStats stats = (*router)->Stats();
+    // Invalid updates surface only after the asynchronous apply; every
+    // shard rejects the same ones, so report the per-replica count.
+    if (stats.total_rejected > 0) {
+      std::cerr << args.stream << ": "
+                << stats.total_rejected / args.shards
+                << " updates were invalid against the evolving graph\n";
+      return 1;
+    }
+    std::cerr << "applied " << submitted << " updates across "
+              << args.shards << " shards in "
+              << FormatFloat(seconds * 1000.0, 2) << " ms ("
+              << FormatFloat(seconds > 0 ? submitted / seconds : 0.0, 0)
+              << " edges/s)\n";
+  }
+  if (args.metrics) std::cerr << FormatRouterStats((*router)->Stats());
+
+  const std::vector<double> scores = (*router)->Snapshot()->scores;
+  const Status written = WriteScoresCsv(args.save_scores, {"score"}, {scores});
+  if (!written.ok()) return FailWith(written);
+  if (!args.save_scores.empty()) {
+    std::cerr << args.save_scores << ": " << scores.size() << " scores\n";
+  }
+  return 0;
+}
+
 int CmdServe(const CliArgs& args) {
   if (args.positional.size() != 1) return Usage();
   if (args.model.empty()) {
@@ -471,51 +595,29 @@ int CmdServe(const CliArgs& args) {
     std::cerr << "--naive and --replay-batch are mutually exclusive\n";
     return 2;
   }
+  if (args.shards > 0 && (args.naive || args.replay_batch)) {
+    std::cerr << "--shards serves the incremental path only (no --naive/"
+                 "--replay-batch)\n";
+    return 2;
+  }
   LoadDatasetOptions load = LoadOptionsFrom(args);
   Result<MultiplexGraph> graph = LoadDataset(args.positional[0], load);
   if (!graph.ok()) return FailWith(graph.status());
   Result<TrainedModel> trained = TrainedModel::Load(args.model);
   if (!trained.ok()) return FailWith(trained.status());
+  if (args.shards > 0) {
+    return ServeSharded(args, *std::move(trained), *graph);
+  }
   auto scorer = serve::OnlineScorer::Create(*std::move(trained), *graph);
   if (!scorer.ok()) return FailWith(scorer.status());
 
   if (!args.stream.empty()) {
-    std::ifstream stream_file;
-    std::istream* in = &std::cin;
-    if (args.stream != "-") {
-      stream_file.open(args.stream);
-      if (!stream_file) {
-        return FailWith(Status::NotFound(
-            StrFormat("cannot open stream file %s", args.stream.c_str())));
-      }
-      in = &stream_file;
-    }
     WallTimer timer;
-    int64_t applied = 0;
-    int line_no = 0;
-    std::string line;
-    while (std::getline(*in, line)) {
-      ++line_no;
-      const size_t first = line.find_first_not_of(" \t\r");
-      if (first == std::string::npos || line[first] == '#') continue;
-      std::istringstream fields(line);
-      std::string op;
-      serve::EdgeUpdate update;
-      if (!(fields >> op >> update.src >> update.dst >> update.relation) ||
-          (op != "+" && op != "-")) {
-        std::cerr << args.stream << ":" << line_no
-                  << ": expected '+|- src dst rel', got: " << line << "\n";
-        return 1;
-      }
-      update.add = op == "+";
-      const Status status = (*scorer)->ApplyEdgeUpdate(update);
-      if (!status.ok()) {
-        std::cerr << args.stream << ":" << line_no << ": "
-                  << status.ToString() << "\n";
-        return 1;
-      }
-      ++applied;
-    }
+    const int64_t applied =
+        ReplayStream(args, [&](const serve::EdgeUpdate& update) {
+          return (*scorer)->ApplyEdgeUpdate(update);
+        });
+    if (applied < 0) return 1;
     const double seconds = timer.ElapsedMillis() / 1000.0;
     const serve::ServeStats& stats = (*scorer)->stats();
     std::cerr << "applied " << applied << " updates in "
@@ -523,6 +625,20 @@ int CmdServe(const CliArgs& args) {
               << FormatFloat(seconds > 0 ? applied / seconds : 0.0, 0)
               << " edges/s); cache " << stats.cache_hits << " hits / "
               << stats.cache_misses << " misses\n";
+  }
+  if (args.metrics) {
+    const serve::ServeStats& stats = (*scorer)->stats();
+    const int64_t lookups = stats.cache_hits + stats.cache_misses;
+    std::cerr << "scorer: updates=" << stats.updates_applied
+              << " cache_hits=" << stats.cache_hits
+              << " cache_misses=" << stats.cache_misses << " hit_rate="
+              << FormatFloat(lookups > 0 ? static_cast<double>(
+                                               stats.cache_hits) /
+                                               lookups
+                                         : 0.0,
+                             4)
+              << " last_dirty_rows=" << stats.last_dirty_rows
+              << " last_rescored_nodes=" << stats.last_rescored_nodes << "\n";
   }
 
   std::vector<double> scores;
