@@ -1,0 +1,132 @@
+#include "tensor/dispatch/bf16.h"
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "tensor/dispatch/builtin_kernels.h"
+#include "tensor/dispatch/registry.h"
+#include "tensor/sparse.h"
+
+namespace umgad {
+namespace dispatch {
+
+Bf16Matrix Bf16FromTensor(const Tensor& t) {
+  Bf16Matrix m;
+  m.rows = t.rows();
+  m.cols = t.cols();
+  m.data.resize(static_cast<size_t>(t.rows()) * t.cols());
+  const float* src = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) m.data[i] = Bf16FromFloat(src[i]);
+  return m;
+}
+
+Tensor TensorFromBf16(const Bf16Matrix& m) {
+  Tensor t(m.rows, m.cols);
+  float* dst = t.data();
+  for (size_t i = 0; i < m.data.size(); ++i) dst[i] = FloatFromBf16(m.data[i]);
+  return t;
+}
+
+namespace {
+
+/// Shared row body: all variants call this per output row, so serial and
+/// row-parallel execution accumulate identically and stay bit-identical.
+inline void Bf16GemmRowImpl(const uint16_t* arow, const Bf16Matrix& b,
+                            float* crow) {
+  const int k = b.cols;
+  for (int j = 0; j < b.rows; ++j) {
+    const uint16_t* brow = b.row(j);
+    float acc = 0.0f;
+    for (int p = 0; p < k; ++p) {
+      acc += FloatFromBf16(arow[p]) * FloatFromBf16(brow[p]);
+    }
+    crow[j] = acc;
+  }
+}
+
+Tensor Bf16GemmVariantSerial(const Bf16Matrix& a, const Bf16Matrix& b) {
+  Tensor c(a.rows, b.rows);
+  for (int i = 0; i < a.rows; ++i) {
+    Bf16GemmRowImpl(a.row(i), b, c.row(i));
+  }
+  return c;
+}
+
+Tensor Bf16GemmVariantParallel(const Bf16Matrix& a, const Bf16Matrix& b) {
+  Tensor c(a.rows, b.rows);
+  ParallelFor(a.rows, /*grain=*/8, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      Bf16GemmRowImpl(a.row(static_cast<int>(i)), b,
+                      c.row(static_cast<int>(i)));
+    }
+  });
+  return c;
+}
+
+constexpr int64_t kBf16SpmmRowGrain = 64;
+
+/// Shared row body for the bf16 SpMM variants: S's value and X's elements
+/// are rounded to bf16, products accumulate in fp32 in CSR (ascending
+/// column) order.
+inline void SpmmBf16RowImpl(const SparseMatrix& s, const Bf16Matrix& x, int i,
+                            float* yrow) {
+  const int d = x.cols;
+  const ConstSpan<int64_t> row_ptr = s.row_ptr();
+  const ConstSpan<int> col_idx = s.col_idx();
+  const ConstSpan<float> values = s.values();
+  for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+    const float v = FloatFromBf16(Bf16FromFloat(values[k]));
+    const uint16_t* xrow = x.row(col_idx[k]);
+    for (int j = 0; j < d; ++j) yrow[j] += v * FloatFromBf16(xrow[j]);
+  }
+}
+
+Tensor SpmmBf16VariantSerial(const SparseMatrix& s, const Bf16Matrix& x) {
+  Tensor y(s.rows(), x.cols);
+  for (int i = 0; i < s.rows(); ++i) SpmmBf16RowImpl(s, x, i, y.row(i));
+  return y;
+}
+
+Tensor SpmmBf16VariantParallel(const SparseMatrix& s, const Bf16Matrix& x) {
+  Tensor y(s.rows(), x.cols);
+  const std::shared_ptr<const RowBlocks> blocks = s.row_blocks();
+  ForEachRowBlocked(s.rows(), blocks.get(), kBf16SpmmRowGrain,
+                    [&](int i) { SpmmBf16RowImpl(s, x, i, y.row(i)); });
+  return y;
+}
+
+}  // namespace
+
+Tensor Bf16GemmTransB(const Bf16Matrix& a, const Bf16Matrix& b) {
+  UMGAD_CHECK_EQ(a.cols, b.cols);
+  return KernelRegistry::Global()->bf16_gemm()(a, b);
+}
+
+Tensor SpmmBf16(const SparseMatrix& s, const Bf16Matrix& x) {
+  UMGAD_CHECK_EQ(s.cols(), x.rows);
+  return KernelRegistry::Global()->bf16_spmm()(s, x);
+}
+
+void Bf16GemmRow(const float* x, int k, const Bf16Matrix& w, float* out) {
+  UMGAD_CHECK_EQ(k, w.cols);
+  std::vector<uint16_t> hx(k);
+  for (int p = 0; p < k; ++p) hx[p] = Bf16FromFloat(x[p]);
+  Bf16GemmRowImpl(hx.data(), w, out);
+}
+
+void RegisterBuiltinBf16(KernelRegistry* r) {
+  r->Register(KernelOp::kBf16Gemm,
+              {"naive", /*priority=*/0, /*required_features=*/0,
+               reinterpret_cast<KernelFn>(&Bf16GemmVariantSerial)});
+  r->Register(KernelOp::kBf16Gemm,
+              {"parallel", /*priority=*/10, /*required_features=*/0,
+               reinterpret_cast<KernelFn>(&Bf16GemmVariantParallel)});
+  r->Register(KernelOp::kBf16Spmm,
+              {"naive", /*priority=*/0, /*required_features=*/0,
+               reinterpret_cast<KernelFn>(&SpmmBf16VariantSerial)});
+  r->Register(KernelOp::kBf16Spmm,
+              {"parallel", /*priority=*/10, /*required_features=*/0,
+               reinterpret_cast<KernelFn>(&SpmmBf16VariantParallel)});
+}
+
+}  // namespace dispatch
+}  // namespace umgad

@@ -1,0 +1,77 @@
+#ifndef UMGAD_TENSOR_DISPATCH_BF16_H_
+#define UMGAD_TENSOR_DISPATCH_BF16_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace umgad {
+
+class SparseMatrix;
+
+namespace dispatch {
+
+/// bfloat16: float32 with the mantissa truncated to 7 bits. Conversion
+/// rounds to nearest-even; NaN payloads are squashed to a canonical quiet
+/// NaN so rounding can never turn a NaN into Inf.
+inline uint16_t Bf16FromFloat(float x) {
+  uint32_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  if ((bits & 0x7F800000u) == 0x7F800000u && (bits & 0x007FFFFFu) != 0u) {
+    return 0x7FC0;  // quiet NaN
+  }
+  bits += 0x7FFFu + ((bits >> 16) & 1u);  // round to nearest, ties to even
+  return static_cast<uint16_t>(bits >> 16);
+}
+
+inline float FloatFromBf16(uint16_t h) {
+  const uint32_t bits = static_cast<uint32_t>(h) << 16;
+  float x;
+  std::memcpy(&x, &bits, sizeof(x));
+  return x;
+}
+
+/// Row-major bf16 matrix (storage half the size of a Tensor; arithmetic
+/// widens back to fp32 per element).
+struct Bf16Matrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<uint16_t> data;
+
+  const uint16_t* row(int i) const {
+    return data.data() + static_cast<int64_t>(i) * cols;
+  }
+  uint16_t* row(int i) {
+    return data.data() + static_cast<int64_t>(i) * cols;
+  }
+};
+
+/// Round every element of `t` to bf16.
+Bf16Matrix Bf16FromTensor(const Tensor& t);
+
+/// Widen back to fp32 (exact: bf16 values are representable floats).
+Tensor TensorFromBf16(const Bf16Matrix& m);
+
+/// C[i,j] = sum_p widen(a[i,p]) * widen(b[j,p]), fp32 accumulation in
+/// ascending-p order — the bf16 analogue of MatMulTransB against row-major
+/// weights. Served through KernelOp::kBf16Gemm; every variant owns whole
+/// output rows with the same accumulation order, so all are bit-identical.
+Tensor Bf16GemmTransB(const Bf16Matrix& a, const Bf16Matrix& b);
+
+/// Y = S * X with S's values and X's elements rounded to bf16, fp32
+/// accumulation in CSR order. Served through KernelOp::kBf16Spmm.
+Tensor SpmmBf16(const SparseMatrix& s, const Bf16Matrix& x);
+
+/// Serving-path helper: one output row of Bf16GemmTransB without
+/// materialising the product — rounds the activation row `x` (length k) to
+/// bf16, then accumulates against pre-rounded weights `w` (n x k) into
+/// `out` (n floats). Bit-identical to row i of
+/// Bf16GemmTransB(Bf16FromTensor(X), w) when x == X.row(i).
+void Bf16GemmRow(const float* x, int k, const Bf16Matrix& w, float* out);
+
+}  // namespace dispatch
+}  // namespace umgad
+
+#endif  // UMGAD_TENSOR_DISPATCH_BF16_H_

@@ -1,0 +1,23 @@
+#ifndef UMGAD_TENSOR_DISPATCH_BUILTIN_KERNELS_H_
+#define UMGAD_TENSOR_DISPATCH_BUILTIN_KERNELS_H_
+
+namespace umgad {
+namespace dispatch {
+
+class KernelRegistry;
+
+/// Registration entry points for the builtin kernel variants. Called exactly
+/// once from KernelRegistry::Global()'s init — explicit calls rather than
+/// self-registering globals because static-library link drops unreferenced
+/// translation units (and their registrars) silently.
+void RegisterBuiltinMatMul(KernelRegistry* r);  // matmul_variants.cc
+void RegisterBuiltinSpmm(KernelRegistry* r);    // spmm_variants.cc
+void RegisterBuiltinInt8(KernelRegistry* r);    // quantize.cc
+void RegisterBuiltinBf16(KernelRegistry* r);    // bf16.cc
+void RegisterAvx2Kernels(KernelRegistry* r);    // simd_avx2.cc
+void RegisterInt8Avx2Kernels(KernelRegistry* r);  // int8_avx2.cc
+
+}  // namespace dispatch
+}  // namespace umgad
+
+#endif  // UMGAD_TENSOR_DISPATCH_BUILTIN_KERNELS_H_

@@ -1,0 +1,120 @@
+#include "tensor/dispatch/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace umgad {
+namespace dispatch {
+namespace {
+
+struct FeatureName {
+  const char* name;
+  unsigned bit;
+};
+
+constexpr FeatureName kFeatureNames[] = {
+    {"sse2", kFeatSse2},   {"avx", kFeatAvx},
+    {"avx2", kFeatAvx2},   {"fma", kFeatFma},
+    {"avx512f", kFeatAvx512f},
+};
+
+unsigned Detect() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  unsigned mask = 0;
+  if (__builtin_cpu_supports("sse2")) mask |= kFeatSse2;
+  if (__builtin_cpu_supports("avx")) mask |= kFeatAvx;
+  if (__builtin_cpu_supports("avx2")) mask |= kFeatAvx2;
+  if (__builtin_cpu_supports("fma")) mask |= kFeatFma;
+  if (__builtin_cpu_supports("avx512f")) mask |= kFeatAvx512f;
+  return mask;
+#else
+  return 0;
+#endif
+}
+
+/// Disabled mask, seeded once from UMGAD_CPU_DISABLE. ~0u = not yet seeded.
+std::atomic<unsigned> g_disabled{~0u};
+std::once_flag g_disabled_once;
+
+unsigned DisabledMask() {
+  std::call_once(g_disabled_once, [] {
+    unsigned expect = ~0u;
+    unsigned seed = 0;
+    if (const char* env = std::getenv("UMGAD_CPU_DISABLE")) {
+      Result<unsigned> parsed = ParseCpuFeatureList(env);
+      if (parsed.ok()) {
+        seed = *parsed;
+      } else {
+        UMGAD_LOG(Warning) << "UMGAD_CPU_DISABLE ignored: "
+                           << parsed.status().ToString();
+      }
+    }
+    // A test may have set the mask before the first env read; keep it.
+    g_disabled.compare_exchange_strong(expect, seed);
+  });
+  return g_disabled.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+unsigned DetectedCpuFeatures() {
+  static const unsigned mask = Detect();
+  return mask;
+}
+
+unsigned EffectiveCpuFeatures() {
+  return DetectedCpuFeatures() & ~DisabledMask();
+}
+
+Result<unsigned> ParseCpuFeatureList(const std::string& list) {
+  unsigned mask = 0;
+  std::stringstream in(list);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const size_t b = item.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    const size_t e = item.find_last_not_of(" \t");
+    const std::string name = item.substr(b, e - b + 1);
+    bool found = false;
+    for (const FeatureName& f : kFeatureNames) {
+      if (name == f.name) {
+        mask |= f.bit;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          StrFormat("unknown CPU feature \"%s\"", name.c_str()));
+    }
+  }
+  return mask;
+}
+
+std::string CpuFeatureListString(unsigned mask) {
+  std::string out;
+  for (const FeatureName& f : kFeatureNames) {
+    if ((mask & f.bit) == 0) continue;
+    if (!out.empty()) out += " ";
+    out += f.name;
+  }
+  return out.empty() ? "-" : out;
+}
+
+namespace internal {
+void SetDisabledCpuFeatures(unsigned mask) {
+  // Force the env seed first so a later DisabledMask() cannot overwrite the
+  // test's value through the once-flag race.
+  DisabledMask();
+  g_disabled.store(mask, std::memory_order_release);
+}
+}  // namespace internal
+
+}  // namespace dispatch
+}  // namespace umgad

@@ -1,0 +1,109 @@
+// AVX2 tier of the int8 W8A8 GEMM. The inner product sign-extends 16 codes
+// per operand to int16 and reduces with _mm256_madd_epi16 into int32 lanes
+// — every partial is exact integer arithmetic, so this tier is bitwise
+// identical to the scalar reference no matter how the lanes carve up the
+// sum. That is why, unlike the float AVX2 tier (simd_avx2.cc), this TU is
+// NOT gated on !UMGAD_MARCH_NATIVE: there is no contraction or rounding
+// mode to keep consistent, only exact integers.
+//
+// Overflow: each madd lane pair is <= 2 * 127^2 and a full dot accumulates
+// at most k * 127^2 in absolute value, which kInt8GemmMaxDepth keeps inside
+// int32 (checked by Int8GemmTransB); per-lane partials are sums of subsets
+// of the same bounded terms.
+
+#include "tensor/dispatch/int8_impl.h"
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "tensor/dispatch/builtin_kernels.h"
+#include "tensor/dispatch/quantize.h"
+#include "tensor/dispatch/registry.h"
+#include "tensor/tensor.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+
+#include <immintrin.h>
+
+namespace umgad {
+namespace dispatch {
+
+namespace internal {
+
+bool Int8DotAvx2Available() { return true; }
+
+__attribute__((target("avx2"))) int32_t Int8DotAvx2(const int8_t* a,
+                                                    const int8_t* b, int n) {
+  __m256i acc = _mm256_setzero_si256();
+  int p = 0;
+  for (; p + 16 <= n; p += 16) {
+    const __m256i wa = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + p)));
+    const __m256i wb = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + p)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(wa, wb));
+  }
+  __m128i sum = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                              _mm256_extracti128_si256(acc, 1));
+  sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(1, 0, 3, 2)));
+  sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(2, 3, 0, 1)));
+  int32_t out = _mm_cvtsi128_si32(sum);
+  for (; p < n; ++p) {
+    out += static_cast<int32_t>(a[p]) * b[p];
+  }
+  return out;
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Registered batch variant: rows of C partitioned across the pool
+/// (row-exclusive writes), one AVX2 dot per output element. The dequant
+/// expression is kept literally identical to the scalar variants.
+Tensor Int8GemmVariantDotAvx2(const QuantizedRows& a, const QuantizedRows& b) {
+  const int k = a.cols;
+  Tensor c(a.rows, b.rows);
+  ParallelFor(a.rows, 8, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const int8_t* arow = a.row(static_cast<int>(i));
+      const float sa = a.scales[i];
+      float* crow = c.row(static_cast<int>(i));
+      for (int j = 0; j < b.rows; ++j) {
+        const int32_t acc = internal::Int8DotAvx2(arow, b.row(j), k);
+        crow[j] = static_cast<float>(acc) * (sa * b.scales[j]);
+      }
+    }
+  });
+  return c;
+}
+
+}  // namespace
+
+void RegisterInt8Avx2Kernels(KernelRegistry* r) {
+  r->Register(KernelOp::kInt8Gemm,
+              {"dot_avx2", /*priority=*/20, /*required_features=*/kFeatAvx2,
+               reinterpret_cast<KernelFn>(&Int8GemmVariantDotAvx2)});
+}
+
+}  // namespace dispatch
+}  // namespace umgad
+
+#else  // non-x86-64 or non-GCC/Clang: no AVX2 tier in this build.
+
+namespace umgad {
+namespace dispatch {
+
+namespace internal {
+bool Int8DotAvx2Available() { return false; }
+int32_t Int8DotAvx2(const int8_t*, const int8_t*, int) {
+  UMGAD_CHECK_MSG(false, "Int8DotAvx2 called in a build without the tier");
+  return 0;
+}
+}  // namespace internal
+
+void RegisterInt8Avx2Kernels(KernelRegistry*) {}
+
+}  // namespace dispatch
+}  // namespace umgad
+
+#endif

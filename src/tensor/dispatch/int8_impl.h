@@ -1,0 +1,32 @@
+#ifndef UMGAD_TENSOR_DISPATCH_INT8_IMPL_H_
+#define UMGAD_TENSOR_DISPATCH_INT8_IMPL_H_
+
+#include <cstdint>
+
+// Internal: the AVX2 int8 dot-product tier shared by the registered batch
+// variant ("dot_avx2", int8_avx2.cc) and the serving row helper
+// Int8GemmRow (quantize.cc). Integer accumulation is exact, so SIMD lane
+// order cannot change a single bit of the result — unlike the float tiers
+// this one needs no FMA-contraction guard and is compiled into
+// UMGAD_NATIVE builds too (see dispatch/simd_avx2.cc for the float story).
+
+namespace umgad {
+namespace dispatch {
+namespace internal {
+
+/// True when this build carries the AVX2 int8 dot (x86-64 GCC/Clang).
+/// Callers must ALSO check EffectiveCpuFeatures() & kFeatAvx2 before
+/// calling Int8DotAvx2 — availability is a build property, eligibility a
+/// host property (and tests mask it off via SetDisabledCpuFeaturesForTest).
+bool Int8DotAvx2Available();
+
+/// sum_p a[p] * b[p] over n int8 codes, exact int32 accumulation
+/// (_mm256_madd_epi16 after sign-extension; per-lane partials stay inside
+/// int32 for any n <= kInt8GemmMaxDepth). Bit-identical to the scalar loop.
+int32_t Int8DotAvx2(const int8_t* a, const int8_t* b, int n);
+
+}  // namespace internal
+}  // namespace dispatch
+}  // namespace umgad
+
+#endif  // UMGAD_TENSOR_DISPATCH_INT8_IMPL_H_

@@ -1,0 +1,46 @@
+#ifndef UMGAD_TENSOR_DISPATCH_PRECISION_H_
+#define UMGAD_TENSOR_DISPATCH_PRECISION_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace umgad {
+namespace dispatch {
+
+/// Numeric precision of the forward-only serving path. Training always runs
+/// fp32 — precision is a ServeOptions knob, never a tape property. Under
+/// kInt8 the dense projections run the W8A8 kernels and the neighborhood
+/// SpMM runs bf16; under kBf16 both run bf16; GAT attention and bias/
+/// activation stages stay fp32 in every mode (they are O(edges * 1) and
+/// O(n * d) — quantizing them buys nothing and costs accuracy).
+enum class Precision {
+  kFp32 = 0,
+  kInt8,
+  kBf16,
+};
+
+inline const char* PrecisionName(Precision p) {
+  switch (p) {
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kInt8:
+      return "int8";
+    case Precision::kBf16:
+      return "bf16";
+  }
+  return "?";
+}
+
+inline Result<Precision> ParsePrecision(const std::string& name) {
+  if (name == "fp32") return Precision::kFp32;
+  if (name == "int8") return Precision::kInt8;
+  if (name == "bf16") return Precision::kBf16;
+  return Status::InvalidArgument("unknown precision \"" + name +
+                                 "\" (want fp32, int8, or bf16)");
+}
+
+}  // namespace dispatch
+}  // namespace umgad
+
+#endif  // UMGAD_TENSOR_DISPATCH_PRECISION_H_

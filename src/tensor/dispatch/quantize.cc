@@ -1,0 +1,192 @@
+#include "tensor/dispatch/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "tensor/dispatch/builtin_kernels.h"
+#include "tensor/dispatch/int8_impl.h"
+#include "tensor/dispatch/matmul_impl.h"
+#include "tensor/dispatch/registry.h"
+
+namespace umgad {
+namespace dispatch {
+
+void QuantizeRowInt8(const float* x, int n, int8_t* codes, float* scale) {
+  float amax = 0.0f;
+  for (int j = 0; j < n; ++j) {
+    const float a = std::fabs(x[j]);
+    if (a > amax) amax = a;
+  }
+  if (amax == 0.0f) {
+    std::memset(codes, 0, static_cast<size_t>(n));
+    *scale = 0.0f;
+    return;
+  }
+  const float inv = 127.0f / amax;
+  for (int j = 0; j < n; ++j) {
+    long q = std::lrintf(x[j] * inv);
+    // lrintf(x * 127/amax) can land on ±128 when |x| == amax and the scale
+    // rounds up; clamp keeps the symmetric [-127, 127] code book.
+    if (q > 127) q = 127;
+    if (q < -127) q = -127;
+    codes[j] = static_cast<int8_t>(q);
+  }
+  *scale = amax / 127.0f;
+}
+
+Result<QuantizedRows> QuantizeRowsInt8(const Tensor& t) {
+  const float* d = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) {
+    if (!std::isfinite(d[i])) {
+      return Status::InvalidArgument(
+          StrFormat("non-finite value at flat index %lld; refusing to "
+                    "quantize (a NaN/Inf amax would poison the whole row)",
+                    static_cast<long long>(i)));
+    }
+  }
+  QuantizedRows q;
+  q.rows = t.rows();
+  q.cols = t.cols();
+  q.codes.resize(static_cast<size_t>(t.rows()) * t.cols());
+  q.scales.resize(t.rows());
+  for (int i = 0; i < t.rows(); ++i) {
+    QuantizeRowInt8(t.row(i), t.cols(),
+                    q.codes.data() + static_cast<int64_t>(i) * t.cols(),
+                    &q.scales[i]);
+  }
+  return q;
+}
+
+Tensor DequantizeRowsInt8(const QuantizedRows& q) {
+  Tensor t(q.rows, q.cols);
+  for (int i = 0; i < q.rows; ++i) {
+    const int8_t* codes = q.row(i);
+    const float s = q.scales[i];
+    float* out = t.row(i);
+    for (int j = 0; j < q.cols; ++j) {
+      out[j] = static_cast<float>(codes[j]) * s;
+    }
+  }
+  return t;
+}
+
+namespace {
+
+/// Serial reference: exact int32 accumulation, one dequant multiply per
+/// output. Every other variant reproduces this bitwise — integer sums have
+/// no rounding, and the dequant expression float(acc) * (sa * sb) is kept
+/// literally identical everywhere.
+Tensor Int8GemmVariantNaive(const QuantizedRows& a, const QuantizedRows& b) {
+  Tensor c(a.rows, b.rows);
+  for (int i = 0; i < a.rows; ++i) {
+    const int8_t* arow = a.row(i);
+    const float sa = a.scales[i];
+    float* crow = c.row(i);
+    for (int j = 0; j < b.rows; ++j) {
+      const int8_t* brow = b.row(j);
+      int32_t acc = 0;
+      for (int p = 0; p < a.cols; ++p) {
+        acc += static_cast<int32_t>(arow[p]) * brow[p];
+      }
+      crow[j] = static_cast<float>(acc) * (sa * b.scales[j]);
+    }
+  }
+  return c;
+}
+
+/// Packed variant (ruy-style): B rows are packed in groups of kMicroRows
+/// interleaved by depth — panel[p * kMicroRows + t] = b.row(j0 + t)[p],
+/// zero-padded — so the inner loop reads one contiguous 8-lane stripe per
+/// depth step and keeps an 8-wide int32 accumulator tile in registers.
+/// Rows of C are partitioned across the pool (row-exclusive writes).
+Tensor Int8GemmVariantPacked(const QuantizedRows& a, const QuantizedRows& b) {
+  const int m = a.rows;
+  const int n = b.rows;
+  const int k = a.cols;
+  Tensor c(m, n);
+  const int panels = (n + kMicroRows - 1) / kMicroRows;
+  std::vector<int8_t> packed(static_cast<size_t>(panels) * k * kMicroRows, 0);
+  for (int t = 0; t < panels; ++t) {
+    const int j0 = t * kMicroRows;
+    const int w = std::min(kMicroRows, n - j0);
+    int8_t* panel = packed.data() + static_cast<size_t>(t) * k * kMicroRows;
+    for (int r = 0; r < w; ++r) {
+      const int8_t* brow = b.row(j0 + r);
+      for (int p = 0; p < k; ++p) panel[p * kMicroRows + r] = brow[p];
+    }
+  }
+  ParallelFor(m, kMicroRows, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const int8_t* arow = a.row(static_cast<int>(i));
+      const float sa = a.scales[i];
+      float* crow = c.row(static_cast<int>(i));
+      for (int t = 0; t < panels; ++t) {
+        const int j0 = t * kMicroRows;
+        const int w = std::min(kMicroRows, n - j0);
+        const int8_t* panel =
+            packed.data() + static_cast<size_t>(t) * k * kMicroRows;
+        int32_t acc[kMicroRows] = {0};
+        for (int p = 0; p < k; ++p) {
+          const int32_t av = arow[p];
+          const int8_t* lane = panel + p * kMicroRows;
+          for (int r = 0; r < kMicroRows; ++r) {
+            acc[r] += av * lane[r];
+          }
+        }
+        for (int r = 0; r < w; ++r) {
+          crow[j0 + r] = static_cast<float>(acc[r]) * (sa * b.scales[j0 + r]);
+        }
+      }
+    }
+  });
+  return c;
+}
+
+}  // namespace
+
+Tensor Int8GemmTransB(const QuantizedRows& a, const QuantizedRows& b) {
+  UMGAD_CHECK_EQ(a.cols, b.cols);
+  UMGAD_CHECK_LE(a.cols, kInt8GemmMaxDepth);
+  return KernelRegistry::Global()->int8_gemm()(a, b);
+}
+
+void Int8GemmRow(const float* x, int k, const QuantizedRows& w, float* out) {
+  UMGAD_CHECK_EQ(k, w.cols);
+  std::vector<int8_t> qx(k);
+  float sx = 0.0f;
+  QuantizeRowInt8(x, k, qx.data(), &sx);
+  // The AVX2 dot is exact integer arithmetic, so using it here (outside the
+  // registry — this helper is not an op) cannot change a bit of the result;
+  // UMGAD_CPU_DISABLE=avx2 still turns it off via the effective mask.
+  const bool avx2 = internal::Int8DotAvx2Available() &&
+                    (EffectiveCpuFeatures() & kFeatAvx2) != 0;
+  for (int j = 0; j < w.rows; ++j) {
+    const int8_t* wrow = w.row(j);
+    int32_t acc;
+    if (avx2) {
+      acc = internal::Int8DotAvx2(qx.data(), wrow, k);
+    } else {
+      acc = 0;
+      for (int p = 0; p < k; ++p) {
+        acc += static_cast<int32_t>(qx[p]) * wrow[p];
+      }
+    }
+    out[j] = static_cast<float>(acc) * (sx * w.scales[j]);
+  }
+}
+
+void RegisterBuiltinInt8(KernelRegistry* r) {
+  r->Register(KernelOp::kInt8Gemm,
+              {"naive", /*priority=*/0, /*required_features=*/0,
+               reinterpret_cast<KernelFn>(&Int8GemmVariantNaive)});
+  r->Register(KernelOp::kInt8Gemm,
+              {"packed", /*priority=*/10, /*required_features=*/0,
+               reinterpret_cast<KernelFn>(&Int8GemmVariantPacked)});
+}
+
+}  // namespace dispatch
+}  // namespace umgad

@@ -1,0 +1,64 @@
+#ifndef UMGAD_TENSOR_DISPATCH_QUANTIZE_H_
+#define UMGAD_TENSOR_DISPATCH_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/tensor.h"
+
+namespace umgad {
+namespace dispatch {
+
+/// Per-row symmetric int8 quantization of a row-major float matrix:
+/// codes[i][j] = clamp(round(x[i][j] * 127 / amax_i), -127, 127) with
+/// dequant scale scales[i] = amax_i / 127 (0 for an all-zero row, whose
+/// codes are all zero — the scale-0 guard). Symmetric, zero-point-free:
+/// dequant is codes * scale exactly.
+struct QuantizedRows {
+  int rows = 0;
+  int cols = 0;
+  std::vector<int8_t> codes;  // row-major, rows x cols
+  std::vector<float> scales;  // per-row dequant scale
+
+  const int8_t* row(int i) const {
+    return codes.data() + static_cast<int64_t>(i) * cols;
+  }
+};
+
+/// Quantizes one row. `codes` must hold n values. Writes the dequant scale.
+/// No input validation — callers on the serve hot path quantize activation
+/// rows they just computed; use QuantizeRowsInt8 when the input is untrusted.
+void QuantizeRowInt8(const float* x, int n, int8_t* codes, float* scale);
+
+/// Quantizes every row of `t`. InvalidArgument if any value is NaN/Inf —
+/// a non-finite amax would poison every code in its row silently, so model
+/// weights are validated once at load time instead.
+Result<QuantizedRows> QuantizeRowsInt8(const Tensor& t);
+
+/// Dequantizes back to float (codes * per-row scale). Round-trip error per
+/// element is bounded by scale/2 = amax/254 (tests/quantized_kernels_test).
+Tensor DequantizeRowsInt8(const QuantizedRows& q);
+
+/// C[i,j] = (sum_p qa[i,p]*qb[j,p]) * (a.scale[i] * b.scale[j]) — the W8A8
+/// product against a transposed (row-major weights) B, int32 accumulation.
+/// The integer sum is exact, so every variant is bitwise identical; the
+/// registry serves this through KernelOp::kInt8Gemm. Requires
+/// a.cols == b.cols and cols <= kInt8GemmMaxDepth (int32 overflow bound).
+Tensor Int8GemmTransB(const QuantizedRows& a, const QuantizedRows& b);
+
+/// Depth bound guaranteeing |sum| <= k * 127 * 127 stays inside int32.
+inline constexpr int64_t kInt8GemmMaxDepth =
+    (static_cast<int64_t>(1) << 31) / (127 * 127) - 1;
+
+/// Serving-path helper: one output row of Int8GemmTransB without
+/// materialising the full product. Quantizes the activation row `x` (length
+/// k), then accumulates against pre-quantized weights `w` (n x k), writing
+/// n floats to `out`. Bit-identical to row i of
+/// Int8GemmTransB(QuantizeRowsInt8(X), w) when x == X.row(i).
+void Int8GemmRow(const float* x, int k, const QuantizedRows& w, float* out);
+
+}  // namespace dispatch
+}  // namespace umgad
+
+#endif  // UMGAD_TENSOR_DISPATCH_QUANTIZE_H_

@@ -7,6 +7,7 @@
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "tensor/dispatch/registry.h"
 
 namespace umgad {
 
@@ -176,148 +177,27 @@ Tensor MatMulTransANaive(const Tensor& a, const Tensor& b) {
 }
 
 // ---------------------------------------------------------------------------
-// Blocked matmul core (design notes in docs/PERFORMANCE.md)
-//
-// C = A*B is computed panel by panel: B is packed once into zero-padded
-// column panels of kPanelCols, then rows of C are partitioned across the
-// thread pool and each 8-row strip is produced by a register-tiled
-// micro-kernel whose inner loop the compiler vectorises. Every C element is
-// accumulated in ascending-k order by exactly one thread, so results are
-// bit-identical to the naive kernel and invariant to UMGAD_THREADS.
+// Dense products dispatch through the kernel registry (src/tensor/dispatch/):
+// the blocked register-tiled core now lives in dispatch/matmul_variants.cc
+// (design notes in docs/PERFORMANCE.md, registry design in
+// docs/ARCHITECTURE.md §13). Every registered variant accumulates each C
+// element in ascending-k order by exactly one thread, so any selection is
+// bit-identical to MatMulNaive and invariant to UMGAD_THREADS.
 // ---------------------------------------------------------------------------
-
-namespace {
-
-constexpr int kMicroRows = 8;   // rows of C per micro-kernel call
-constexpr int kPanelCols = 64;  // packed-panel width (multiple of SIMD width)
-
-/// Below this many multiply-adds, packing and dispatch cost more than the
-/// whole product; the naive loop handles it.
-constexpr int64_t kSmallMatMulMuls = 1 << 15;
-
-/// 8 x kPanelCols register tile: 8 rows of A against one packed B panel,
-/// full-depth accumulation. The accumulators live in registers; `w` columns
-/// (<= kPanelCols) are stored. Written in the unrolled hand style on purpose
-/// — GCC/Clang keep the named accumulator arrays in vector registers, which
-/// a 2-D array version defeats.
-void Micro8(const float* a, int64_t lda, const float* bp, float* c,
-            int64_t ldc, int k, int w) {
-  float acc0[kPanelCols] = {0.0f}, acc1[kPanelCols] = {0.0f},
-        acc2[kPanelCols] = {0.0f}, acc3[kPanelCols] = {0.0f},
-        acc4[kPanelCols] = {0.0f}, acc5[kPanelCols] = {0.0f},
-        acc6[kPanelCols] = {0.0f}, acc7[kPanelCols] = {0.0f};
-  for (int p = 0; p < k; ++p) {
-    const float* b = bp + static_cast<int64_t>(p) * kPanelCols;
-    const float v0 = a[p];
-    const float v1 = a[lda + p];
-    const float v2 = a[2 * lda + p];
-    const float v3 = a[3 * lda + p];
-    const float v4 = a[4 * lda + p];
-    const float v5 = a[5 * lda + p];
-    const float v6 = a[6 * lda + p];
-    const float v7 = a[7 * lda + p];
-    for (int j = 0; j < kPanelCols; ++j) {
-      const float bv = b[j];
-      acc0[j] += v0 * bv;
-      acc1[j] += v1 * bv;
-      acc2[j] += v2 * bv;
-      acc3[j] += v3 * bv;
-      acc4[j] += v4 * bv;
-      acc5[j] += v5 * bv;
-      acc6[j] += v6 * bv;
-      acc7[j] += v7 * bv;
-    }
-  }
-  float* crow = c;
-  for (int j = 0; j < w; ++j) crow[j] = acc0[j];
-  crow += ldc;
-  for (int j = 0; j < w; ++j) crow[j] = acc1[j];
-  crow += ldc;
-  for (int j = 0; j < w; ++j) crow[j] = acc2[j];
-  crow += ldc;
-  for (int j = 0; j < w; ++j) crow[j] = acc3[j];
-  crow += ldc;
-  for (int j = 0; j < w; ++j) crow[j] = acc4[j];
-  crow += ldc;
-  for (int j = 0; j < w; ++j) crow[j] = acc5[j];
-  crow += ldc;
-  for (int j = 0; j < w; ++j) crow[j] = acc6[j];
-  crow += ldc;
-  for (int j = 0; j < w; ++j) crow[j] = acc7[j];
-}
-
-/// Single-row edge kernel for the m % kMicroRows remainder.
-void Micro1(const float* a, const float* bp, float* c, int k, int w) {
-  float acc[kPanelCols] = {0.0f};
-  for (int p = 0; p < k; ++p) {
-    const float* b = bp + static_cast<int64_t>(p) * kPanelCols;
-    const float v = a[p];
-    for (int j = 0; j < kPanelCols; ++j) acc[j] += v * b[j];
-  }
-  for (int j = 0; j < w; ++j) c[j] = acc[j];
-}
-
-}  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   UMGAD_CHECK_EQ(a.cols(), b.rows());
-  const int m = a.rows();
-  const int k = a.cols();
-  const int n = b.cols();
-  if (static_cast<int64_t>(m) * k * n < kSmallMatMulMuls) {
-    return MatMulNaive(a, b);
-  }
-  Tensor c(m, n);
-
-  // Pack B once into zero-padded panels: panel t holds columns
-  // [t*kPanelCols, t*kPanelCols + w) contiguously per k-row, so the
-  // micro-kernel streams it with unit stride and needs no column tail logic.
-  // Pooled + uninitialised: the buffer is fully overwritten below and the
-  // same pack shape recurs every step, so steady state pays neither a malloc
-  // nor a value-initialisation pass over up to O(k*n) memory.
-  const int panels = (n + kPanelCols - 1) / kPanelCols;
-  PooledBuffer packed(static_cast<size_t>(panels) * k * kPanelCols);
-  for (int t = 0; t < panels; ++t) {
-    const int j0 = t * kPanelCols;
-    const int w = std::min(kPanelCols, n - j0);
-    float* panel = packed.get() + static_cast<size_t>(t) * k * kPanelCols;
-    for (int p = 0; p < k; ++p) {
-      const float* brow = b.row(p) + j0;
-      float* dst = panel + static_cast<int64_t>(p) * kPanelCols;
-      int j = 0;
-      for (; j < w; ++j) dst[j] = brow[j];
-      for (; j < kPanelCols; ++j) dst[j] = 0.0f;
-    }
-  }
-
-  ParallelFor(m, kMicroRows, [&](int64_t r0, int64_t r1) {
-    for (int t = 0; t < panels; ++t) {
-      const int j0 = t * kPanelCols;
-      const int w = std::min(kPanelCols, n - j0);
-      const float* panel =
-          packed.get() + static_cast<size_t>(t) * k * kPanelCols;
-      int64_t i = r0;
-      for (; i + kMicroRows <= r1; i += kMicroRows) {
-        Micro8(a.row(static_cast<int>(i)), k, panel,
-               c.row(static_cast<int>(i)) + j0, n, k, w);
-      }
-      for (; i < r1; ++i) {
-        Micro1(a.row(static_cast<int>(i)), panel,
-               c.row(static_cast<int>(i)) + j0, k, w);
-      }
-    }
-  });
-  return c;
+  return dispatch::KernelRegistry::Global()->matmul()(a, b);
 }
 
-// Both transposed products are one cheap transpose away from the blocked
-// core; the copy is O(m*k) against the O(m*k*n) product and the resulting
-// per-element accumulation order (ascending k) matches the naive kernels.
 Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   UMGAD_CHECK_EQ(a.cols(), b.cols());
-  return MatMul(a, Transpose(b));
+  return dispatch::KernelRegistry::Global()->matmul_trans_b()(a, b);
 }
 
+// A^T B stays a direct transpose + plain product; it only runs on the
+// training tape (gradient accumulation), where the registry's matmul
+// selection already applies through MatMul.
 Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   UMGAD_CHECK_EQ(a.rows(), b.rows());
   return MatMul(Transpose(a), b);

@@ -1,0 +1,377 @@
+// Low-precision forward kernels (src/tensor/dispatch/quantize.h, bf16.h):
+// per-row symmetric int8 quantization edge cases (all-zero rows, saturating
+// extremes, NaN/Inf rejection, the scale/2 round-trip bound), bfloat16
+// round-to-nearest-even conversion, bitwise identity across every registered
+// variant of the quantized ops (the registry promise applies to them too —
+// exact int32 accumulation for int8, fixed fp32 accumulation order for
+// bf16), serving-path row helpers against their batch kernels, and the
+// analytic error bound of each quantized product against an fp64 reference
+// — including a differential sweep through the oracle harness's tolerance
+// mode, the quantized analogue of the repo's bit-identity sweeps.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "oracle_harness.h"
+#include "tensor/dispatch/bf16.h"
+#include "tensor/dispatch/quantize.h"
+#include "tensor/dispatch/registry.h"
+#include "tensor/init.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace umgad {
+namespace {
+
+using dispatch::Bf16FromFloat;
+using dispatch::Bf16FromTensor;
+using dispatch::Bf16GemmRow;
+using dispatch::Bf16GemmTransB;
+using dispatch::Bf16Matrix;
+using dispatch::DequantizeRowsInt8;
+using dispatch::FloatFromBf16;
+using dispatch::Int8GemmRow;
+using dispatch::Int8GemmTransB;
+using dispatch::KernelOp;
+using dispatch::KernelRegistry;
+using dispatch::QuantizedRows;
+using dispatch::QuantizeRowsInt8;
+using dispatch::SpmmBf16;
+using dispatch::TensorFromBf16;
+using ::umgad::testing::ExpectBitIdentical;
+using ::umgad::testing::OracleSweep;
+using ::umgad::testing::Tensors;
+
+Tensor RandomTensor(int r, int c, uint64_t seed) {
+  Rng rng(seed);
+  return RandomNormal(r, c, 0.0, 1.0, &rng);
+}
+
+SparseMatrix RandomSparse(int n, int edges, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> e;
+  for (int i = 0; i < edges; ++i) {
+    e.push_back(Edge{static_cast<int>(rng.UniformInt(n)),
+                     static_cast<int>(rng.UniformInt(n))});
+  }
+  return SparseMatrix::FromEdges(n, e, /*symmetrize=*/true);
+}
+
+class QuantizedKernelsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { KernelRegistry::Global()->ClearOverrides(); }
+};
+
+// ------------------------- int8 quantization ------------------------------
+
+TEST_F(QuantizedKernelsTest, RoundTripErrorBoundedByHalfScale) {
+  const Tensor t = RandomTensor(13, 37, 101);
+  auto q = QuantizeRowsInt8(t);
+  ASSERT_TRUE(q.ok());
+  const Tensor back = DequantizeRowsInt8(*q);
+  for (int i = 0; i < t.rows(); ++i) {
+    const float scale = q->scales[i];
+    EXPECT_GT(scale, 0.0f);
+    for (int j = 0; j < t.cols(); ++j) {
+      // |x - q*scale| <= scale/2 = amax/254: symmetric rounding never clips
+      // (amax itself maps to exactly +-127).
+      EXPECT_LE(std::abs(t.at(i, j) - back.at(i, j)), scale * 0.5f + 1e-7f)
+          << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST_F(QuantizedKernelsTest, AllZeroRowGetsScaleZeroAndZeroCodes) {
+  Tensor t(3, 5);  // zero-initialised
+  t.at(1, 0) = 2.0f;
+  auto q = QuantizeRowsInt8(t);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->scales[0], 0.0f);
+  EXPECT_EQ(q->scales[2], 0.0f);
+  EXPECT_GT(q->scales[1], 0.0f);
+  for (int j = 0; j < 5; ++j) {
+    EXPECT_EQ(q->row(0)[j], 0);
+    EXPECT_EQ(q->row(2)[j], 0);
+  }
+  // Dequant of a scale-0 row is exactly zero, and a product against it
+  // contributes exactly zero (scale products multiply).
+  const Tensor back = DequantizeRowsInt8(*q);
+  for (int j = 0; j < 5; ++j) EXPECT_EQ(back.at(0, j), 0.0f);
+  const Tensor c = Int8GemmTransB(*q, *q);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ(c.at(0, j), 0.0f);
+    EXPECT_EQ(c.at(j, 2), 0.0f);
+  }
+}
+
+TEST_F(QuantizedKernelsTest, SaturatingExtremesMapToPlusMinus127) {
+  // amax maps to exactly +-127; near-amax values round toward the rails but
+  // the clamp keeps every code inside [-127, 127] — -128 never appears, so
+  // the code space stays symmetric and dequant needs no zero point.
+  Tensor t(1, 6,
+           {100.0f, -100.0f, 99.9f, -99.9f, 0.4f, -0.4f});
+  auto q = QuantizeRowsInt8(t);
+  ASSERT_TRUE(q.ok());
+  EXPECT_FLOAT_EQ(q->scales[0], 100.0f / 127.0f);
+  EXPECT_EQ(q->row(0)[0], 127);
+  EXPECT_EQ(q->row(0)[1], -127);
+  EXPECT_EQ(q->row(0)[2], 127);   // rounds up, clamp holds it at 127
+  EXPECT_EQ(q->row(0)[3], -127);
+  EXPECT_EQ(q->row(0)[4], 1);     // 0.4 * 1.27 rounds to 1
+  EXPECT_EQ(q->row(0)[5], -1);
+  for (int j = 0; j < 6; ++j) {
+    EXPECT_GE(q->row(0)[j], -127);
+    EXPECT_LE(q->row(0)[j], 127);
+  }
+}
+
+TEST_F(QuantizedKernelsTest, NonFiniteInputIsRejectedWithStatus) {
+  for (const float poison : {std::numeric_limits<float>::quiet_NaN(),
+                             std::numeric_limits<float>::infinity(),
+                             -std::numeric_limits<float>::infinity()}) {
+    Tensor t = RandomTensor(4, 4, 7);
+    t.at(2, 3) = poison;
+    auto q = QuantizeRowsInt8(t);
+    ASSERT_FALSE(q.ok()) << poison;
+    EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument) << poison;
+  }
+}
+
+// ------------------------- bf16 conversion --------------------------------
+
+TEST_F(QuantizedKernelsTest, Bf16RoundsToNearestEven) {
+  // Values with <= 7 mantissa bits survive the round trip exactly.
+  for (const float exact : {0.0f, 1.0f, -1.0f, 0.5f, -2.0f, 1.5f, 160.0f}) {
+    EXPECT_EQ(FloatFromBf16(Bf16FromFloat(exact)), exact) << exact;
+  }
+  // 0x3F808000 is exactly halfway between bf16 0x3F80 and 0x3F81: ties go
+  // to the even code (0x3F80). 0x3F818000 is halfway between 0x3F81 and
+  // 0x3F82: even is 0x3F82.
+  const auto from_bits = [](uint32_t bits) {
+    float x;
+    std::memcpy(&x, &bits, sizeof(x));
+    return x;
+  };
+  EXPECT_EQ(Bf16FromFloat(from_bits(0x3F808000u)), 0x3F80);
+  EXPECT_EQ(Bf16FromFloat(from_bits(0x3F818000u)), 0x3F82);
+  // Just above/below the tie rounds to the nearest, not the even.
+  EXPECT_EQ(Bf16FromFloat(from_bits(0x3F808001u)), 0x3F81);
+  EXPECT_EQ(Bf16FromFloat(from_bits(0x3F817FFFu)), 0x3F81);
+  // Infinities survive; NaN payloads collapse to the canonical quiet NaN
+  // (rounding must never turn a NaN into Inf).
+  EXPECT_EQ(Bf16FromFloat(std::numeric_limits<float>::infinity()), 0x7F80);
+  EXPECT_EQ(Bf16FromFloat(-std::numeric_limits<float>::infinity()), 0xFF80);
+  EXPECT_EQ(Bf16FromFloat(std::numeric_limits<float>::quiet_NaN()), 0x7FC0);
+  EXPECT_EQ(Bf16FromFloat(from_bits(0x7F800001u)), 0x7FC0);  // signalling NaN
+}
+
+TEST_F(QuantizedKernelsTest, Bf16TensorRoundTripWidensExactly) {
+  const Tensor t = RandomTensor(9, 17, 103);
+  const Bf16Matrix m = Bf16FromTensor(t);
+  const Tensor wide = TensorFromBf16(m);
+  for (int i = 0; i < t.rows(); ++i) {
+    for (int j = 0; j < t.cols(); ++j) {
+      // Widening is exact; rounding error is bounded by half a bf16 ulp
+      // (2^-8 relative for normal values).
+      EXPECT_LE(std::abs(wide.at(i, j) - t.at(i, j)),
+                std::abs(t.at(i, j)) * 0x1p-8f + 1e-38f);
+      // And the widened value re-rounds to the same code (idempotence).
+      EXPECT_EQ(Bf16FromFloat(wide.at(i, j)), m.row(i)[j]);
+    }
+  }
+}
+
+// ------------------------- variant bit-identity ---------------------------
+
+TEST_F(QuantizedKernelsTest, EveryInt8GemmVariantIsBitIdentical) {
+  const Tensor a = RandomTensor(37, 29, 111);
+  const Tensor w = RandomTensor(71, 29, 112);
+  auto qa = QuantizeRowsInt8(a);
+  auto qw = QuantizeRowsInt8(w);
+  ASSERT_TRUE(qa.ok() && qw.ok());
+
+  KernelRegistry* reg = KernelRegistry::Global();
+  ASSERT_TRUE(reg->SetOverride("int8_gemm=naive").ok());
+  const Tensor reference = Int8GemmTransB(*qa, *qw);
+
+  for (const auto& sel : reg->Selections()) {
+    if (sel.op != KernelOp::kInt8Gemm) continue;
+    for (const auto& v : sel.variants) {
+      ASSERT_TRUE(reg->SetOverride("int8_gemm=" + v.name).ok());
+      ExpectBitIdentical("int8_gemm variant " + v.name,
+                         [&] { return Tensors{Int8GemmTransB(*qa, *qw)}; },
+                         [&] { return Tensors{reference}; });
+    }
+  }
+}
+
+TEST_F(QuantizedKernelsTest, EveryBf16VariantIsBitIdentical) {
+  const Bf16Matrix a = Bf16FromTensor(RandomTensor(37, 29, 121));
+  const Bf16Matrix w = Bf16FromTensor(RandomTensor(71, 29, 122));
+  const SparseMatrix s = RandomSparse(90, 500, 123);
+  const Bf16Matrix x = Bf16FromTensor(RandomTensor(90, 33, 124));
+
+  KernelRegistry* reg = KernelRegistry::Global();
+  ASSERT_TRUE(reg->SetOverride("bf16_gemm=naive,bf16_spmm=naive").ok());
+  const Tensor gemm_ref = Bf16GemmTransB(a, w);
+  const Tensor spmm_ref = SpmmBf16(s, x);
+
+  for (const auto& sel : reg->Selections()) {
+    if (sel.op == KernelOp::kBf16Gemm) {
+      for (const auto& v : sel.variants) {
+        ASSERT_TRUE(reg->SetOverride("bf16_gemm=" + v.name).ok());
+        ExpectBitIdentical("bf16_gemm variant " + v.name,
+                           [&] { return Tensors{Bf16GemmTransB(a, w)}; },
+                           [&] { return Tensors{gemm_ref}; });
+      }
+    } else if (sel.op == KernelOp::kBf16Spmm) {
+      for (const auto& v : sel.variants) {
+        ASSERT_TRUE(reg->SetOverride("bf16_spmm=" + v.name).ok());
+        ExpectBitIdentical("bf16_spmm variant " + v.name,
+                           [&] { return Tensors{SpmmBf16(s, x)}; },
+                           [&] { return Tensors{spmm_ref}; });
+      }
+    }
+  }
+}
+
+// ------------------------- serving-path row helpers -----------------------
+
+TEST_F(QuantizedKernelsTest, Int8GemmRowMatchesBatchKernelRow) {
+  const Tensor a = RandomTensor(11, 23, 131);
+  const Tensor w = RandomTensor(19, 23, 132);
+  auto qa = QuantizeRowsInt8(a);
+  auto qw = QuantizeRowsInt8(w);
+  ASSERT_TRUE(qa.ok() && qw.ok());
+  const Tensor full = Int8GemmTransB(*qa, *qw);
+  std::vector<float> out(w.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    Int8GemmRow(a.row(i), a.cols(), *qw, out.data());
+    for (int j = 0; j < w.rows(); ++j) {
+      EXPECT_EQ(out[j], full.at(i, j)) << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST_F(QuantizedKernelsTest, Bf16GemmRowMatchesBatchKernelRow) {
+  const Tensor a = RandomTensor(11, 23, 141);
+  const Tensor w = RandomTensor(19, 23, 142);
+  const Bf16Matrix hw = Bf16FromTensor(w);
+  const Tensor full = Bf16GemmTransB(Bf16FromTensor(a), hw);
+  std::vector<float> out(w.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    Bf16GemmRow(a.row(i), a.cols(), hw, out.data());
+    for (int j = 0; j < w.rows(); ++j) {
+      EXPECT_EQ(out[j], full.at(i, j)) << "row " << i << " col " << j;
+    }
+  }
+}
+
+// ------------------------- analytic error bounds --------------------------
+
+// Per-element bound for the int8 product against the exact (fp64) one:
+// dequantized operands carry |e| <= scale/2 each, so
+//   |Cq[i,j] - C[i,j]| <= sum_p |a|*sb/2 + |b|*sa/2 + sa*sb/4
+// (the int32 accumulation itself is exact; the final dequant multiply adds
+// one fp32 rounding, absorbed in the slack factor).
+TEST_F(QuantizedKernelsTest, Int8GemmStaysInsideTheAnalyticErrorBound) {
+  const Tensor a = RandomTensor(17, 43, 151);
+  const Tensor w = RandomTensor(13, 43, 152);
+  auto qa = QuantizeRowsInt8(a);
+  auto qw = QuantizeRowsInt8(w);
+  ASSERT_TRUE(qa.ok() && qw.ok());
+  const Tensor c = Int8GemmTransB(*qa, *qw);
+  for (int i = 0; i < a.rows(); ++i) {
+    const double sa = qa->scales[i];
+    for (int j = 0; j < w.rows(); ++j) {
+      const double sb = qw->scales[j];
+      double exact = 0.0, bound = 0.0;
+      for (int p = 0; p < a.cols(); ++p) {
+        const double av = a.at(i, p), bv = w.at(j, p);
+        exact += av * bv;
+        bound += std::abs(av) * sb * 0.5 + std::abs(bv) * sa * 0.5 +
+                 sa * sb * 0.25;
+      }
+      EXPECT_LE(std::abs(c.at(i, j) - exact), bound * 1.0001 + 1e-5)
+          << "element (" << i << ", " << j << ")";
+    }
+  }
+}
+
+// bf16 rounding is relative (half an ulp, 2^-8 per operand for normals);
+// the fp32 accumulation adds ~k ulps on the running sum. The bound below is
+// the standard first-order estimate with generous slack.
+TEST_F(QuantizedKernelsTest, Bf16GemmStaysInsideTheAnalyticErrorBound) {
+  const Tensor a = RandomTensor(17, 43, 161);
+  const Tensor w = RandomTensor(13, 43, 162);
+  const Tensor c = Bf16GemmTransB(Bf16FromTensor(a), Bf16FromTensor(w));
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < w.rows(); ++j) {
+      double exact = 0.0, mag = 0.0;
+      for (int p = 0; p < a.cols(); ++p) {
+        exact += static_cast<double>(a.at(i, p)) * w.at(j, p);
+        mag += std::abs(static_cast<double>(a.at(i, p)) * w.at(j, p));
+      }
+      const double bound =
+          mag * (2.0 * 0x1p-8 + 0x1p-16 + a.cols() * 0x1p-23) + 1e-6;
+      EXPECT_LE(std::abs(c.at(i, j) - exact), bound)
+          << "element (" << i << ", " << j << ")";
+    }
+  }
+}
+
+// ------------------------- differential sweep -----------------------------
+
+// The quantized analogue of the repo's bit-identity sweeps: the int8 and
+// bf16 products track the fp32 naive kernel within their analytic bounds
+// for every thread-count x arena combination (the oracle harness's
+// tolerance mode), i.e. quantization changes precision, never determinism.
+TEST_F(QuantizedKernelsTest, QuantizedProductsTrackFp32UnderTheOracleSweep) {
+  const Tensor a = RandomTensor(37, 29, 171);
+  const Tensor w = RandomTensor(71, 29, 172);
+  auto qa = QuantizeRowsInt8(a);
+  auto qw = QuantizeRowsInt8(w);
+  ASSERT_TRUE(qa.ok() && qw.ok());
+  const Bf16Matrix ha = Bf16FromTensor(a);
+  const Bf16Matrix hw = Bf16FromTensor(w);
+
+  // Worst-case analytic bound over all elements, per precision.
+  double int8_bound = 0.0, bf16_bound = 0.0;
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < w.rows(); ++j) {
+      double b8 = 0.0, mag = 0.0;
+      for (int p = 0; p < a.cols(); ++p) {
+        const double av = a.at(i, p), bv = w.at(j, p);
+        b8 += std::abs(av) * qw->scales[j] * 0.5 +
+              std::abs(bv) * qa->scales[i] * 0.5 +
+              qa->scales[i] * qw->scales[j] * 0.25;
+        mag += std::abs(av * bv);
+      }
+      int8_bound = std::max(int8_bound, b8 * 1.0001 + 1e-5);
+      bf16_bound = std::max(
+          bf16_bound, mag * (2.0 * 0x1p-8 + 0x1p-16 + a.cols() * 0x1p-23));
+    }
+  }
+
+  OracleSweep int8_sweep;
+  int8_sweep.tolerance = int8_bound;
+  ExpectBitIdentical(
+      "int8 vs fp32", [&] { return Tensors{Int8GemmTransB(*qa, *qw)}; },
+      [&] { return Tensors{MatMulNaive(a, Transpose(w))}; }, int8_sweep);
+
+  OracleSweep bf16_sweep;
+  bf16_sweep.tolerance = bf16_bound;
+  ExpectBitIdentical(
+      "bf16 vs fp32", [&] { return Tensors{Bf16GemmTransB(ha, hw)}; },
+      [&] { return Tensors{MatMulNaive(a, Transpose(w))}; }, bf16_sweep);
+}
+
+}  // namespace
+}  // namespace umgad

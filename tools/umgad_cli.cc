@@ -31,6 +31,7 @@
 // UMGAD_DATASET_DIR resolution) all behave identically across subcommands.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
@@ -56,6 +57,8 @@
 #include "serve/online_scorer.h"
 #include "serve/serve_metrics.h"
 #include "serve/shard_router.h"
+#include "tensor/dispatch/precision.h"
+#include "tensor/dispatch/registry.h"
 
 namespace umgad {
 namespace {
@@ -86,6 +89,11 @@ struct CliArgs {
   bool mmap = false;
   std::string header = "auto";
   bool serial_import = false;
+  std::string precision = "fp32";
+  std::string kernel;     // registry override spec (--kernel)
+  bool kernels = false;   // inspect --kernels
+  std::string parity;     // serve --parity: reference-score CSV to gate on
+  double parity_tol = 1e-3;
 };
 
 int Usage() {
@@ -99,6 +107,8 @@ int Usage() {
       "  convert <in> <out>           re-encode (format from <out> extension:\n"
       "                               .umgb = binary v3, else text v1)\n"
       "  inspect <path|name> [--seed N] [--scale S] [--time]\n"
+      "  inspect --kernels            registered kernel variants + CPU\n"
+      "                               features + active selection\n"
       "  run <path|name> [--detector NAME]... [--baseline NAME]\n"
       "                  [--seed N] [--scale S] [--epochs N]\n"
       "                  [--partitions P] [--partition-method dbh|hdrf]\n"
@@ -110,7 +120,14 @@ int Usage() {
       "  serve <path|name> --model PATH.umgm [--stream FILE|-]\n"
       "                  [--naive | --replay-batch] [--save-scores PATH]\n"
       "                  [--shards S] [--queue-capacity N] [--metrics]\n"
+      "                  [--precision fp32|int8|bf16]\n"
+      "                  [--parity CSV [--parity-tol X]]\n"
       "                  [--seed N] [--scale S]\n"
+      "\n"
+      "kernel flags (any command): --kernel NAME or --kernel op=name,...\n"
+      "pins registry kernel variants (ops: matmul, matmul_transb, spmm,\n"
+      "int8_gemm, bf16_gemm, bf16_spmm); same syntax as the UMGAD_KERNEL\n"
+      "env var. inspect --kernels shows what is registered and selected.\n"
       "\n"
       "load flags (any command that loads a graph): --mmap maps .umgb\n"
       "inputs read-only (zero-copy; UMGAD_NO_MMAP=1 forces the copying\n"
@@ -127,7 +144,12 @@ int Usage() {
       "routes the stream through S concurrent scorer shards instead — the\n"
       "drained CSV is byte-identical to the single-scorer path (the CI\n"
       "cli-smoke job diffs them). --metrics prints serving counters and\n"
-      "latency percentiles to stderr.\n"
+      "latency percentiles to stderr. --precision int8|bf16 runs the\n"
+      "forward re-score through the quantized kernels (scores shift within\n"
+      "quantization error; rankings hold). --parity CSV gates the run's\n"
+      "scores against a reference CSV (normally a --precision fp32\n"
+      "--save-scores run) by AUC parity on the dataset labels:\n"
+      "|dAUC| <= --parity-tol (default 1e-3) or exit 1.\n"
       "\n"
       "<path|name> is a registered dataset name (umgad_cli list), a graph\n"
       "file in either format, or a raw edge list (src dst [relation] per\n"
@@ -247,6 +269,33 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       }
     } else if (arg == "--metrics") {
       args->metrics = true;
+    } else if (arg == "--precision") {
+      const char* v = next("--precision");
+      if (v == nullptr) return false;
+      args->precision = v;
+      if (args->precision != "fp32" && args->precision != "int8" &&
+          args->precision != "bf16") {
+        std::cerr << "--precision must be fp32, int8, or bf16\n";
+        return false;
+      }
+    } else if (arg == "--kernel") {
+      const char* v = next("--kernel");
+      if (v == nullptr) return false;
+      args->kernel = v;
+    } else if (arg == "--kernels") {
+      args->kernels = true;
+    } else if (arg == "--parity") {
+      const char* v = next("--parity");
+      if (v == nullptr) return false;
+      args->parity = v;
+    } else if (arg == "--parity-tol") {
+      const char* v = next("--parity-tol");
+      if (v == nullptr) return false;
+      args->parity_tol = std::atof(v);
+      if (args->parity_tol <= 0.0) {
+        std::cerr << "--parity-tol must be positive\n";
+        return false;
+      }
     } else if (arg == "--mmap") {
       args->mmap = true;
     } else if (arg == "--serial-import") {
@@ -377,7 +426,55 @@ int CmdConvert(const CliArgs& args) {
   return 0;
 }
 
+/// The `inspect --kernels` / `serve --metrics` kernel report: what the
+/// registry registered, what cpuid found, and which variant each op
+/// resolved to — the reproducibility header for cross-box perf reports.
+void PrintKernelReport(std::ostream& os) {
+  os << "cpu features: detected ["
+     << dispatch::CpuFeatureListString(dispatch::DetectedCpuFeatures())
+     << "], effective ["
+     << dispatch::CpuFeatureListString(dispatch::EffectiveCpuFeatures())
+     << "]\n\n";
+  TablePrinter table;
+  table.SetHeader({"Op", "Active", "Registered variants"});
+  for (const dispatch::KernelSelection& sel :
+       dispatch::KernelRegistry::Global()->Selections()) {
+    std::string variants;
+    for (const dispatch::KernelVariant& v : sel.variants) {
+      if (!variants.empty()) variants += ", ";
+      variants += v.name + StrFormat("(p%d", v.priority);
+      if (v.required_features != 0) {
+        variants +=
+            "; " + dispatch::CpuFeatureListString(v.required_features);
+      }
+      variants += ")";
+    }
+    std::string active = sel.variant;
+    if (sel.overridden) active += " (override)";
+    if (sel.fell_back) active += " (fallback)";
+    table.AddRow({dispatch::KernelOpName(sel.op), active, variants});
+  }
+  table.Print(os);
+}
+
+/// One-line form for serve --metrics (stderr, greppable).
+std::string KernelSummaryLine(const std::string& precision) {
+  std::string line = "kernels: precision=" + precision;
+  for (const dispatch::KernelSelection& sel :
+       dispatch::KernelRegistry::Global()->Selections()) {
+    line += StrFormat(" %s=%s", dispatch::KernelOpName(sel.op),
+                      sel.variant.c_str());
+  }
+  line += " features=" +
+          dispatch::CpuFeatureListString(dispatch::EffectiveCpuFeatures());
+  return line;
+}
+
 int CmdInspect(const CliArgs& args) {
+  if (args.kernels) {
+    PrintKernelReport(std::cout);
+    return 0;
+  }
   if (args.positional.size() != 1) return Usage();
   LoadDatasetOptions load = LoadOptionsFrom(args);
   WallTimer timer;
@@ -459,6 +556,61 @@ Status WriteScoresCsv(const std::string& path,
                                       path.empty() ? "stdout" : path.c_str()));
   }
   return Status::OK();
+}
+
+/// Reads the first score column of a WriteScoresCsv file ("node,score" with
+/// a header row). Rows must be the ascending 0..n-1 node ids that
+/// WriteScoresCsv emits.
+Result<std::vector<double>> ReadScoresCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError(StrFormat("%s: empty file", path.c_str()));
+  }
+  std::vector<double> scores;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: expected node,score", path.c_str(), line_no));
+    }
+    scores.push_back(std::strtod(line.c_str() + comma + 1, nullptr));
+  }
+  return scores;
+}
+
+/// The serve --parity gate: AUC of this run's scores vs the reference CSV's
+/// on the dataset labels must agree within --parity-tol. Returns the process
+/// exit code (0 pass, 1 fail); no-op without --parity.
+int CheckAucParity(const CliArgs& args, const MultiplexGraph& graph,
+                   const std::vector<double>& scores) {
+  if (args.parity.empty()) return 0;
+  if (!graph.has_labels()) {
+    std::cerr << "--parity needs a labeled dataset (AUC is undefined)\n";
+    return 1;
+  }
+  Result<std::vector<double>> ref = ReadScoresCsv(args.parity);
+  if (!ref.ok()) return FailWith(ref.status());
+  if (ref->size() != scores.size()) {
+    std::cerr << args.parity << ": " << ref->size() << " scores but graph has "
+              << scores.size() << " nodes\n";
+    return 1;
+  }
+  const double auc = RocAuc(scores, graph.labels());
+  const double ref_auc = RocAuc(*ref, graph.labels());
+  const double delta = std::abs(auc - ref_auc);
+  const bool pass = delta <= args.parity_tol;
+  std::cerr << StrFormat(
+      "parity: precision=%s auc=%.6f ref_auc=%.6f |dAUC|=%.3g tol=%.3g %s\n",
+      args.precision.c_str(), auc, ref_auc, delta, args.parity_tol,
+      pass ? "OK" : "FAIL");
+  return pass ? 0 : 1;
 }
 
 int CmdTrain(const CliArgs& args) {
@@ -546,6 +698,11 @@ int ServeSharded(const CliArgs& args, TrainedModel trained,
   serve::RouterOptions options;
   options.num_shards = args.shards;
   if (args.queue_capacity > 0) options.queue_capacity = args.queue_capacity;
+  {
+    Result<dispatch::Precision> prec = dispatch::ParsePrecision(args.precision);
+    if (!prec.ok()) return FailWith(prec.status());
+    options.serve.precision = *prec;
+  }
   auto router = serve::ShardRouter::Create(std::move(trained), graph, options);
   if (!router.ok()) return FailWith(router.status());
 
@@ -574,7 +731,10 @@ int ServeSharded(const CliArgs& args, TrainedModel trained,
               << FormatFloat(seconds > 0 ? submitted / seconds : 0.0, 0)
               << " edges/s)\n";
   }
-  if (args.metrics) std::cerr << FormatRouterStats((*router)->Stats());
+  if (args.metrics) {
+    std::cerr << FormatRouterStats((*router)->Stats());
+    std::cerr << KernelSummaryLine(args.precision) << "\n";
+  }
 
   const std::vector<double> scores = (*router)->Snapshot()->scores;
   const Status written = WriteScoresCsv(args.save_scores, {"score"}, {scores});
@@ -582,7 +742,7 @@ int ServeSharded(const CliArgs& args, TrainedModel trained,
   if (!args.save_scores.empty()) {
     std::cerr << args.save_scores << ": " << scores.size() << " scores\n";
   }
-  return 0;
+  return CheckAucParity(args, graph, scores);
 }
 
 int CmdServe(const CliArgs& args) {
@@ -608,7 +768,20 @@ int CmdServe(const CliArgs& args) {
   if (args.shards > 0) {
     return ServeSharded(args, *std::move(trained), *graph);
   }
-  auto scorer = serve::OnlineScorer::Create(*std::move(trained), *graph);
+  serve::ServeOptions serve_options;
+  {
+    Result<dispatch::Precision> prec = dispatch::ParsePrecision(args.precision);
+    if (!prec.ok()) return FailWith(prec.status());
+    serve_options.precision = *prec;
+  }
+  if (args.replay_batch &&
+      serve_options.precision != dispatch::Precision::kFp32) {
+    std::cerr << "--replay-batch replays the fp32 training tape; it has no "
+                 "quantized form (drop --precision)\n";
+    return 2;
+  }
+  auto scorer =
+      serve::OnlineScorer::Create(*std::move(trained), *graph, serve_options);
   if (!scorer.ok()) return FailWith(scorer.status());
 
   if (!args.stream.empty()) {
@@ -639,6 +812,7 @@ int CmdServe(const CliArgs& args) {
                              4)
               << " last_dirty_rows=" << stats.last_dirty_rows
               << " last_rescored_nodes=" << stats.last_rescored_nodes << "\n";
+    std::cerr << KernelSummaryLine(args.precision) << "\n";
   }
 
   std::vector<double> scores;
@@ -656,7 +830,7 @@ int CmdServe(const CliArgs& args) {
   if (!args.save_scores.empty()) {
     std::cerr << args.save_scores << ": " << scores.size() << " scores\n";
   }
-  return 0;
+  return CheckAucParity(args, *graph, scores);
 }
 
 int CmdRun(const CliArgs& args) {
@@ -746,6 +920,16 @@ int Main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
   CliArgs args;
   if (!ParseArgs(argc, argv, &args)) return Usage();
+  if (!args.kernel.empty()) {
+    // Unlike the UMGAD_KERNEL env var (warn-only), an explicit flag that
+    // does not resolve is an error.
+    const Status s =
+        dispatch::KernelRegistry::Global()->SetOverride(args.kernel);
+    if (!s.ok()) {
+      std::cerr << "--kernel: " << s.ToString() << "\n";
+      return 2;
+    }
+  }
   if (args.command == "list") return CmdList(args);
   if (args.command == "gen") return CmdGen(args);
   if (args.command == "convert") return CmdConvert(args);
